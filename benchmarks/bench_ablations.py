@@ -1,0 +1,66 @@
+"""Benchmark + artifact: PEF_3+ rule ablations (extension X4).
+
+Exhaustive verdicts for each rule variant on the 4-ring with 3 robots —
+the exact regime where genuine PEF_3+ provably works — plus the revisit
+gaps of each variant under the eventual-missing-edge schedule (the
+scenario the rules exist for).
+
+Headline shapes: dropping Rule 2 or Rule 3 is fatal; *swapping* Rules 2
+and 3 relays the sentinel role and — exhaustively verified — still works
+on the solvable sizes (a design alternative the paper does not discuss).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.exploration import exploration_report
+from repro.graph.schedules import EventuallyMissingEdgeSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import PEF3Plus
+from repro.robots.algorithms.ablations import (
+    PEF3PlusAlwaysTurnOnTower,
+    PEF3PlusNoTurn,
+    PEF3PlusTurnWhenStationary,
+)
+from repro.sim.engine import run_fsync
+from repro.verification.game import verify_exploration
+from repro.viz.tables import TextTable
+
+VARIANTS = (
+    PEF3Plus(),
+    PEF3PlusNoTurn(),
+    PEF3PlusAlwaysTurnOnTower(),
+    PEF3PlusTurnWhenStationary(),
+)
+EXPECT_EXPLORES = {"pef3+": True, "pef3+-no-turn": False,
+                   "pef3+-always-turn": False, "pef3+-turn-when-stationary": True}
+
+
+def _run_ablations():
+    table = TextTable(
+        ["variant", "exact verdict (n=4,k=3)", "max gap (missing-edge run)", "starved"]
+    )
+    results = {}
+    ring = RingTopology(6)
+    sched = EventuallyMissingEdgeSchedule(ring, edge=2, vanish_time=0)
+    for algorithm in VARIANTS:
+        verdict = verify_exploration(algorithm, RingTopology(4), k=3)
+        run = run_fsync(ring, sched, algorithm, positions=[0, 2, 4], rounds=1500)
+        assert run.trace is not None
+        report = exploration_report(run.trace)
+        starved = sorted(report.starved_nodes(suffix=600))
+        table.add_row(
+            [
+                algorithm.name,
+                "EXPLORES" if verdict.explorable else "TRAPPED",
+                report.max_worst_gap,
+                starved,
+            ]
+        )
+        results[algorithm.name] = verdict.explorable
+    return table, results
+
+
+def test_ablations(benchmark, save_artifact) -> None:
+    table, results = benchmark.pedantic(_run_ablations, rounds=1, iterations=1)
+    assert results == EXPECT_EXPLORES
+    save_artifact("ablations", table.render())

@@ -1,0 +1,70 @@
+"""Benchmark + artifact: connected-over-time chains (extension X3).
+
+The paper (Section 1): "a connected-over-time chain can be seen as a
+connected-over-time ring with a missing edge. So, our results are also
+valid on connected-over-time chains." Reproduced two ways:
+
+* native :class:`ChainTopology` footprints;
+* ring footprints with one permanently dead edge
+  (:func:`chain_like_schedule`).
+
+PEF_3+ (k = 3) must pass the battery on chains; the exact solver verdicts
+must mirror Table 1 on the chain variants.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.battery import run_battery
+from repro.graph.schedules import chain_like_schedule
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import PEF1, PEF3Plus
+from repro.sim.engine import run_fsync
+from repro.sim.observers import VisitTracker
+from repro.verification.game import verify_exploration
+from repro.viz.tables import TextTable
+
+
+def _run_chain_benchmarks():
+    table = TextTable(["experiment", "result"])
+    ok = True
+
+    # Battery on native chains.
+    for n in (5, 8):
+        outcomes = run_battery(ChainTopology(n), PEF3Plus(), k=3, rounds=3000)
+        passed = sum(o.passed for o in outcomes)
+        ok &= passed == len(outcomes)
+        table.add_row([f"battery chain n={n} k=3 (PEF_3+)", f"{passed}/{len(outcomes)} pass"])
+
+    # Ring with a permanently dead edge == chain.
+    ring = RingTopology(8)
+    tracker = VisitTracker()
+    run_fsync(
+        ring,
+        chain_like_schedule(ring, dead_edge=3),
+        PEF3Plus(),
+        positions=[0, 2, 6],
+        rounds=3000,
+        observers=[tracker],
+        keep_trace=False,
+    )
+    covered = tracker.cover_time is not None
+    ok &= covered
+    table.add_row(
+        ["ring8 with dead edge 3 (PEF_3+, k=3)", f"covered at t={tracker.cover_time}"]
+    )
+
+    # Exact verdicts on chain footprints mirror Table 1.
+    v1 = verify_exploration(PEF1(), ChainTopology(2), k=1)
+    v2 = verify_exploration(PEF1(), ChainTopology(3), k=1)
+    v3 = verify_exploration(PEF3Plus(), ChainTopology(4), k=3)
+    ok &= v1.explorable and not v2.explorable and v3.explorable
+    table.add_row(["exact: pef1 chain n=2 k=1", v1.summary()])
+    table.add_row(["exact: pef1 chain n=3 k=1", v2.summary()])
+    table.add_row(["exact: pef3+ chain n=4 k=3", v3.summary()])
+    return table, ok
+
+
+def test_chains(benchmark, save_artifact) -> None:
+    table, ok = benchmark.pedantic(_run_chain_benchmarks, rounds=1, iterations=1)
+    assert ok
+    save_artifact("chains", table.render())

@@ -1,0 +1,65 @@
+"""Benchmark + artifact: cover time and revisit gaps vs n, k (extension X1).
+
+Quantitative shape behind Theorem 3.1: how quickly PEF_3+ covers the ring
+and how stale nodes get, across dynamicity classes, ring sizes and robot
+counts. No absolute numbers exist in the paper; the shape expectations are
+(a) cover time grows with n, (b) more robots never hurt, (c) harsher
+dynamicity inflates gaps but never starves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cover_time import cover_time_sweep
+from repro.robots.algorithms import PEF3Plus
+from repro.viz.tables import TextTable
+
+SCHEDULES = ["static", "eventually-missing@0", "t-interval-3", "bernoulli-0.7"]
+
+
+def _sweep_sizes():
+    points = cover_time_sweep(
+        PEF3Plus(), sizes=[4, 6, 8, 10, 12, 16], k=3, rounds=4000,
+        schedules=SCHEDULES,
+    )
+    table = TextTable(
+        ["algorithm", "n", "k", "schedule", "cover time", "max gap", "moves/round"]
+    )
+    for point in points:
+        table.add_row(point.row())
+    return table, points
+
+
+def test_cover_time_vs_ring_size(benchmark, save_artifact) -> None:
+    table, points = benchmark.pedantic(_sweep_sizes, rounds=1, iterations=1)
+    assert all(point.covered for point in points)
+    # Shape: static cover time is monotone in n.
+    static = [p for p in points if p.schedule_name == "static"]
+    times = [p.cover_time for p in static]
+    assert times == sorted(times)
+    save_artifact("cover_time_vs_n", table.render())
+
+
+def _sweep_robots():
+    rows = []
+    for k in (3, 4, 5, 6):
+        rows.extend(
+            cover_time_sweep(
+                PEF3Plus(), sizes=[12], k=k, rounds=4000, schedules=SCHEDULES
+            )
+        )
+    table = TextTable(
+        ["algorithm", "n", "k", "schedule", "cover time", "max gap", "moves/round"]
+    )
+    for point in rows:
+        table.add_row(point.row())
+    return table, rows
+
+
+def test_cover_time_vs_robot_count(benchmark, save_artifact) -> None:
+    table, points = benchmark.pedantic(_sweep_robots, rounds=1, iterations=1)
+    assert all(point.covered for point in points)
+    # Shape: on the static ring, more robots never slow first cover.
+    static = {p.k: p.cover_time for p in points if p.schedule_name == "static"}
+    ks = sorted(static)
+    assert all(static[a] >= static[b] for a, b in zip(ks, ks[1:]))
+    save_artifact("cover_time_vs_k", table.render())

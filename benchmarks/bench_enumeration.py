@@ -1,0 +1,47 @@
+"""Benchmark + artifact: exhaustive algorithm-class sweeps (rows R2/R4).
+
+* All 256 memoryless single-robot algorithms on the 3-ring: every one
+  trapped (a finite-domain discharge of Theorem 5.1's universal
+  quantifier over this class).
+* A 4096-table sample of the 65536 memoryless two-robot algorithms on the
+  4-ring (plus the structured baselines): every one trapped (Theorem 4.1).
+  Set ``REPRO_FULL_SWEEP=1`` to sweep all 65536 (minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.verification.enumeration import (
+    sweep_single_robot_memoryless,
+    sweep_two_robot_memoryless,
+)
+
+
+def test_single_robot_exhaustive(benchmark, save_artifact) -> None:
+    result = benchmark.pedantic(
+        sweep_single_robot_memoryless, args=(3,), rounds=1, iterations=1
+    )
+    assert result.all_trapped
+    assert result.total == 256
+    save_artifact("enumeration_1robot", result.summary())
+
+
+def test_single_robot_exhaustive_ring4(benchmark, save_artifact) -> None:
+    result = benchmark.pedantic(
+        sweep_single_robot_memoryless, args=(4,), rounds=1, iterations=1
+    )
+    assert result.all_trapped
+    save_artifact("enumeration_1robot_ring4", result.summary())
+
+
+def test_two_robot_sweep(benchmark, save_artifact) -> None:
+    full = os.environ.get("REPRO_FULL_SWEEP") == "1"
+    sample = None if full else 4096
+
+    def run():
+        return sweep_two_robot_memoryless(4, sample=sample)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.all_trapped
+    save_artifact("enumeration_2robot", result.summary())

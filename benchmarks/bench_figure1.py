@@ -1,0 +1,50 @@
+"""Benchmark + artifact: Figure 1 — the Lemma 4.1 construction (F1).
+
+Builds the 8-node mirrored ring G′ for all five cases of the paper's
+Figure 1 and machine-checks proof Claims 1–4 on each; for the stubborn
+(KeepDirection pointing at the removed shared edge) cases it also reports
+the resulting starvation of the 8-ring.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import default_scenarios, run_lemma41_construction
+from repro.viz.tables import TextTable
+
+
+def _run_all_cases():
+    table = TextTable(
+        ["scenario", "case", "delta", "claims 1-4", "starved nodes after t"]
+    )
+    outcomes = []
+    for scenario in default_scenarios():
+        outcome = run_lemma41_construction(scenario, extra_rounds=96)
+        outcomes.append(outcome)
+        claims = "".join(
+            "T" if c else "F"
+            for c in (
+                outcome.claim1_symmetric,
+                outcome.claim2_no_tower,
+                outcome.claim3_r1_same,
+                outcome.claim4_adjacent_same_state,
+            )
+        )
+        table.add_row(
+            [
+                outcome.scenario_name,
+                outcome.case_name,
+                f"{outcome.delta:+d}",
+                claims,
+                sorted(outcome.starved_after or ()),
+            ]
+        )
+    return table, outcomes
+
+
+def test_figure1_all_five_cases(benchmark, save_artifact) -> None:
+    table, outcomes = benchmark.pedantic(_run_all_cases, rounds=1, iterations=1)
+    assert len(outcomes) == 5
+    assert all(outcome.all_claims_hold for outcome in outcomes)
+    # The five paper cases are all realized.
+    assert len({(o.delta, o.f_is_i) for o in outcomes}) == 5
+    save_artifact("figure1_lemma41_cases", table.render())

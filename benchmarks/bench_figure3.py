@@ -1,0 +1,58 @@
+"""Benchmark + artifact: Figure 3 — the Theorem 5.1 oscillation trap (F3).
+
+One robot, any algorithm, the adaptive two-node confinement adversary.
+The paper's claim shape: the robot visits at most two nodes forever while
+the realized graph stays connected-over-time (worst edge absence stays
+tiny for oscillators, and exactly one edge dies for parkers).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure3_experiment
+from repro.robots.algorithms import PEF1, PEF2, Alternator, BounceOnBlocked, KeepDirection
+from repro.viz.tables import TextTable
+
+SIZES = (3, 4, 6, 8)
+VICTIMS = (PEF1(), PEF2(), BounceOnBlocked(), KeepDirection(), Alternator())
+
+
+def _run_sweep():
+    table = TextTable(
+        ["algorithm", "n", "confined", "starved", "suspect edges", "worst absence"]
+    )
+    all_ok = True
+    for n in SIZES:
+        for algorithm in VICTIMS:
+            outcome = figure3_experiment(algorithm, n=n, rounds=800)
+            all_ok &= outcome.confined and outcome.recurrence.within_budget
+            table.add_row(
+                [
+                    outcome.algorithm_name,
+                    n,
+                    outcome.confined,
+                    outcome.starved_count,
+                    sorted(outcome.recurrence.suspected_eventually_missing),
+                    max(outcome.recurrence.worst_absence.values()),
+                ]
+            )
+    return table, all_ok
+
+
+def test_figure3_oscillation_trap_sweep(benchmark, save_artifact) -> None:
+    table, all_ok = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    assert all_ok
+    save_artifact("figure3_oscillation_trap", table.render())
+
+
+def test_figure3_space_time_diagram(benchmark, save_artifact) -> None:
+    """The recognizable zigzag of the proof's G_ω, as a space-time artifact."""
+    from repro.viz.ascii_art import render_space_time
+
+    def run():
+        return figure3_experiment(BounceOnBlocked(), n=6, rounds=40)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.confined
+    save_artifact(
+        "figure3_space_time", render_space_time(outcome.trace, start=0, end=24)
+    )

@@ -1,0 +1,35 @@
+"""Benchmark + artifact: ill-initiated starts (extension X6).
+
+Exact answer to "is the paper's towerless-start assumption necessary for
+PEF_3+?": yes. From towerless starts the 4-ring/3-robot instance is
+explorable (Theorem 3.1); admitting tower-initial placements, the solver
+finds — and replay-validates — a starving schedule. This is the
+computability-level reason the predecessor paper [4] needed a
+self-stabilizing algorithm for arbitrary configurations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ill_initiated import probe_ill_initiated
+from repro.robots.algorithms import PEF3Plus
+
+
+def test_towerless_assumption_is_load_bearing(benchmark, save_artifact) -> None:
+    outcome = benchmark.pedantic(
+        probe_ill_initiated, args=(PEF3Plus(), 4, 3), rounds=1, iterations=1
+    )
+    assert outcome.assumption_is_load_bearing
+    cert = outcome.tower_trap
+    assert cert is not None
+    save_artifact(
+        "ill_initiated",
+        "\n".join(
+            [
+                outcome.summary(),
+                f"tower trap: {cert.summary()}",
+                f"  ill-initiated seed: {cert.seed_positions}",
+                f"  prefix: {[sorted(s) for s in cert.prefix]}",
+                f"  cycle:  {[sorted(s) for s in cert.cycle]}",
+            ]
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Benchmark + artifact: the SSYNC impossibility demonstration (extension X2).
+
+The related-work result the paper builds on ([10]): under semi-synchronous
+scheduling, the colluding activation/edge adversary freezes *every*
+algorithm — including PEF_3+ with k >= 3, which provably explores under
+FSYNC. The artifact shows: zero nodes beyond the initial ones visited,
+fair activations, every edge recurrent.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.ssync_blocker import SsyncBlocker
+from repro.analysis.recurrence import recurrence_report
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import PEF2, BounceOnBlocked, PEF3Plus
+from repro.sim.semi_sync import run_ssync
+from repro.viz.tables import TextTable
+
+
+def _run_sweep():
+    table = TextTable(
+        ["algorithm", "n", "k", "visited", "blocked rounds", "fair", "suspects"]
+    )
+    all_frozen = True
+    cases = [
+        (PEF3Plus(), 6, [0, 2, 4]),
+        (PEF3Plus(), 8, [0, 3, 6]),
+        (PEF2(), 6, [0, 3]),
+        (BounceOnBlocked(), 6, [0, 2, 4]),
+    ]
+    for algorithm, n, positions in cases:
+        ring = RingTopology(n)
+        blocker = SsyncBlocker(ring)
+        result = run_ssync(
+            ring, blocker, blocker, algorithm, positions=positions, rounds=600
+        )
+        trace = result.trace
+        assert trace is not None
+        visited = trace.nodes_visited()
+        all_frozen &= visited == frozenset(positions)
+        report = recurrence_report(trace.recorded_graph())
+        table.add_row(
+            [
+                algorithm.name,
+                n,
+                len(positions),
+                sorted(visited),
+                blocker.blocked_rounds,
+                result.is_fair(),
+                sorted(report.suspected_eventually_missing),
+            ]
+        )
+    return table, all_frozen
+
+
+def test_ssync_blocker_freezes_everything(benchmark, save_artifact) -> None:
+    table, all_frozen = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    assert all_frozen
+    save_artifact("ssync_blocker", table.render())

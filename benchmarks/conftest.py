@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (Table 1 or a figure
+construction) or one extension experiment, and writes its reproduced
+table/report to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+cross-checked against fresh runs. Benchmarks use
+``benchmark.pedantic(..., rounds=1)`` where a single execution is the
+meaningful unit (end-to-end experiments), and normal calibrated timing for
+micro-benchmarks (engine/solver throughput).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """The directory where benchmarks drop their reproduced artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir: Path):
+    """Write a named artifact file and echo it to stdout."""
+
+    def save(name: str, content: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(f"\n===== {name} =====")
+        print(content)
+        return path
+
+    return save

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1 exactly, by exhaustive game solving.
+
+For each (algorithm, ring size, robot count) instance, the solver decides
+perpetual exploration against the strongest connected-over-time adversary
+— not by sampling schedules, but by exhausting the product game and
+checking every reachable SCC's recurrence budget. Negative verdicts come
+with simulator-validated lasso certificates.
+
+The finale is the finite-domain discharge of Theorem 5.1's universal
+quantifier over the memoryless class: all 256 memoryless single-robot
+algorithms, each individually trapped on the 3-ring.
+
+Run:  python examples/exhaustive_verification.py
+"""
+
+from repro import PEF1, PEF2, PEF3Plus, RingTopology, verify_exploration
+from repro.graph.topology import ChainTopology
+from repro.verification import sweep_single_robot_memoryless
+from repro.viz import TextTable
+
+
+def main() -> None:
+    print("=== exact Table 1 verdicts (exhaustive game solver) ===\n")
+    cases = [
+        ("R1", PEF3Plus(), RingTopology(4), 3, "possible"),
+        ("R1", PEF3Plus(), RingTopology(5), 3, "possible"),
+        ("R2", PEF3Plus(), RingTopology(4), 2, "impossible"),
+        ("R2", PEF2(), RingTopology(4), 2, "impossible"),
+        ("R3", PEF2(), RingTopology(3), 2, "possible"),
+        ("R4", PEF1(), RingTopology(3), 1, "impossible"),
+        ("R4", PEF1(), RingTopology(4), 1, "impossible"),
+        ("R5", PEF1(), RingTopology(2), 1, "possible"),
+        ("R5", PEF1(), ChainTopology(2), 1, "possible"),
+    ]
+    table = TextTable(
+        ["row", "algorithm", "instance", "k", "paper", "solver", "agree"]
+    )
+    for row_id, algorithm, topology, k, paper in cases:
+        verdict = verify_exploration(algorithm, topology, k=k)
+        solver = "possible" if verdict.explorable else "impossible"
+        table.add_row(
+            [
+                row_id,
+                algorithm.name,
+                repr(topology),
+                k,
+                paper,
+                solver,
+                "yes" if solver == paper else "NO",
+            ]
+        )
+    print(table.render())
+
+    print("\none synthesized certificate, in full:")
+    verdict = verify_exploration(PEF1(), RingTopology(3), k=1)
+    certificate = verdict.certificate
+    assert certificate is not None
+    print(f"  {certificate.summary()}")
+    print(f"  prefix: {[sorted(s) for s in certificate.prefix]}")
+    print(f"  cycle:  {[sorted(s) for s in certificate.cycle]}")
+    print(
+        "  (replayed and validated through the simulator automatically: "
+        "periodic, starving, within the recurrence budget)"
+    )
+
+    print("\n=== exhaustive class sweep (Theorem 5.1, memoryless class) ===\n")
+    sweep = sweep_single_robot_memoryless(3)
+    print(sweep.summary())
+    print(
+        "\nEvery deterministic single-robot algorithm whose whole memory is "
+        "its direction\nvariable is individually defeated on the 3-ring — "
+        "256 algorithms, 256 traps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Portable impossibility witnesses: synthesize, save, load, re-check.
+
+A trap certificate is a finite proof object for an infinite claim; this
+example shows the full lifecycle a downstream user would follow:
+
+1. synthesize a trap for a chosen (algorithm, n, k) instance;
+2. serialize it to JSON (stable, versioned, human-diffable);
+3. load it back in a "different process" and re-validate it against the
+   simulator — no trust in the original solver required;
+4. read the witness like the paper's G_ω: which edge dies, which node
+   starves, what the periodic schedule looks like.
+
+Run:  python examples/portable_certificates.py
+"""
+
+import json
+
+from repro import PEF3Plus, RingTopology
+from repro.serialize import dumps, loads
+from repro.verification import (
+    certificate_schedule,
+    synthesize_trap,
+    validate_certificate,
+)
+
+
+def main() -> None:
+    print("=== 1. synthesize: PEF_3+ with two robots on the 5-ring ===\n")
+    certificate = synthesize_trap(PEF3Plus(), RingTopology(5), k=2)
+    print(certificate.summary())
+
+    print("\n=== 2. serialize ===\n")
+    text = dumps(certificate)
+    print(text[:400] + "\n  ...")
+
+    print("\n=== 3. load elsewhere and re-validate ===\n")
+    restored = loads(text)
+    assert restored == certificate
+    validate_certificate(restored, PEF3Plus())  # simulator replay, raises on defects
+    print("restored certificate replays cleanly: periodic, starving, within budget")
+
+    print("\n=== 4. read the witness ===\n")
+    payload = json.loads(text)
+    print(f"algorithm:          {payload['algorithm']}")
+    print(f"instance:           ring of {payload['topology']['n']} nodes, k={len(payload['seed_positions'])}")
+    print(f"starved node:       {payload['starved_node']}")
+    print(f"eventually missing: {payload['eventually_missing']}")
+    print(f"prefix length:      {len(payload['prefix'])} rounds")
+    print(f"cycle:              {payload['cycle']}")
+    schedule = certificate_schedule(restored)
+    print(
+        f"\nThe cycle repeats forever: edges {sorted(schedule.eventually_missing_edges())} "
+        "never reappear (within the\nconnected-over-time budget of one), every other edge "
+        "recurs each period, and the\nstarved node is never occupied again — Theorem 4.1, "
+        "as a checkable artifact."
+    )
+
+
+if __name__ == "__main__":
+    main()

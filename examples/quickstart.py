@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: perpetual exploration of a highly dynamic ring.
+
+Runs the paper's main algorithm, ``PEF_3+`` (Algorithm 1), with three
+robots on an 8-node connected-over-time ring whose edge 3 vanishes
+forever at round 50 — the exact scenario the sentinel mechanism exists
+for — and prints what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PEF3Plus, RingTopology, run_fsync
+from repro.analysis import exploration_report, recurrence_report, tower_report
+from repro.graph import EventuallyMissingEdgeSchedule
+from repro.viz import render_ring, render_space_time
+
+
+def main() -> None:
+    ring = RingTopology(8)
+    schedule = EventuallyMissingEdgeSchedule(ring, edge=3, vanish_time=50)
+    algorithm = PEF3Plus()
+
+    result = run_fsync(
+        ring,
+        schedule,
+        algorithm,
+        positions=[0, 3, 6],  # towerless, k < n: a well-initiated start
+        rounds=2000,
+    )
+    trace = result.trace
+    assert trace is not None
+
+    print("=== quickstart: PEF_3+ on a ring with an eventual missing edge ===\n")
+    print(f"footprint: {ring!r}; edge 3 (between nodes 3 and 4) dies at t=50\n")
+
+    report = exploration_report(trace)
+    print(report.render())
+    print()
+    print(tower_report(trace).render())
+    print(recurrence_report(trace.recorded_graph()).render())
+    print()
+
+    print("final configuration (sentinels guard the dead edge):")
+    print(" ", render_ring(ring, trace.records[-1].present_edges, result.final))
+    for robot in result.final.robots:
+        print(
+            f"  robot {robot}: node {result.final.positions[robot]}, "
+            f"points to edge {result.final.pointed_edge(robot, ring)}"
+        )
+    print()
+
+    print("space-time diagram of the settling phase (t = 45..75):")
+    print(render_space_time(trace, start=45, end=75))
+    print()
+    print(
+        "Every node keeps being revisited (max inter-visit gap "
+        f"{report.max_worst_gap} rounds) even though edge 3 is gone forever —"
+    )
+    print("Theorem 3.1 in action.")
+
+
+if __name__ == "__main__":
+    main()

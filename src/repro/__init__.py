@@ -1,0 +1,146 @@
+"""repro — perpetual exploration of highly dynamic (connected-over-time) rings.
+
+A full reproduction of:
+
+    Marjorie Bournat, Swan Dubois, Franck Petit.
+    *Computability of Perpetual Exploration in Highly Dynamic Rings.*
+    ICDCS 2017 (arXiv:1612.05767).
+
+The library provides, as importable building blocks:
+
+* the evolving-graph model and a schedule library
+  (:mod:`repro.graph`);
+* the anonymous-robot Look–Compute–Move model, the paper's three
+  algorithms ``PEF_3+`` / ``PEF_2`` / ``PEF_1``, baselines and
+  transition-table machines (:mod:`repro.robots`);
+* FSYNC and SSYNC simulation engines with traces and observers
+  (:mod:`repro.sim`);
+* the impossibility constructions as adaptive adversaries
+  (:mod:`repro.adversary`);
+* an exhaustive game solver deciding perpetual exploration on concrete
+  instances and synthesizing replayable trap certificates
+  (:mod:`repro.verification`);
+* analysis, text visualization and the paper's experiment harnesses
+  (:mod:`repro.analysis`, :mod:`repro.viz`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import RingTopology, PEF3Plus, run_fsync, VisitTracker
+    from repro.graph import EventuallyMissingEdgeSchedule
+
+    ring = RingTopology(8)
+    schedule = EventuallyMissingEdgeSchedule(ring, edge=3, vanish_time=50)
+    tracker = VisitTracker()
+    run_fsync(ring, schedule, PEF3Plus(), positions=[0, 3, 6],
+              rounds=2000, observers=[tracker])
+    assert tracker.cover_time is not None
+"""
+
+from repro.types import (
+    AGREE,
+    CCW,
+    CW,
+    DISAGREE,
+    LEFT,
+    RIGHT,
+    Chirality,
+    Direction,
+    GlobalDirection,
+)
+from repro.errors import (
+    AlgorithmError,
+    CertificateError,
+    ConfigurationError,
+    ReproError,
+    ScheduleError,
+    TopologyError,
+    VerificationError,
+)
+from repro.graph import (
+    ChainTopology,
+    EvolvingGraph,
+    RingTopology,
+    Topology,
+)
+from repro.robots import PEF1, PEF2, PEF3Plus
+from repro.robots.algorithms import Algorithm, get_algorithm, registry
+from repro.sim import (
+    Configuration,
+    ExecutionTrace,
+    RunResult,
+    TowerLogger,
+    VisitTracker,
+    run_fsync,
+    run_ssync,
+)
+from repro.adversary import (
+    OscillationTrap,
+    SsyncBlocker,
+    TheoremPhaseTrap,
+    WindowConfinementAdversary,
+)
+from repro.verification import (
+    TrapCertificate,
+    synthesize_trap,
+    validate_certificate,
+    verify_exploration,
+)
+from repro.analysis import exploration_report, recurrence_report, tower_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # types
+    "Direction",
+    "GlobalDirection",
+    "Chirality",
+    "LEFT",
+    "RIGHT",
+    "CW",
+    "CCW",
+    "AGREE",
+    "DISAGREE",
+    # errors
+    "ReproError",
+    "TopologyError",
+    "ScheduleError",
+    "ConfigurationError",
+    "AlgorithmError",
+    "VerificationError",
+    "CertificateError",
+    # graph
+    "Topology",
+    "RingTopology",
+    "ChainTopology",
+    "EvolvingGraph",
+    # robots
+    "Algorithm",
+    "PEF3Plus",
+    "PEF2",
+    "PEF1",
+    "registry",
+    "get_algorithm",
+    # sim
+    "Configuration",
+    "ExecutionTrace",
+    "RunResult",
+    "run_fsync",
+    "run_ssync",
+    "VisitTracker",
+    "TowerLogger",
+    # adversaries
+    "OscillationTrap",
+    "TheoremPhaseTrap",
+    "WindowConfinementAdversary",
+    "SsyncBlocker",
+    # verification
+    "verify_exploration",
+    "synthesize_trap",
+    "TrapCertificate",
+    "validate_certificate",
+    # analysis
+    "exploration_report",
+    "tower_report",
+    "recurrence_report",
+]

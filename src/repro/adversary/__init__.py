@@ -1,0 +1,35 @@
+"""Adaptive adversaries: executable impossibility constructions.
+
+The paper's negative results (Theorems 4.1 and 5.1) build evolving graphs
+on-line against a given deterministic algorithm. This subpackage turns
+those constructions into runnable edge schedulers:
+
+* :class:`OscillationTrap` — the Theorem 5.1 / Figure 3 single-robot trap:
+  confine one robot to two adjacent nodes forever while keeping the graph
+  connected-over-time;
+* :class:`TheoremPhaseTrap` — the Theorem 4.1 / Figure 2 four-phase
+  two-robot trap: confine two robots to three consecutive nodes;
+* :class:`WindowConfinementAdversary` — a generalized greedy confinement
+  adversary (any k, any window) with recurrence-pressure scoring, used as
+  the robust fallback and as a fuzzing opponent;
+* :class:`SsyncBlocker` — the Di Luna et al. [10] SSYNC argument: activate
+  one robot at a time and remove the edge it is about to traverse.
+
+Each adversary maintains a :class:`RecurrenceLedger` so experiments can
+audit that the realized evolving graph honors the connected-over-time
+promise (at most one suspected eventually-missing edge).
+"""
+
+from repro.adversary.base import RecurrenceLedger
+from repro.adversary.oscillation import OscillationTrap
+from repro.adversary.phase_trap import TheoremPhaseTrap
+from repro.adversary.window import WindowConfinementAdversary
+from repro.adversary.ssync_blocker import SsyncBlocker
+
+__all__ = [
+    "RecurrenceLedger",
+    "OscillationTrap",
+    "TheoremPhaseTrap",
+    "WindowConfinementAdversary",
+    "SsyncBlocker",
+]

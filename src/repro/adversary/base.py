@@ -1,0 +1,74 @@
+"""Shared adversary infrastructure: recurrence accounting.
+
+An adaptive adversary must keep a promise while it schemes: the evolving
+graph it realizes has to remain connected-over-time (at most one
+eventually-missing edge on a ring). :class:`RecurrenceLedger` tracks, for
+every edge, how long it has been absent, so adversaries can prefer to
+re-present stale edges and experiments can audit the realized schedule.
+"""
+
+from __future__ import annotations
+
+from repro.graph.topology import Topology
+from repro.types import EdgeId
+
+
+class RecurrenceLedger:
+    """Per-edge absence bookkeeping for adaptive adversaries.
+
+    ``staleness(e)`` is the number of consecutive rounds edge ``e`` has
+    been absent, counted up to the most recent :meth:`record` call. An
+    adversary that keeps every edge's staleness bounded (except possibly
+    one designated victim's) realizes a connected-over-time graph on any
+    infinite extension of its play.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._staleness: dict[EdgeId, int] = {edge: 0 for edge in topology.edges}
+        self._worst: dict[EdgeId, int] = {edge: 0 for edge in topology.edges}
+        self._rounds = 0
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded rounds."""
+        return self._rounds
+
+    def staleness(self, edge: EdgeId) -> int:
+        """Consecutive rounds ``edge`` has currently been absent."""
+        return self._staleness[edge]
+
+    def worst_staleness(self, edge: EdgeId) -> int:
+        """The longest absence streak ``edge`` ever accumulated."""
+        return max(self._worst[edge], self._staleness[edge])
+
+    def record(self, present: frozenset[EdgeId]) -> None:
+        """Account one realized round."""
+        self._rounds += 1
+        for edge in self._topology.edges:
+            if edge in present:
+                if self._staleness[edge] > self._worst[edge]:
+                    self._worst[edge] = self._staleness[edge]
+                self._staleness[edge] = 0
+            else:
+                self._staleness[edge] += 1
+
+    def stale_edges(self, threshold: int) -> frozenset[EdgeId]:
+        """Edges currently absent for at least ``threshold`` rounds."""
+        return frozenset(
+            edge for edge, streak in self._staleness.items() if streak >= threshold
+        )
+
+    def audit_connected_over_time(self, threshold: int) -> bool:
+        """Whether at most one edge looks eventually-missing.
+
+        An edge "looks eventually missing" when its current absence streak
+        reaches ``threshold``. On a ring, connected-over-time tolerates at
+        most one such edge (none on a chain footprint — callers pick the
+        bound appropriate to their footprint).
+        """
+        budget = 1 if self._topology.is_ring else 0
+        return len(self.stale_edges(threshold)) <= budget
+
+
+__all__ = ["RecurrenceLedger"]

@@ -1,0 +1,96 @@
+"""The single-robot oscillation trap (Theorem 5.1, Figure 3).
+
+Theorem 5.1: no deterministic algorithm perpetually explores
+connected-over-time rings of size >= 3 with one robot. The proof pins the
+robot between two adjacent nodes ``u`` and ``v``: whenever the robot sits
+on ``u`` the adversary removes ``u``'s *outward* edge (the one not leading
+to ``v``) and presents everything else, and symmetrically on ``v``. The
+robot either waits (pointing at the absent edge) or crosses to the other
+window node; it can never leave ``{u, v}``.
+
+Connected-over-time audit: the outward edge of ``u`` is absent only while
+the robot stands on ``u``. If the robot oscillates forever, both boundary
+edges are present infinitely often and *no* edge is eventually missing. If
+the robot eventually parks on one node forever, exactly one boundary edge
+is eventually missing — still within the ring's budget of one. Either way
+the realized evolving graph is connected-over-time and the robot visits at
+most two of the ring's >= 3 nodes: perpetual exploration fails. This is
+exactly the paper's ``G_ω`` (Section 5.1), realized adaptively so that the
+same object defeats *any* algorithm rather than one fixed ``ε``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.base import RecurrenceLedger
+from repro.errors import ConfigurationError, TopologyError
+from repro.graph.topology import RingTopology
+from repro.sim.config import Observation
+from repro.types import EdgeId, GlobalDirection, NodeId
+
+
+class OscillationTrap:
+    """Adaptive single-robot confinement to two adjacent ring nodes.
+
+    Parameters
+    ----------
+    topology:
+        The ring footprint (size >= 3; on smaller rings no trap exists —
+        that is Theorem 5.2).
+    window_anchor:
+        The window is ``{anchor, anchor+1}`` (CW). Defaults to pinning the
+        robot's initial node as the anchor on first use.
+    """
+
+    def __init__(
+        self, topology: RingTopology, window_anchor: Optional[NodeId] = None
+    ) -> None:
+        if not topology.is_ring:
+            raise TopologyError("the oscillation trap is defined on rings")
+        if topology.n < 3:
+            raise TopologyError(
+                "no single-robot trap exists on rings of size < 3 (Theorem 5.2); "
+                f"got n={topology.n}"
+            )
+        self._topology = topology
+        self._anchor = window_anchor
+        if window_anchor is not None:
+            topology.check_node(window_anchor)
+        self.ledger = RecurrenceLedger(topology)
+
+    @property
+    def window(self) -> Optional[tuple[NodeId, NodeId]]:
+        """The two window nodes once anchored (``None`` before first round)."""
+        if self._anchor is None:
+            return None
+        return (self._anchor, self._topology.neighbor(self._anchor, GlobalDirection.CW))
+
+    def edges_at(self, t: int, observation: Observation) -> frozenset[EdgeId]:
+        configuration = observation.configuration
+        if configuration.robot_count != 1:
+            raise ConfigurationError(
+                f"the oscillation trap targets exactly one robot, got "
+                f"{configuration.robot_count}"
+            )
+        position = configuration.positions[0]
+        if self._anchor is None:
+            # Anchor the window so that the robot starts on it.
+            self._anchor = position
+        window = self.window
+        assert window is not None
+        u, v = window
+        if position == u:
+            outward = self._topology.port(u, GlobalDirection.CCW)
+        elif position == v:
+            outward = self._topology.port(v, GlobalDirection.CW)
+        else:
+            raise ConfigurationError(
+                f"robot escaped the trap window {window}: position {position}"
+            )
+        present = self._topology.all_edges - {outward}
+        self.ledger.record(present)
+        return present
+
+
+__all__ = ["OscillationTrap"]

@@ -1,0 +1,157 @@
+"""The two-robot four-phase trap (Theorem 4.1, Figure 2).
+
+Theorem 4.1: no deterministic algorithm perpetually explores
+connected-over-time rings of size >= 4 with two robots. The proof confines
+the robots to three consecutive nodes ``u, v, w`` (``v`` CW of ``u``,
+``w`` CW of ``v``) by cycling through four phases, each removing a finite
+set of edges until the one mobile robot performs its forced move (the
+proof's Items 1–8; edge names ``eul = (u-1,u)``, ``euv = (u,v)``,
+``evw = (v,w)``, ``ewr = (w,w+1)``):
+
+========  ===============  =========================  ==================
+phase     positions        absent edges               advance when
+========  ===============  =========================  ==================
+0 (It.1)  ``{u, v}``       ``{eul, euv}``             ``{u, w}`` reached
+1 (It.3)  ``{u, w}``       ``{eul, evw, ewr}``        ``{v, w}`` reached
+2 (It.5)  ``{v, w}``       ``{evw, ewr}``             ``{u, w}`` reached
+3 (It.7)  ``{u, w}``       ``{eul, euv, ewr}``        ``{u, v}`` reached
+========  ===============  =========================  ==================
+
+In each phase exactly one robot sits on a ``OneEdge`` node (one adjacent
+edge continuously absent, the other continuously present); Lemma 4.1 shows
+a *correct* algorithm must make that robot leave in finite time, which
+advances the machine. Every removal interval is then finite, so every edge
+is recurrent in the realized ``G_ω`` — connected-over-time — while only
+``u, v, w`` are ever visited: exploration of any ring with a fourth node
+fails.
+
+Concrete (necessarily incorrect) algorithms may instead *stall*: the
+"mobile" robot points at an absent edge and waits forever, which would
+leave two edges absent forever and break the promise. When a stall
+persists past ``patience`` rounds — or the configuration leaves the
+expected script, e.g. a tower forms — this implementation switches
+permanently to the greedy
+:class:`~repro.adversary.window.WindowConfinementAdversary` on the same
+window and records the fact (:attr:`fallback_round`), keeping the run
+honest and auditable rather than silently violating the promise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.base import RecurrenceLedger
+from repro.adversary.window import WindowConfinementAdversary
+from repro.errors import ConfigurationError, TopologyError
+from repro.graph.topology import RingTopology
+from repro.sim.config import Observation
+from repro.types import EdgeId, GlobalDirection, NodeId
+
+
+class TheoremPhaseTrap:
+    """The literal Theorem 4.1 phase machine for two robots.
+
+    Parameters
+    ----------
+    topology:
+        Ring footprint, size >= 4 (on the 3-ring no two-robot trap exists —
+        Theorem 4.2).
+    anchor:
+        The node playing ``u``; the window is ``u, v = u+1, w = u+2`` (CW).
+        Initial robot positions must be ``{u, v}`` (the proof's γ_0).
+    patience:
+        Rounds a phase may wait for its forced move before the trap falls
+        back to greedy confinement.
+    """
+
+    def __init__(
+        self, topology: RingTopology, anchor: NodeId, patience: int = 64
+    ) -> None:
+        if not topology.is_ring:
+            raise TopologyError("the phase trap is defined on rings")
+        if topology.n < 4:
+            raise TopologyError(
+                "no two-robot trap exists on rings of size < 4 (Theorem 4.2); "
+                f"got n={topology.n}"
+            )
+        if patience < 1:
+            raise TopologyError(f"patience must be positive, got {patience}")
+        topology.check_node(anchor)
+        self._topology = topology
+        u, v, w = topology.arc_nodes(anchor, GlobalDirection.CW, 2)
+        self._u, self._v, self._w = u, v, w
+        eul = topology.port(u, GlobalDirection.CCW)
+        euv = topology.port(u, GlobalDirection.CW)
+        evw = topology.port(v, GlobalDirection.CW)
+        ewr = topology.port(w, GlobalDirection.CW)
+        assert None not in (eul, euv, evw, ewr)
+        # (expected positions, absent edges, positions that advance the phase)
+        self._script: tuple[tuple[frozenset[NodeId], frozenset[EdgeId], frozenset[NodeId]], ...] = (
+            (frozenset({u, v}), frozenset({eul, euv}), frozenset({u, w})),
+            (frozenset({u, w}), frozenset({eul, evw, ewr}), frozenset({v, w})),
+            (frozenset({v, w}), frozenset({evw, ewr}), frozenset({u, w})),
+            (frozenset({u, w}), frozenset({eul, euv, ewr}), frozenset({u, v})),
+        )
+        self._phase = 0
+        self._rounds_in_phase = 0
+        self._patience = patience
+        self._fallback: Optional[WindowConfinementAdversary] = None
+        self.fallback_round: Optional[int] = None
+        self.phase_advances = 0
+        self.ledger = RecurrenceLedger(topology)
+
+    @property
+    def window(self) -> tuple[NodeId, NodeId, NodeId]:
+        """The confinement arc ``(u, v, w)``."""
+        return (self._u, self._v, self._w)
+
+    @property
+    def phase(self) -> int:
+        """Current phase index (0..3)."""
+        return self._phase
+
+    @property
+    def used_fallback(self) -> bool:
+        """Whether the literal script had to hand over to greedy confinement."""
+        return self.fallback_round is not None
+
+    def _enter_fallback(self, t: int) -> None:
+        self._fallback = WindowConfinementAdversary(
+            self._topology, anchor=self._u, length=3
+        )
+        # Inherit the staleness picture so the greedy sees true history.
+        self._fallback.ledger = self.ledger
+        self.fallback_round = t
+
+    def edges_at(self, t: int, observation: Observation) -> frozenset[EdgeId]:
+        configuration = observation.configuration
+        if configuration.robot_count != 2:
+            raise ConfigurationError(
+                f"the phase trap targets exactly two robots, got "
+                f"{configuration.robot_count}"
+            )
+        if self._fallback is not None:
+            return self._fallback.edges_at(t, observation)
+
+        positions = frozenset(configuration.positions)
+        expected, absent, advance_on = self._script[self._phase]
+        if positions == advance_on and self._rounds_in_phase > 0:
+            self._phase = (self._phase + 1) % 4
+            self._rounds_in_phase = 0
+            self.phase_advances += 1
+            expected, absent, advance_on = self._script[self._phase]
+            positions_ok = positions == expected
+        else:
+            positions_ok = positions == expected
+        if not positions_ok or self._rounds_in_phase >= self._patience:
+            self._enter_fallback(t)
+            assert self._fallback is not None
+            return self._fallback.edges_at(t, observation)
+
+        self._rounds_in_phase += 1
+        present = self._topology.all_edges - absent
+        self.ledger.record(present)
+        return present
+
+
+__all__ = ["TheoremPhaseTrap"]

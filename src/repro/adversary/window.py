@@ -1,0 +1,142 @@
+"""Greedy window-confinement adversary (generalized, best-effort).
+
+Confines all robots to a fixed arc ("window") of the ring by choosing,
+every round, a present-edge set under which no robot's Move phase leaves
+the window. Candidate sets vary only the window-relevant edges (the arc's
+inner edges plus its two boundary edges); all other ring edges are always
+present. Among the confining candidates, the adversary maximizes
+*recurrence pressure* — presenting the stalest edges first — and, as a
+tie-break, robot movement.
+
+Safety: the candidate that removes every window-relevant edge always
+confines (no robot adjacent to a present relevant edge can go anywhere
+except along inner edges; with all inner edges absent too, nobody moves),
+so a confining choice exists at every round and the trap never "fails
+open".
+
+Honesty note: unlike :class:`~repro.adversary.oscillation.OscillationTrap`
+(single robot, window 2) this generalized trap does **not** guarantee the
+realized graph is connected-over-time against every algorithm. A program
+that parks one robot at each end of the window, each pointing outward
+forever, forces *both* boundary edges to stay absent — two
+eventually-missing edges. The paper's Lemma 4.1 rules this out for
+*correct* two-robot algorithms (a robot in a ``OneEdge`` situation must
+eventually leave), which is exactly why the theorem's adversary wins; for
+arbitrary (incorrect) algorithms, rigorous per-algorithm traps come from
+:mod:`repro.verification` instead. Use the :attr:`ledger` to audit any
+particular run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.adversary.base import RecurrenceLedger
+from repro.errors import ConfigurationError, TopologyError
+from repro.graph.topology import RingTopology
+from repro.sim.config import Observation
+from repro.sim.engine import step_fsync
+from repro.types import EdgeId, GlobalDirection, NodeId
+
+
+class WindowConfinementAdversary:
+    """Confine k robots to ``length`` consecutive ring nodes, greedily.
+
+    Parameters
+    ----------
+    topology:
+        Ring footprint (``n >= 3``).
+    anchor:
+        First node of the window (the arc runs CW from it).
+    length:
+        Number of nodes in the window (``2 <= length <= n - 1``; at least
+        one node must remain outside for a trap to mean anything).
+    movement_bonus:
+        Relative weight of robot movement in the greedy score (kept small:
+        recurrence pressure dominates).
+    """
+
+    def __init__(
+        self,
+        topology: RingTopology,
+        anchor: NodeId,
+        length: int,
+        movement_bonus: int = 1,
+    ) -> None:
+        if not topology.is_ring:
+            raise TopologyError("window confinement is defined on rings")
+        if topology.n < 3:
+            raise TopologyError(f"need a ring of size >= 3, got {topology.n}")
+        if not 2 <= length <= topology.n - 1:
+            raise TopologyError(
+                f"window length must be in 2..{topology.n - 1}, got {length}"
+            )
+        topology.check_node(anchor)
+        self._topology = topology
+        self._window: tuple[NodeId, ...] = tuple(
+            topology.arc_nodes(anchor, GlobalDirection.CW, length - 1)
+        )
+        self._window_set = frozenset(self._window)
+        inner = [
+            topology.port(node, GlobalDirection.CW) for node in self._window[:-1]
+        ]
+        boundary_ccw = topology.port(self._window[0], GlobalDirection.CCW)
+        boundary_cw = topology.port(self._window[-1], GlobalDirection.CW)
+        relevant = list(dict.fromkeys([boundary_ccw, *inner, boundary_cw]))
+        self._relevant: tuple[EdgeId, ...] = tuple(e for e in relevant if e is not None)
+        self._movement_bonus = movement_bonus
+        self.ledger = RecurrenceLedger(topology)
+
+    @property
+    def window(self) -> tuple[NodeId, ...]:
+        """The confinement arc (CW-ordered nodes)."""
+        return self._window
+
+    @property
+    def relevant_edges(self) -> tuple[EdgeId, ...]:
+        """The edges the adversary plays with (others are always present)."""
+        return self._relevant
+
+    def _candidates(self) -> Sequence[frozenset[EdgeId]]:
+        base = self._topology.all_edges - set(self._relevant)
+        masks = range(1 << len(self._relevant))
+        out = []
+        for mask in masks:
+            chosen = {
+                self._relevant[i]
+                for i in range(len(self._relevant))
+                if mask >> i & 1
+            }
+            out.append(frozenset(base | chosen))
+        return out
+
+    def edges_at(self, t: int, observation: Observation) -> frozenset[EdgeId]:
+        configuration = observation.configuration
+        for position in configuration.positions:
+            if position not in self._window_set:
+                raise ConfigurationError(
+                    f"robot escaped the window {self._window}: position {position}"
+                )
+        best: Optional[frozenset[EdgeId]] = None
+        best_score = -1
+        for present in self._candidates():
+            after, _views, moved = step_fsync(
+                self._topology, observation.algorithm, configuration, present
+            )
+            if any(pos not in self._window_set for pos in after.positions):
+                continue
+            score = 0
+            for edge in self._relevant:
+                if edge in present:
+                    streak = self.ledger.staleness(edge)
+                    score += 4 * (streak + 1) * (streak + 1)
+            score += self._movement_bonus * sum(moved)
+            if score > best_score:
+                best_score = score
+                best = present
+        assert best is not None  # the all-relevant-absent candidate always confines
+        self.ledger.record(best)
+        return best
+
+
+__all__ = ["WindowConfinementAdversary"]

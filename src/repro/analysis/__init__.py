@@ -1,0 +1,32 @@
+"""Analysis of executions: exploration metrics, towers, recurrence audits.
+
+Turns raw traces/observer data into the quantities the reproduction
+reports: finite-horizon perpetual-exploration certificates, cover times,
+inter-visit gaps, tower statistics (empirical checks of Lemmas 3.3/3.4),
+and adversary recurrence audits.
+"""
+
+from repro.analysis.exploration import (
+    ExplorationReport,
+    analyze_visits,
+    exploration_report,
+)
+from repro.analysis.towers import (
+    TowerReport,
+    check_no_large_towers,
+    check_tower_directions,
+    tower_report,
+)
+from repro.analysis.recurrence import RecurrenceReport, recurrence_report
+
+__all__ = [
+    "ExplorationReport",
+    "exploration_report",
+    "analyze_visits",
+    "TowerReport",
+    "tower_report",
+    "check_tower_directions",
+    "check_no_large_towers",
+    "RecurrenceReport",
+    "recurrence_report",
+]

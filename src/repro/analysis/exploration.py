@@ -1,0 +1,108 @@
+"""Exploration metrics and finite-horizon certificates.
+
+"Every node is visited infinitely often" cannot be observed on a finite
+run; what can be observed, and what these reports state precisely, is:
+
+* **coverage** — was every node visited at least once, and when was the
+  last one first reached (*cover time*);
+* **gap certificate** — the largest number of consecutive rounds any node
+  went unvisited (closed *and* trailing gaps both count). A run *passes
+  the window-W certificate* when every node's worst gap is strictly below
+  ``W``: over the observed horizon, no node ever waited ``W`` rounds for
+  a visit. This is evidence (arbitrarily strong as the horizon grows
+  relative to ``W``), not a proof — exact verdicts for small instances
+  come from :mod:`repro.verification`;
+* **starvation** — nodes whose trailing gap spans the entire suffix of
+  the run, the finite-horizon shadow of "visited finitely often" (this is
+  what the trap experiments assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.observers import VisitTracker
+from repro.sim.trace import ExecutionTrace
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Summary of exploration quality over one finite run."""
+
+    n: int
+    rounds: int
+    visited: frozenset[NodeId]
+    cover_time: int | None
+    visit_counts: dict[NodeId, int]
+    worst_gap: dict[NodeId, int]
+
+    @property
+    def covered(self) -> bool:
+        """Whether every node was visited at least once."""
+        return len(self.visited) == self.n
+
+    @property
+    def max_worst_gap(self) -> int:
+        """The largest worst-gap over all nodes."""
+        return max(self.worst_gap.values())
+
+    def passes_window_certificate(self, window: int) -> bool:
+        """Whether every node's worst gap is strictly below ``window``."""
+        return self.max_worst_gap < window
+
+    def starved_nodes(self, suffix: int) -> frozenset[NodeId]:
+        """Nodes unvisited during the last ``suffix`` time steps."""
+        if suffix < 1:
+            raise ConfigurationError(f"suffix must be positive, got {suffix}")
+        threshold = min(suffix, self.rounds + 1)
+        return frozenset(
+            node
+            for node, gap in self.worst_gap.items()
+            if self._trailing_gap(node) >= threshold
+        )
+
+    def _trailing_gap(self, node: NodeId) -> int:
+        return self._trailing[node]
+
+    # Trailing (still-open) gaps, populated by the factories below.
+    _trailing: dict[NodeId, int] = field(default_factory=dict, repr=False, compare=False)
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"exploration over {self.rounds} rounds on {self.n} nodes:",
+            f"  covered: {self.covered}"
+            + (f" (cover time {self.cover_time})" if self.covered else ""),
+            f"  max inter-visit gap: {self.max_worst_gap}",
+        ]
+        starved = self.starved_nodes(max(1, self.rounds // 2))
+        if starved:
+            lines.append(f"  starved in the last half: {sorted(starved)}")
+        return "\n".join(lines)
+
+
+def analyze_visits(tracker: VisitTracker, n: int, rounds: int) -> ExplorationReport:
+    """Build an :class:`ExplorationReport` from a populated visit tracker."""
+    return ExplorationReport(
+        n=n,
+        rounds=rounds,
+        visited=frozenset(tracker.first_visit),
+        cover_time=tracker.cover_time,
+        visit_counts=dict(tracker.visit_counts),
+        worst_gap={node: tracker.worst_gap(node) for node in range(n)},
+        _trailing={node: tracker.trailing_gap(node) for node in range(n)},
+    )
+
+
+def exploration_report(trace: ExecutionTrace) -> ExplorationReport:
+    """Build an :class:`ExplorationReport` directly from a full trace."""
+    tracker = VisitTracker()
+    tracker.on_start(trace.topology, trace.initial)
+    for record in trace.records:
+        tracker.on_round(record)
+    return analyze_visits(tracker, trace.topology.n, trace.rounds)
+
+
+__all__ = ["ExplorationReport", "analyze_visits", "exploration_report"]

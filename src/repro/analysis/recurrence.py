@@ -1,0 +1,88 @@
+"""Recurrence audits of realized evolving graphs.
+
+Adaptive adversaries *promise* connected-over-time behaviour; this module
+checks what they actually delivered on a finite run:
+
+* per-edge presence counts and worst absence streaks;
+* the set of *suspected eventually-missing* edges (absent throughout the
+  trailing ``suffix`` window);
+* an overall verdict: at most one suspect on a ring footprint (zero on a
+  chain) — the finite-horizon shadow of the connected-over-time promise.
+
+Used by the Figure 2/3 experiments to show the traps starve *nodes*
+without starving *edges*, the crux of the impossibility constructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.evolving import RecordedEvolvingGraph
+from repro.types import EdgeId
+
+
+@dataclass(frozen=True)
+class RecurrenceReport:
+    """Per-edge presence accounting over a recorded evolving graph."""
+
+    horizon: int
+    presence_counts: dict[EdgeId, int]
+    worst_absence: dict[EdgeId, int]
+    suspected_eventually_missing: frozenset[EdgeId]
+    budget: int
+
+    @property
+    def within_budget(self) -> bool:
+        """At most ``budget`` suspected eventually-missing edges."""
+        return len(self.suspected_eventually_missing) <= self.budget
+
+    def render(self) -> str:
+        """One-line human summary."""
+        suspects = sorted(self.suspected_eventually_missing)
+        return (
+            f"recurrence over {self.horizon} rounds: worst absence "
+            f"{max(self.worst_absence.values(), default=0)}, suspected "
+            f"eventually-missing {suspects} (budget {self.budget}, "
+            f"{'OK' if self.within_budget else 'VIOLATED'})"
+        )
+
+
+def recurrence_report(
+    recording: RecordedEvolvingGraph, suffix: int | None = None
+) -> RecurrenceReport:
+    """Audit a recorded run; ``suffix`` defaults to the trailing half."""
+    topology = recording.topology
+    horizon = recording.horizon
+    if suffix is None:
+        suffix = max(1, horizon // 2)
+    presence: dict[EdgeId, int] = {edge: 0 for edge in topology.edges}
+    worst: dict[EdgeId, int] = {edge: 0 for edge in topology.edges}
+    last_seen: dict[EdgeId, int] = {edge: -1 for edge in topology.edges}
+    for t in range(horizon):
+        step = recording.present_edges(t)
+        for edge in topology.edges:
+            if edge in step:
+                presence[edge] += 1
+                gap = t - last_seen[edge] - 1
+                if gap > worst[edge]:
+                    worst[edge] = gap
+                last_seen[edge] = t
+    for edge in topology.edges:
+        trailing = horizon - last_seen[edge] - 1
+        if trailing > worst[edge]:
+            worst[edge] = trailing
+    suspects = frozenset(
+        edge
+        for edge in topology.edges
+        if last_seen[edge] < horizon - suffix
+    )
+    return RecurrenceReport(
+        horizon=horizon,
+        presence_counts=presence,
+        worst_absence=worst,
+        suspected_eventually_missing=suspects,
+        budget=1 if topology.is_ring else 0,
+    )
+
+
+__all__ = ["RecurrenceReport", "recurrence_report"]

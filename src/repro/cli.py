@@ -1,0 +1,168 @@
+"""Command-line interface: ``repro-rings`` / ``python -m repro``.
+
+Subcommands:
+
+* ``table1 [--scale small|full] [--evidence]`` — reproduce the paper's
+  Table 1 and print the verdict table;
+* ``run --algo NAME --n N --k K [--schedule NAME] [--rounds R]`` — run an
+  algorithm against a battery schedule and print the exploration report
+  plus a space–time diagram;
+* ``verify --algo NAME --n N --k K`` — exact game-solver verdict (and the
+  trap certificate when one exists);
+* ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
+  construction and print its audit;
+* ``algos`` — list registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.battery import schedule_battery, spread_positions
+from repro.experiments.figures import figure2_experiment, figure3_experiment
+from repro.experiments.table1 import render_table1, reproduce_table1
+from repro.analysis.exploration import exploration_report
+from repro.analysis.towers import tower_report
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms.base import get_algorithm, registry
+from repro.sim.engine import run_fsync
+from repro.verification.game import verify_exploration
+from repro.viz.ascii_art import render_space_time
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = reproduce_table1(scale=args.scale)
+    print(render_table1(rows, with_evidence=args.evidence))
+    return 0 if all(row.agrees for row in rows) else 1
+
+
+def _cmd_algos(_args: argparse.Namespace) -> int:
+    for name in sorted(registry):
+        algorithm = get_algorithm(name)
+        print(f"{name:<28} {algorithm.describe()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    topology = RingTopology(args.n)
+    algorithm = get_algorithm(args.algo)
+    schedules = dict(schedule_battery(topology, seed=args.seed))
+    if args.schedule not in schedules:
+        print(
+            f"unknown schedule {args.schedule!r}; choose from "
+            f"{sorted(schedules)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_fsync(
+        topology,
+        schedules[args.schedule],
+        algorithm,
+        positions=spread_positions(topology, args.k),
+        rounds=args.rounds,
+    )
+    trace = result.trace
+    assert trace is not None
+    print(exploration_report(trace).render())
+    print(tower_report(trace).render())
+    if args.diagram:
+        print()
+        print(render_space_time(trace, start=0, end=min(args.rounds, 60)))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    topology = RingTopology(args.n)
+    algorithm = get_algorithm(args.algo)
+    verdict = verify_exploration(algorithm, topology, k=args.k)
+    print(verdict.summary())
+    if verdict.certificate is not None:
+        cert = verdict.certificate
+        print(f"  seed positions: {cert.seed_positions}")
+        print(f"  prefix ({len(cert.prefix)}): {[sorted(s) for s in cert.prefix]}")
+        print(f"  cycle  ({len(cert.cycle)}): {[sorted(s) for s in cert.cycle]}")
+        if args.save is not None:
+            from repro.serialize import dumps
+
+            with open(args.save, "w", encoding="utf-8") as handle:
+                handle.write(dumps(cert) + "\n")
+            print(f"  certificate written to {args.save}")
+    elif args.save is not None:
+        print("  nothing to save: the instance is explorable", file=sys.stderr)
+    return 0
+
+
+def _cmd_trap(args: argparse.Namespace) -> int:
+    algorithm = get_algorithm(args.algo)
+    if args.kind == "fig3":
+        out3 = figure3_experiment(algorithm, n=args.n, rounds=args.rounds)
+        print(out3.summary())
+        if args.diagram:
+            print(render_space_time(out3.trace, start=0, end=min(args.rounds, 60)))
+        return 0
+    out2 = figure2_experiment(algorithm, n=args.n, rounds=args.rounds)
+    print(out2.summary())
+    if args.diagram:
+        print(render_space_time(out2.trace, start=0, end=min(args.rounds, 60)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rings",
+        description="Perpetual exploration of highly dynamic rings "
+        "(Bournat, Dubois & Petit, ICDCS 2017) — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    p_table.add_argument("--scale", choices=["small", "full"], default="small")
+    p_table.add_argument("--evidence", action="store_true")
+    p_table.set_defaults(fn=_cmd_table1)
+
+    p_algos = sub.add_parser("algos", help="list registered algorithms")
+    p_algos.set_defaults(fn=_cmd_algos)
+
+    p_run = sub.add_parser("run", help="run an algorithm on a battery schedule")
+    p_run.add_argument("--algo", required=True)
+    p_run.add_argument("--n", type=int, required=True)
+    p_run.add_argument("--k", type=int, required=True)
+    p_run.add_argument("--schedule", default="eventually-missing@0")
+    p_run.add_argument("--rounds", type=int, default=1000)
+    p_run.add_argument("--seed", type=int, default=20170612)
+    p_run.add_argument("--diagram", action="store_true")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_verify = sub.add_parser("verify", help="exact game-solver verdict")
+    p_verify.add_argument("--algo", required=True)
+    p_verify.add_argument("--n", type=int, required=True)
+    p_verify.add_argument("--k", type=int, required=True)
+    p_verify.add_argument(
+        "--save", default=None, metavar="FILE",
+        help="write the trap certificate (if any) as JSON",
+    )
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_trap = sub.add_parser("trap", help="run an impossibility construction")
+    p_trap.add_argument("--kind", choices=["fig2", "fig3"], required=True)
+    p_trap.add_argument("--algo", required=True)
+    p_trap.add_argument("--n", type=int, required=True)
+    p_trap.add_argument("--rounds", type=int, default=400)
+    p_trap.add_argument("--diagram", action="store_true")
+    p_trap.set_defaults(fn=_cmd_trap)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Each subclass corresponds to a well-defined misuse or
+model violation; none of them is raised during a correct simulation of a
+well-initiated execution (in the sense of Section 2.4 of the paper).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """A topology was constructed or queried in an inconsistent way.
+
+    Examples: a ring with fewer than two nodes, an edge identifier outside
+    the footprint, or asking a chain for the clockwise port of its last node
+    in a context where a real edge is required.
+    """
+
+
+class ScheduleError(ReproError):
+    """An evolving-graph schedule violates its own declared contract.
+
+    Examples: a present-edge set containing identifiers outside the
+    footprint, or an explicit schedule queried beyond its horizon without a
+    declared suffix behaviour.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An execution was started from an invalid configuration.
+
+    The paper (Section 2.4) requires *well-initiated* executions: strictly
+    fewer robots than nodes and a towerless initial placement. Violations of
+    either requirement — as well as malformed chirality vectors or positions
+    outside the node range — raise this error.
+    """
+
+
+class AlgorithmError(ReproError):
+    """A robot algorithm broke the model contract.
+
+    Examples: returning a state object of an unexpected type, a state whose
+    ``dir`` attribute is not a :class:`repro.types.Direction`, or an
+    unhashable state handed to the exhaustive verifier.
+    """
+
+
+class VerificationError(ReproError):
+    """The exhaustive verifier was asked an ill-posed question.
+
+    Examples: verifying an algorithm whose state space is not finite or not
+    hashable, or requesting trap synthesis for an instance that was proven
+    explorable (no trap exists).
+    """
+
+
+class CertificateError(ReproError):
+    """A trap certificate failed independent replay validation.
+
+    Raised when a lasso schedule synthesized by the game solver does not
+    starve its target node, or does not keep its recurrent edges recurrent,
+    when replayed through the simulator. This error indicates a bug in
+    either the solver or the engine and is never expected in a release.
+    """

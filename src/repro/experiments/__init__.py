@@ -1,0 +1,48 @@
+"""Experiment harnesses: everything the paper's evaluation implies.
+
+* :mod:`repro.experiments.battery` — the standard schedule battery each
+  positive result is exercised against;
+* :mod:`repro.experiments.table1` — the Table 1 reproduction harness
+  (battery evidence + exact solver verdicts per row);
+* :mod:`repro.experiments.figures` — Figure 2 (two-robot phase trap) and
+  Figure 3 (single-robot oscillation trap) experiments;
+* :mod:`repro.experiments.figure1` — the Lemma 4.1 / Figure 1 symmetric
+  8-node construction with machine-checked proof claims;
+* :mod:`repro.experiments.cover_time` — quantitative cover-time and
+  revisit-gap sweeps (extension X1).
+"""
+
+from repro.experiments.battery import BatteryOutcome, run_battery, schedule_battery
+from repro.experiments.table1 import Table1Row, render_table1, reproduce_table1
+from repro.experiments.figures import (
+    Figure2Outcome,
+    Figure3Outcome,
+    figure2_experiment,
+    figure3_experiment,
+)
+from repro.experiments.figure1 import (
+    Lemma41Outcome,
+    Lemma41Scenario,
+    default_scenarios,
+    run_lemma41_construction,
+)
+from repro.experiments.cover_time import CoverTimePoint, cover_time_sweep
+
+__all__ = [
+    "schedule_battery",
+    "run_battery",
+    "BatteryOutcome",
+    "Table1Row",
+    "reproduce_table1",
+    "render_table1",
+    "Figure2Outcome",
+    "Figure3Outcome",
+    "figure2_experiment",
+    "figure3_experiment",
+    "Lemma41Scenario",
+    "Lemma41Outcome",
+    "default_scenarios",
+    "run_lemma41_construction",
+    "CoverTimePoint",
+    "cover_time_sweep",
+]

@@ -1,0 +1,103 @@
+"""Cover-time and revisit-gap sweeps (extension experiment X1).
+
+The paper proves *that* ``PEF_3+`` explores, not *how fast*; these sweeps
+supply the quantitative shape: first-cover time and worst inter-visit gap
+as functions of ring size ``n``, robot count ``k`` and dynamicity class.
+Useful both as a performance characterization and as a regression net —
+a change that silently breaks the sentinel mechanism shows up as gap
+blow-up long before a correctness test can notice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.exploration import analyze_visits
+from repro.experiments.battery import schedule_battery, spread_positions
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms.base import Algorithm
+from repro.sim.engine import run_fsync
+from repro.sim.observers import VisitTracker
+from repro.types import Chirality
+
+
+@dataclass(frozen=True)
+class CoverTimePoint:
+    """One (algorithm, n, k, schedule) measurement."""
+
+    algorithm_name: str
+    n: int
+    k: int
+    schedule_name: str
+    rounds: int
+    covered: bool
+    cover_time: Optional[int]
+    max_gap: int
+    total_moves_per_round: float
+
+    def row(self) -> tuple:
+        """Tuple form for table rendering."""
+        return (
+            self.algorithm_name,
+            self.n,
+            self.k,
+            self.schedule_name,
+            self.cover_time if self.covered else "—",
+            self.max_gap,
+            f"{self.total_moves_per_round:.2f}",
+        )
+
+
+def cover_time_sweep(
+    algorithm: Algorithm,
+    sizes: Sequence[int],
+    k: int,
+    rounds: int = 2000,
+    schedules: Optional[Sequence[str]] = None,
+    seed: int = 20170612,
+    chiralities: Optional[Sequence[Chirality]] = None,
+) -> list[CoverTimePoint]:
+    """Sweep ring sizes against (a subset of) the schedule battery.
+
+    ``schedules`` filters battery entries by name (``None`` = all).
+    """
+    points: list[CoverTimePoint] = []
+    for n in sizes:
+        topology = RingTopology(n)
+        positions = spread_positions(topology, k)
+        for name, schedule in schedule_battery(topology, seed=seed):
+            if schedules is not None and name not in schedules:
+                continue
+            tracker = VisitTracker()
+            result = run_fsync(
+                topology,
+                schedule,
+                algorithm,
+                positions=positions,
+                rounds=rounds,
+                chiralities=chiralities,
+                observers=[tracker],
+                keep_trace=True,
+            )
+            report = analyze_visits(tracker, n, rounds)
+            trace = result.trace
+            assert trace is not None
+            moves = trace.move_count() / max(rounds, 1)
+            points.append(
+                CoverTimePoint(
+                    algorithm_name=algorithm.name,
+                    n=n,
+                    k=k,
+                    schedule_name=name,
+                    rounds=rounds,
+                    covered=report.covered,
+                    cover_time=report.cover_time,
+                    max_gap=report.max_worst_gap,
+                    total_moves_per_round=moves,
+                )
+            )
+    return points
+
+
+__all__ = ["CoverTimePoint", "cover_time_sweep"]

@@ -1,0 +1,403 @@
+"""The Lemma 4.1 construction (Figure 1), executable and machine-checked.
+
+Lemma 4.1 is the technical heart of Theorem 4.1. Given an execution ``ε``
+of a two-robot algorithm in which robot ``r1`` has visited at most two
+adjacent nodes (``R``, with ``i`` its start node, ``f`` its node at time
+``t``, and ``a`` the non-``i`` node of ``R``, or ``i`` itself), the proof
+builds an 8-node ring ``G′`` holding *two mirrored copies* of ``r1``'s
+neighbourhood history, places ``r1`` and a second robot ``r2`` (with
+*opposite chirality*) on the two copies, and shows:
+
+* **Claim 1** — until ``t``, ``r1`` and ``r2`` execute the same actions
+  symmetrically;
+* **Claim 2** — until ``t``, they never form a tower (they stay at odd
+  distance on the even cycle);
+* **Claim 3** — until ``t``, ``r1`` behaves in ``ε′`` exactly as in ``ε``;
+* **Claim 4** — at ``t`` they sit on the two *adjacent* nodes
+  ``f′1, f′2``, in the same state.
+
+Then the shared edge ``(f′1, f′2)`` is removed forever; a robot state that
+never leaves a ``OneEdge`` node dooms both robots at once, contradicting
+exploration of the 8-ring.
+
+This module reproduces the construction generically and checks all four
+claims on concrete runs. The embedding used (mirroring the paper's five
+Figure 1 cases) places copy 1 orientation-preservingly with
+``f′1 ∈ {3, 4}`` and copy 2 as its reflection through the edge (3,4):
+
+==============================  ==========  ==========================
+case (paper's Figure 1)         δ           placement
+==============================  ==========  ==========================
+``f = i = a`` (robot never      0           ``f′1 = 3``; ``f′2 = 4``
+moved)
+``f = i``, ``a`` CCW of ``f``   −1          ``f′1 = 3``, ``a′1 = 2``
+``f = i``, ``a`` CW of ``f``    +1          ``f′1 = 4``, ``a′1 = 5``
+``f = a ≠ i``, ``i`` CCW        −1          ``f′1 = 3``, ``i′1 = 2``
+``f = a ≠ i``, ``i`` CW         +1          ``f′1 = 4``, ``i′1 = 5``
+==============================  ==========  ==========================
+
+where δ is the side of the non-``f`` node of ``R`` relative to ``f``
+(CW = +1). In every case the shared edge is edge 3 (between nodes 3 and
+4), and the paper's constraint table
+
+    ``r(i′1), l(i′2)  present iff  r(i)`` (and the three analogous rows)
+
+is applied for times ``j < t`` with every unconstrained edge present; the
+pairing of rows guarantees consistency exactly as the paper's footnote 1
+asserts (checked at runtime anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import VerificationError
+from repro.graph.evolving import EvolvingGraph, FunctionSchedule, restrict
+from repro.graph.schedules import StaticSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms.base import Algorithm
+from repro.robots.algorithms.baselines import BounceOnBlocked, KeepDirection
+from repro.sim.engine import run_fsync
+from repro.sim.trace import ExecutionTrace
+from repro.types import Chirality, EdgeId, GlobalDirection, NodeId
+
+_GPRIME_N = 8
+
+
+@dataclass(frozen=True)
+class Lemma41Scenario:
+    """A base execution ``ε`` from which to build the construction."""
+
+    name: str
+    algorithm: Algorithm
+    base_topology: RingTopology
+    base_schedule: EvolvingGraph
+    r1_start: NodeId
+    r2_start: NodeId
+    r1_chirality: Chirality
+    t: int
+
+
+@dataclass(frozen=True)
+class Lemma41Outcome:
+    """The construction's result with all four proof claims evaluated."""
+
+    scenario_name: str
+    case_name: str
+    delta: int
+    f_is_i: bool
+    claim1_symmetric: bool
+    claim2_no_tower: bool
+    claim3_r1_same: bool
+    claim4_adjacent_same_state: bool
+    starved_after: Optional[frozenset[NodeId]]
+    gprime_trace: ExecutionTrace
+
+    @property
+    def all_claims_hold(self) -> bool:
+        """Whether Claims 1–4 all verified on this run."""
+        return (
+            self.claim1_symmetric
+            and self.claim2_no_tower
+            and self.claim3_r1_same
+            and self.claim4_adjacent_same_state
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        claims = "".join(
+            "T" if c else "F"
+            for c in (
+                self.claim1_symmetric,
+                self.claim2_no_tower,
+                self.claim3_r1_same,
+                self.claim4_adjacent_same_state,
+            )
+        )
+        return (
+            f"fig1[{self.scenario_name}] case={self.case_name} δ={self.delta:+d}: "
+            f"claims(1-4)={claims}"
+        )
+
+
+def _mirror(node: NodeId) -> NodeId:
+    """The G′ reflection through the (3,4) edge: x ↦ 7 − x."""
+    return (_GPRIME_N - 1) - node
+
+
+def _extract_rfa(
+    trace: ExecutionTrace, t: int
+) -> tuple[NodeId, NodeId, NodeId, frozenset[NodeId]]:
+    """Extract (i, a, f, R) for r1 from the base execution's prefix."""
+    path = trace.robot_path(0)[: t + 1]
+    visited = frozenset(path)
+    i = path[0]
+    f = path[-1]
+    if len(visited) == 1:
+        a = i
+    elif len(visited) == 2:
+        a = next(node for node in visited if node != i)
+    else:
+        raise VerificationError(
+            f"Lemma 4.1 needs r1 to visit at most 2 nodes by t={t}; "
+            f"visited {sorted(visited)}"
+        )
+    return i, a, f, visited
+
+
+def run_lemma41_construction(
+    scenario: Lemma41Scenario, extra_rounds: int = 64
+) -> Lemma41Outcome:
+    """Execute the Figure 1 construction for one scenario and check claims."""
+    algorithm = scenario.algorithm
+    base = scenario.base_topology
+    t = scenario.t
+
+    # ------------------------------------------------------------------
+    # The base execution ε (two robots, r1's prefix is what matters).
+    # ------------------------------------------------------------------
+    base_result = run_fsync(
+        base,
+        scenario.base_schedule,
+        algorithm,
+        positions=[scenario.r1_start, scenario.r2_start],
+        rounds=t,
+        chiralities=[scenario.r1_chirality, Chirality.AGREE],
+    )
+    base_trace = base_result.trace
+    assert base_trace is not None
+    for step in range(t + 1):
+        if not base_trace.configuration_at(step).is_towerless:
+            raise VerificationError(
+                f"Lemma 4.1 precondition violated: tower at t={step} in ε"
+            )
+    i, a, f, visited = _extract_rfa(base_trace, t)
+
+    # δ: side of the non-f node of R relative to f (0 when R = {f}).
+    if len(visited) == 1:
+        delta = 0
+        other: Optional[NodeId] = None
+    else:
+        other = a if f == i else i
+        if base.neighbor(f, GlobalDirection.CW) == other:
+            delta = 1
+        elif base.neighbor(f, GlobalDirection.CCW) == other:
+            delta = -1
+        else:  # pragma: no cover - guarded by _extract_rfa adjacency
+            raise VerificationError("R nodes are not adjacent")
+    f_is_i = f == i
+    case_name = (
+        "f=i=a"
+        if delta == 0
+        else f"{'f=i,a' if f_is_i else 'f=a,i'} {'CW' if delta > 0 else 'CCW'}"
+    )
+
+    # ------------------------------------------------------------------
+    # Embedding: copy 1 orientation-preserving, copy 2 its mirror image.
+    # ------------------------------------------------------------------
+    gprime = RingTopology(_GPRIME_N)
+    f1 = 3 if delta <= 0 else 4
+    embed1: dict[NodeId, NodeId] = {f: f1}
+    if other is not None:
+        embed1[other] = f1 + delta
+    i1 = embed1[i]
+    i2 = _mirror(i1)
+
+    # ------------------------------------------------------------------
+    # Edge constraints for j < t (the paper's four rows).
+    # ------------------------------------------------------------------
+    def cw_edge(topology: RingTopology, node: NodeId) -> EdgeId:
+        edge = topology.port(node, GlobalDirection.CW)
+        assert edge is not None
+        return edge
+
+    def ccw_edge(topology: RingTopology, node: NodeId) -> EdgeId:
+        edge = topology.port(node, GlobalDirection.CCW)
+        assert edge is not None
+        return edge
+
+    shared_edge = 3  # between nodes 3 and 4 in every case
+
+    def gprime_edges(j: int) -> frozenset[EdgeId]:
+        if j >= t:
+            return gprime.all_edges - {shared_edge}
+        base_present = scenario.base_schedule.present_edges(j)
+        constrained: dict[EdgeId, bool] = {}
+
+        def constrain(edge: EdgeId, bit: bool) -> None:
+            if edge in constrained and constrained[edge] != bit:
+                raise VerificationError(
+                    f"inconsistent Figure 1 constraints on edge {edge} at j={j}"
+                )
+            constrained[edge] = bit
+
+        for node in {i, a}:
+            node1 = embed1[node]
+            node2 = _mirror(node1)
+            r_bit = cw_edge(base, node) in base_present
+            l_bit = ccw_edge(base, node) in base_present
+            constrain(cw_edge(gprime, node1), r_bit)
+            constrain(ccw_edge(gprime, node2), r_bit)
+            constrain(ccw_edge(gprime, node1), l_bit)
+            constrain(cw_edge(gprime, node2), l_bit)
+
+        present = set(gprime.edges)
+        for edge, bit in constrained.items():
+            if not bit:
+                present.discard(edge)
+        return frozenset(present)
+
+    schedule = FunctionSchedule(gprime, gprime_edges, eventually_missing={shared_edge})
+
+    # ------------------------------------------------------------------
+    # ε′: r1 on i′1 (same chirality), r2 on i′2 (opposite chirality).
+    # ------------------------------------------------------------------
+    rounds = t + extra_rounds
+    prime_result = run_fsync(
+        gprime,
+        schedule,
+        algorithm,
+        positions=[i1, i2],
+        rounds=rounds,
+        chiralities=[scenario.r1_chirality, scenario.r1_chirality.flipped()],
+    )
+    prime_trace = prime_result.trace
+    assert prime_trace is not None
+
+    # --- Claim 1: mirror symmetry of positions and equality of states ---
+    claim1 = True
+    for step in range(t + 1):
+        config = prime_trace.configuration_at(step)
+        if config.positions[1] != _mirror(config.positions[0]):
+            claim1 = False
+            break
+        if config.states[1] != config.states[0]:
+            claim1 = False
+            break
+
+    # --- Claim 2: towerless until t ---
+    claim2 = all(
+        prime_trace.configuration_at(step).is_towerless for step in range(t + 1)
+    )
+
+    # --- Claim 3: r1 replays ε (states equal, positions along the embedding)
+    claim3 = True
+    for step in range(t + 1):
+        base_config = base_trace.configuration_at(step)
+        prime_config = prime_trace.configuration_at(step)
+        if prime_config.states[0] != base_config.states[0]:
+            claim3 = False
+            break
+        base_pos = base_config.positions[0]
+        if base_pos not in embed1 or prime_config.positions[0] != embed1[base_pos]:
+            claim3 = False
+            break
+
+    # --- Claim 4: at t, adjacent nodes f′1/f′2 and equal states ---
+    config_t = prime_trace.configuration_at(t)
+    claim4 = (
+        config_t.positions == (f1, _mirror(f1))
+        and config_t.states[0] == config_t.states[1]
+    )
+
+    # --- Aftermath: which nodes starve once (f′1, f′2) is gone? ----------
+    starved = frozenset(set(gprime.nodes) - set(prime_trace.nodes_visited()))
+
+    return Lemma41Outcome(
+        scenario_name=scenario.name,
+        case_name=case_name,
+        delta=delta,
+        f_is_i=f_is_i,
+        claim1_symmetric=claim1,
+        claim2_no_tower=claim2,
+        claim3_r1_same=claim3,
+        claim4_adjacent_same_state=claim4,
+        starved_after=starved,
+        gprime_trace=prime_trace,
+    )
+
+
+def default_scenarios(base_n: int = 8) -> list[Lemma41Scenario]:
+    """Five scenarios engineered to hit all five Figure 1 cases.
+
+    Uses :class:`KeepDirection` (moves one way forever) and
+    :class:`BounceOnBlocked` (turns at a removed edge), with chirality
+    choices providing the mirrored variants.
+    """
+    base = RingTopology(base_n)
+    always = StaticSchedule(base)
+    r1, r2 = 0, base_n // 2
+
+    # Robot never moves: both its adjacent edges absent during j < t.
+    frozen = restrict(
+        always,
+        {
+            0: range(0, 2),
+            base_n - 1: range(0, 2),
+        },
+    )
+    # Robot walks one step and returns: its forward edge vanishes at j=1.
+    there_and_back_ccw = restrict(always, {(base_n - 2): range(1, 2)})
+    there_and_back_cw = restrict(always, {1: range(1, 2)})
+
+    return [
+        Lemma41Scenario(
+            name="never-moved",
+            algorithm=KeepDirection(),
+            base_topology=base,
+            base_schedule=frozen,
+            r1_start=r1,
+            r2_start=r2,
+            r1_chirality=Chirality.AGREE,
+            t=2,
+        ),
+        Lemma41Scenario(
+            name="one-step-ccw",
+            algorithm=KeepDirection(),
+            base_topology=base,
+            base_schedule=always,
+            r1_start=r1,
+            r2_start=r2,
+            r1_chirality=Chirality.AGREE,
+            t=1,
+        ),
+        Lemma41Scenario(
+            name="one-step-cw",
+            algorithm=KeepDirection(),
+            base_topology=base,
+            base_schedule=always,
+            r1_start=r1,
+            r2_start=r2,
+            r1_chirality=Chirality.DISAGREE,
+            t=1,
+        ),
+        Lemma41Scenario(
+            name="there-and-back-ccw",
+            algorithm=BounceOnBlocked(),
+            base_topology=base,
+            base_schedule=there_and_back_ccw,
+            r1_start=r1,
+            r2_start=r2,
+            r1_chirality=Chirality.AGREE,
+            t=2,
+        ),
+        Lemma41Scenario(
+            name="there-and-back-cw",
+            algorithm=BounceOnBlocked(),
+            base_topology=base,
+            base_schedule=there_and_back_cw,
+            r1_start=r1,
+            r2_start=r2,
+            r1_chirality=Chirality.DISAGREE,
+            t=2,
+        ),
+    ]
+
+
+__all__ = [
+    "Lemma41Scenario",
+    "Lemma41Outcome",
+    "run_lemma41_construction",
+    "default_scenarios",
+]

@@ -1,0 +1,106 @@
+"""Ill-initiated starts: is the towerless assumption load-bearing? (X6)
+
+The paper assumes well-initiated executions — "no pair of robots have a
+common initial location" (Section 1) — because, unlike its predecessor
+[4], it does not aim for self-stabilization. This experiment asks the
+solver whether the assumption is *necessary* for ``PEF_3+``:
+
+* quantifying over towerless starts only (the paper's setting), the
+  4-ring with 3 robots is explorable (Theorem 3.1's instance);
+* adding tower-initial placements to the quantifier, the adversary wins:
+  there is an ill-initiated configuration from which ``PEF_3+`` can be
+  starved forever.
+
+Intuition for the failure: robots stacked on one node share the same
+initial state (``dir = LEFT``, not moved). Co-located robots with *equal*
+chirality see identical views forever-after and move in lockstep — a
+"phantom tower" that never breaks, defeating the Rule 2/3 mechanism,
+which relies on tower members disagreeing (Lemma 3.3 is proved *from
+towerless starts*). This is exactly why [4] needed a self-stabilizing
+algorithm for arbitrary initial configurations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms.base import Algorithm
+from repro.verification.certificates import TrapCertificate
+from repro.verification.game import ExplorationVerdict, verify_exploration
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class IllInitiatedOutcome:
+    """Verdicts under well-initiated vs arbitrary initial placements."""
+
+    algorithm_name: str
+    n: int
+    k: int
+    well_initiated: ExplorationVerdict
+    arbitrary: ExplorationVerdict
+
+    @property
+    def assumption_is_load_bearing(self) -> bool:
+        """Explorable from towerless starts but trappable from some start."""
+        return self.well_initiated.explorable and not self.arbitrary.explorable
+
+    @property
+    def tower_trap(self) -> Optional[TrapCertificate]:
+        """The ill-initiated trap certificate, when one exists."""
+        return self.arbitrary.certificate
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        w = "EXPLORES" if self.well_initiated.explorable else "TRAPPED"
+        a = "EXPLORES" if self.arbitrary.explorable else "TRAPPED"
+        return (
+            f"{self.algorithm_name} k={self.k} n={self.n}: towerless starts → {w}; "
+            f"arbitrary starts → {a}"
+        )
+
+
+def all_placements_with_towers(n: int, k: int) -> list[tuple[NodeId, ...]]:
+    """Every ordered placement (towers allowed), rotation-reduced.
+
+    Robot 0 is pinned to node 0, which is sound for the same reason as
+    :func:`repro.graph.topology.canonical_placements`: the footprint and
+    the algorithm are rotation-invariant.
+    """
+    return [
+        placement
+        for placement in itertools.product(range(n), repeat=k)
+        if placement[0] == 0
+    ]
+
+
+def probe_ill_initiated(
+    algorithm: Algorithm, n: int, k: int, max_states: int = 2_000_000
+) -> IllInitiatedOutcome:
+    """Solve the instance twice: paper's starts vs arbitrary starts."""
+    topology = RingTopology(n)
+    well = verify_exploration(algorithm, topology, k=k, max_states=max_states)
+    arbitrary = verify_exploration(
+        algorithm,
+        topology,
+        k=k,
+        max_states=max_states,
+        placements=all_placements_with_towers(n, k),
+    )
+    return IllInitiatedOutcome(
+        algorithm_name=algorithm.name,
+        n=n,
+        k=k,
+        well_initiated=well,
+        arbitrary=arbitrary,
+    )
+
+
+__all__ = [
+    "IllInitiatedOutcome",
+    "all_placements_with_towers",
+    "probe_ill_initiated",
+]

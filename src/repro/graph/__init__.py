@@ -1,0 +1,76 @@
+"""Dynamic-graph substrate: topologies, evolving graphs, schedules, journeys.
+
+This subpackage implements the environment half of the paper's model
+(Section 2.1): static footprints (rings and chains), evolving graphs in the
+sense of Xuan–Ferreira–Jarry, a library of oblivious edge schedules, and the
+temporal-graph toolbox (underlying graphs, recurrent edges, journeys,
+connected-over-time checks) used by the analysis and verification layers.
+"""
+
+from repro.graph.topology import ChainTopology, RingTopology, Topology
+from repro.graph.evolving import (
+    EvolvingGraph,
+    ExplicitSchedule,
+    FunctionSchedule,
+    RecordedEvolvingGraph,
+    restrict,
+)
+from repro.graph.schedules import (
+    AtMostOneAbsentSchedule,
+    BernoulliSchedule,
+    CompositeSchedule,
+    EventuallyMissingEdgeSchedule,
+    IntermittentEdgeSchedule,
+    MarkovSchedule,
+    PeriodicSchedule,
+    StaticSchedule,
+    SwitchAfterSchedule,
+    TIntervalConnectedSchedule,
+    chain_like_schedule,
+)
+from repro.graph.properties import (
+    eventual_underlying_edges,
+    is_connected_edge_set,
+    is_connected_over_time,
+    one_edge,
+    recurrent_edges,
+    underlying_edges,
+)
+from repro.graph.journeys import (
+    foremost_journey,
+    journey_exists,
+    temporal_eccentricity,
+    temporal_reachability,
+)
+
+__all__ = [
+    "Topology",
+    "RingTopology",
+    "ChainTopology",
+    "EvolvingGraph",
+    "ExplicitSchedule",
+    "FunctionSchedule",
+    "RecordedEvolvingGraph",
+    "restrict",
+    "StaticSchedule",
+    "EventuallyMissingEdgeSchedule",
+    "IntermittentEdgeSchedule",
+    "BernoulliSchedule",
+    "MarkovSchedule",
+    "PeriodicSchedule",
+    "TIntervalConnectedSchedule",
+    "AtMostOneAbsentSchedule",
+    "CompositeSchedule",
+    "SwitchAfterSchedule",
+    "chain_like_schedule",
+    "underlying_edges",
+    "eventual_underlying_edges",
+    "recurrent_edges",
+    "is_connected_over_time",
+    "is_connected_edge_set",
+    "one_edge",
+    "journey_exists",
+    "foremost_journey",
+    "temporal_reachability",
+    "temporal_eccentricity",
+]

@@ -1,0 +1,332 @@
+"""Evolving graphs (Xuan–Ferreira–Jarry model, paper Section 2.1).
+
+An evolving graph is an ordered sequence ``G_0, G_1, ...`` of subgraphs of a
+static footprint: at each time step some subset of the footprint's edges is
+*present*. This module provides:
+
+* :class:`EvolvingGraph` — the abstract time-indexed present-edge map, with
+  the analytic metadata (known eventually-missing edges) the property
+  checkers rely on;
+* :class:`ExplicitSchedule` — a finite prefix of edge sets plus a declared
+  suffix behaviour (constant set or hold-last);
+* :class:`LassoSchedule` — prefix + repeated cycle, the shape emitted by the
+  trap synthesizer;
+* :class:`FunctionSchedule` — wrap any ``t -> frozenset`` function;
+* :class:`RecordedEvolvingGraph` — the realized schedule captured from a
+  simulation run (finite horizon);
+* :func:`restrict` — the paper's ``G \\ {(e_1, τ_1), ..., (e_k, τ_k)}``
+  operator (Section 2.1), used pervasively by the impossibility proofs.
+
+Evolving graphs are *oblivious*: their edge sets depend on time only.
+Adaptive adversaries live in :mod:`repro.adversary` and share the engine's
+scheduler protocol; every :class:`EvolvingGraph` satisfies that protocol
+through :meth:`EvolvingGraph.edges_at`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ScheduleError
+from repro.graph.topology import Topology
+from repro.types import EdgeId
+
+
+class EvolvingGraph(abc.ABC):
+    """A time-indexed family of present-edge sets over a fixed footprint."""
+
+    __slots__ = ("_topology",)
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """The static footprint (underlying candidate edge set)."""
+        return self._topology
+
+    @abc.abstractmethod
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        """The set of edges present at time ``t`` (``t >= 0``)."""
+
+    def edges_at(self, t: int, observation: object = None) -> frozenset[EdgeId]:
+        """Scheduler-protocol adapter: oblivious graphs ignore observations."""
+        return self.present_edges(t)
+
+    def eventually_missing_edges(self) -> Optional[frozenset[EdgeId]]:
+        """Analytically-known eventually-missing edge set, if any.
+
+        Returns ``None`` when the class cannot state its own eventual
+        behaviour (e.g. recorded finite-horizon graphs); returns a
+        (possibly empty) frozenset when it can. Property checkers use this
+        to validate the connected-over-time promise without sampling an
+        infinite suffix.
+        """
+        return None
+
+    def snapshot(self, t: int) -> frozenset[EdgeId]:
+        """Alias of :meth:`present_edges`, reading like the paper's G_t."""
+        return self.present_edges(t)
+
+    def prefix(self, horizon: int) -> list[frozenset[EdgeId]]:
+        """The first ``horizon`` present-edge sets as a list."""
+        if horizon < 0:
+            raise ScheduleError(f"horizon must be non-negative, got {horizon}")
+        return [self.present_edges(t) for t in range(horizon)]
+
+    def _check_time(self, t: int) -> None:
+        if t < 0:
+            raise ScheduleError(f"time must be non-negative, got {t}")
+
+
+class ExplicitSchedule(EvolvingGraph):
+    """A finite list of edge sets with a declared infinite suffix.
+
+    Parameters
+    ----------
+    topology:
+        The footprint.
+    steps:
+        Present-edge sets for times ``0 .. len(steps)-1``.
+    suffix:
+        Behaviour for ``t >= len(steps)``: a frozenset (that constant set
+        forever), the string ``"hold"`` (repeat the last step forever), or
+        ``None`` (queries beyond the horizon raise :class:`ScheduleError`).
+    """
+
+    __slots__ = ("_steps", "_suffix")
+
+    def __init__(
+        self,
+        topology: Topology,
+        steps: Sequence[Iterable[EdgeId]],
+        suffix: frozenset[EdgeId] | str | None = "hold",
+    ) -> None:
+        super().__init__(topology)
+        self._steps: tuple[frozenset[EdgeId], ...] = tuple(frozenset(s) for s in steps)
+        for step in self._steps:
+            topology.check_edge_set(step)
+        if isinstance(suffix, str):
+            if suffix != "hold":
+                raise ScheduleError(f"unknown suffix keyword {suffix!r}")
+            if not self._steps:
+                raise ScheduleError("'hold' suffix needs at least one step")
+            self._suffix: frozenset[EdgeId] | None = self._steps[-1]
+        elif suffix is None:
+            self._suffix = None
+        else:
+            self._suffix = frozenset(suffix)
+            topology.check_edge_set(self._suffix)
+
+    @property
+    def horizon(self) -> int:
+        """Number of explicitly-listed steps."""
+        return len(self._steps)
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        if t < len(self._steps):
+            return self._steps[t]
+        if self._suffix is None:
+            raise ScheduleError(
+                f"explicit schedule has horizon {len(self._steps)} and no suffix; "
+                f"queried at t={t}"
+            )
+        return self._suffix
+
+    def eventually_missing_edges(self) -> Optional[frozenset[EdgeId]]:
+        if self._suffix is None:
+            return None
+        return self._topology.all_edges - self._suffix
+
+
+class LassoSchedule(EvolvingGraph):
+    """Prefix followed by an infinitely repeated cycle of edge sets.
+
+    This is the canonical shape of impossibility-proof schedules (the
+    proofs' ``G_ω``) and of the certificates emitted by
+    :mod:`repro.verification`: every edge appearing somewhere in the cycle
+    is recurrent; every other footprint edge is eventually missing.
+    """
+
+    __slots__ = ("_prefix", "_cycle")
+
+    def __init__(
+        self,
+        topology: Topology,
+        prefix: Sequence[Iterable[EdgeId]],
+        cycle: Sequence[Iterable[EdgeId]],
+    ) -> None:
+        super().__init__(topology)
+        if not cycle:
+            raise ScheduleError("lasso cycle must be non-empty")
+        self._prefix: tuple[frozenset[EdgeId], ...] = tuple(frozenset(s) for s in prefix)
+        self._cycle: tuple[frozenset[EdgeId], ...] = tuple(frozenset(s) for s in cycle)
+        for step in self._prefix + self._cycle:
+            topology.check_edge_set(step)
+
+    @property
+    def prefix_steps(self) -> tuple[frozenset[EdgeId], ...]:
+        """The prefix edge sets."""
+        return self._prefix
+
+    @property
+    def cycle_steps(self) -> tuple[frozenset[EdgeId], ...]:
+        """The repeated cycle of edge sets."""
+        return self._cycle
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        if t < len(self._prefix):
+            return self._prefix[t]
+        return self._cycle[(t - len(self._prefix)) % len(self._cycle)]
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        recurrent: set[EdgeId] = set()
+        for step in self._cycle:
+            recurrent.update(step)
+        return self._topology.all_edges - recurrent
+
+
+class FunctionSchedule(EvolvingGraph):
+    """Wrap an arbitrary ``t -> present edges`` function.
+
+    ``eventually_missing`` may be supplied when the caller knows the
+    function's eventual behaviour; otherwise the schedule reports
+    "unknown" (``None``).
+    """
+
+    __slots__ = ("_fn", "_eventually_missing")
+
+    def __init__(
+        self,
+        topology: Topology,
+        fn: Callable[[int], Iterable[EdgeId]],
+        eventually_missing: Optional[Iterable[EdgeId]] = None,
+    ) -> None:
+        super().__init__(topology)
+        self._fn = fn
+        self._eventually_missing = (
+            None if eventually_missing is None else frozenset(eventually_missing)
+        )
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        present = frozenset(self._fn(t))
+        self._topology.check_edge_set(present)
+        return present
+
+    def eventually_missing_edges(self) -> Optional[frozenset[EdgeId]]:
+        return self._eventually_missing
+
+
+class RecordedEvolvingGraph(EvolvingGraph):
+    """The realized edge sets of a finished (finite) simulation run.
+
+    Unlike the declarative schedules above, a recording is only defined on
+    ``0 .. horizon-1``; it deliberately refuses queries past its horizon
+    (there is no fact of the matter about what an adaptive adversary *would*
+    have played). Analysis code treats recurrence over a recording as
+    evidence about a window, never as a statement about infinity.
+    """
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, topology: Topology, steps: Sequence[Iterable[EdgeId]]) -> None:
+        super().__init__(topology)
+        self._steps: tuple[frozenset[EdgeId], ...] = tuple(frozenset(s) for s in steps)
+        for step in self._steps:
+            topology.check_edge_set(step)
+
+    @property
+    def horizon(self) -> int:
+        """Number of recorded rounds."""
+        return len(self._steps)
+
+    @property
+    def steps(self) -> tuple[frozenset[EdgeId], ...]:
+        """All recorded present-edge sets."""
+        return self._steps
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        if t >= len(self._steps):
+            raise ScheduleError(
+                f"recording has horizon {len(self._steps)}; queried at t={t}"
+            )
+        return self._steps[t]
+
+    def absence_intervals(self, edge: EdgeId) -> list[tuple[int, int]]:
+        """Maximal closed intervals ``[a, b]`` during which ``edge`` is absent."""
+        self._topology.check_edge(edge)
+        intervals: list[tuple[int, int]] = []
+        start: Optional[int] = None
+        for t, step in enumerate(self._steps):
+            absent = edge not in step
+            if absent and start is None:
+                start = t
+            elif not absent and start is not None:
+                intervals.append((start, t - 1))
+                start = None
+        if start is not None:
+            intervals.append((start, len(self._steps) - 1))
+        return intervals
+
+    def last_presence(self, edge: EdgeId) -> Optional[int]:
+        """Last recorded time at which ``edge`` was present, or ``None``."""
+        self._topology.check_edge(edge)
+        for t in range(len(self._steps) - 1, -1, -1):
+            if edge in self._steps[t]:
+                return t
+        return None
+
+
+def restrict(
+    graph: EvolvingGraph,
+    removals: Mapping[EdgeId, Iterable[int]] | Iterable[tuple[EdgeId, Iterable[int]]],
+) -> FunctionSchedule:
+    """The paper's ``G \\ {(e_1, τ_1), ..., (e_k, τ_k)}`` operator.
+
+    Returns an evolving graph identical to ``graph`` except that edge
+    ``e_i`` is forced absent at every time in ``τ_i`` (Section 2.1). Each
+    ``τ_i`` may be any iterable of ints (it is materialized into a set, so
+    it must be finite; the impossibility proofs only ever remove edges over
+    finite unions of intervals, infinite suffixes being expressed by the
+    schedules themselves).
+
+    The eventually-missing metadata of ``graph`` is preserved: removing an
+    edge during finitely many steps cannot change which edges are recurrent.
+    """
+    if isinstance(removals, Mapping):
+        items = removals.items()
+    else:
+        items = list(removals)
+    removed_at: dict[int, set[EdgeId]] = {}
+    for edge, times in items:
+        graph.topology.check_edge(edge)
+        for t in times:
+            if t < 0:
+                raise ScheduleError(f"removal time must be non-negative, got {t}")
+            removed_at.setdefault(t, set()).add(edge)
+
+    def fn(t: int) -> frozenset[EdgeId]:
+        present = graph.present_edges(t)
+        gone = removed_at.get(t)
+        if gone:
+            present = present - gone
+        return present
+
+    return FunctionSchedule(
+        graph.topology, fn, eventually_missing=graph.eventually_missing_edges()
+    )
+
+
+__all__ = [
+    "EvolvingGraph",
+    "ExplicitSchedule",
+    "LassoSchedule",
+    "FunctionSchedule",
+    "RecordedEvolvingGraph",
+    "restrict",
+]

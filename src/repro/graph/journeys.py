@@ -1,0 +1,175 @@
+"""Journeys: temporal paths in evolving graphs ([6, 23], paper Section 1).
+
+The connected-over-time promise is exactly "each node is infinitely often
+reachable from any other one through a temporal path (a.k.a. journey)".
+This module implements the standard foremost-journey machinery of
+Xuan–Ferreira–Jarry [23] on our evolving graphs:
+
+* :func:`temporal_reachability` — earliest-arrival times from a source;
+* :func:`foremost_journey` — an earliest-arrival journey as an explicit
+  list of (departure time, edge) hops, with waiting allowed at nodes;
+* :func:`journey_exists` — plain reachability within a deadline;
+* :func:`temporal_eccentricity` — the worst earliest arrival from a source.
+
+Journeys here use the same round semantics as robots: an entity at node
+``u`` at time ``t`` may cross an edge *present at time t* and arrives at
+the neighbor at time ``t + 1``, or wait. Hence these functions double as
+exact mobility oracles in tests: a robot cannot outrun the foremost
+journey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import EvolvingGraph
+from repro.types import EdgeId, GlobalDirection, NodeId
+
+
+@dataclass(frozen=True)
+class Journey:
+    """An explicit temporal path.
+
+    ``hops[i] = (departure_time, edge)``: the walker crosses ``edge``
+    (present at ``departure_time``) and arrives at the next node at
+    ``departure_time + 1``. Waiting is implicit between hops.
+    """
+
+    source: NodeId
+    destination: NodeId
+    start_time: int
+    hops: tuple[tuple[int, EdgeId], ...]
+
+    @property
+    def arrival_time(self) -> int:
+        """Time at which the walker stands on ``destination``."""
+        if not self.hops:
+            return self.start_time
+        return self.hops[-1][0] + 1
+
+    @property
+    def topological_length(self) -> int:
+        """Number of edges crossed (the journey's hop count)."""
+        return len(self.hops)
+
+
+def temporal_reachability(
+    graph: EvolvingGraph, source: NodeId, start_time: int, deadline: int
+) -> dict[NodeId, int]:
+    """Earliest arrival time at every node reachable by ``deadline``.
+
+    Returns a dict mapping each reachable node to the earliest time a
+    walker starting at ``source`` at ``start_time`` can stand on it, never
+    departing at or after ``deadline``. ``source`` maps to ``start_time``.
+    """
+    topology = graph.topology
+    topology.check_node(source)
+    if start_time < 0 or deadline < start_time:
+        raise ScheduleError(
+            f"need 0 <= start_time <= deadline, got {start_time}, {deadline}"
+        )
+    arrival: dict[NodeId, int] = {source: start_time}
+    for t in range(start_time, deadline):
+        if len(arrival) == topology.n:
+            break
+        present = graph.present_edges(t)
+        at_or_before = [node for node, when in arrival.items() if when <= t]
+        for node in at_or_before:
+            for direction in (GlobalDirection.CCW, GlobalDirection.CW):
+                edge = topology.port(node, direction)
+                if edge is None or edge not in present:
+                    continue
+                neighbor = topology.neighbor(node, direction)
+                if neighbor is None:
+                    continue
+                if neighbor not in arrival or arrival[neighbor] > t + 1:
+                    arrival[neighbor] = t + 1
+    return arrival
+
+
+def foremost_journey(
+    graph: EvolvingGraph,
+    source: NodeId,
+    destination: NodeId,
+    start_time: int,
+    deadline: int,
+) -> Optional[Journey]:
+    """An earliest-arrival journey from ``source`` to ``destination``.
+
+    Returns ``None`` when ``destination`` is not reachable by ``deadline``.
+    The returned journey is *foremost*: no journey departing at
+    ``start_time`` arrives strictly earlier.
+    """
+    topology = graph.topology
+    topology.check_node(source)
+    topology.check_node(destination)
+    if source == destination:
+        return Journey(source, destination, start_time, ())
+
+    # Dijkstra-like forward sweep remembering predecessor hops.
+    arrival: dict[NodeId, int] = {source: start_time}
+    parent: dict[NodeId, tuple[NodeId, int, EdgeId]] = {}
+    for t in range(start_time, deadline):
+        if destination in arrival and arrival[destination] <= t:
+            break
+        present = graph.present_edges(t)
+        for node in [n for n, when in arrival.items() if when <= t]:
+            for direction in (GlobalDirection.CCW, GlobalDirection.CW):
+                edge = topology.port(node, direction)
+                if edge is None or edge not in present:
+                    continue
+                neighbor = topology.neighbor(node, direction)
+                if neighbor is None:
+                    continue
+                if neighbor not in arrival or arrival[neighbor] > t + 1:
+                    arrival[neighbor] = t + 1
+                    parent[neighbor] = (node, t, edge)
+    if destination not in arrival:
+        return None
+
+    hops: list[tuple[int, EdgeId]] = []
+    cursor = destination
+    while cursor != source:
+        prev, depart, edge = parent[cursor]
+        hops.append((depart, edge))
+        cursor = prev
+    hops.reverse()
+    return Journey(source, destination, start_time, tuple(hops))
+
+
+def journey_exists(
+    graph: EvolvingGraph,
+    source: NodeId,
+    destination: NodeId,
+    start_time: int,
+    deadline: int,
+) -> bool:
+    """Whether some journey reaches ``destination`` by ``deadline``."""
+    reach = temporal_reachability(graph, source, start_time, deadline)
+    return destination in reach
+
+
+def temporal_eccentricity(
+    graph: EvolvingGraph, source: NodeId, start_time: int, deadline: int
+) -> Optional[int]:
+    """Worst earliest-arrival from ``source`` over all nodes, or ``None``.
+
+    ``None`` when some node is unreachable by ``deadline``; otherwise the
+    maximum over nodes of the earliest arrival time. On a
+    connected-over-time graph this is finite for a large enough deadline.
+    """
+    reach = temporal_reachability(graph, source, start_time, deadline)
+    if len(reach) < graph.topology.n:
+        return None
+    return max(reach.values())
+
+
+__all__ = [
+    "Journey",
+    "temporal_reachability",
+    "foremost_journey",
+    "journey_exists",
+    "temporal_eccentricity",
+]

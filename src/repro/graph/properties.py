@@ -1,0 +1,177 @@
+"""Structural properties of evolving graphs (paper Section 2.1).
+
+Implements the vocabulary of the paper's model section:
+
+* the *underlying graph* ``U_G`` — edges present at least once;
+* *recurrent* vs *eventually missing* edges, and the *eventual underlying
+  graph* ``Uω_G`` — edges present infinitely often;
+* the *connected-over-time* class — ``Uω_G`` connected, the only dynamicity
+  assumption the paper makes;
+* the ``OneEdge(u, t, t')`` predicate used by the impossibility proofs —
+  one port of ``u`` continuously missing and the other continuously present
+  throughout ``[t, t']``.
+
+For declarative schedules these are exact (schedules declare their own
+eventual behaviour); for finite recordings the module provides clearly
+named *empirical* variants that only speak about the observed window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import EvolvingGraph, RecordedEvolvingGraph
+from repro.graph.topology import Topology
+from repro.types import EdgeId, NodeId
+
+
+def underlying_edges(graph: EvolvingGraph, horizon: int) -> frozenset[EdgeId]:
+    """Edges present at least once in ``0 .. horizon-1`` (window U_G).
+
+    Over an infinite schedule this converges (from below) to the paper's
+    underlying graph; for a footprint-faithful schedule it reaches the full
+    footprint quickly.
+    """
+    union: set[EdgeId] = set()
+    everything = graph.topology.all_edges
+    for t in range(horizon):
+        union.update(graph.present_edges(t))
+        if len(union) == len(everything):
+            break
+    return frozenset(union)
+
+
+def eventual_underlying_edges(graph: EvolvingGraph) -> Optional[frozenset[EdgeId]]:
+    """The edge set of ``Uω_G`` (recurrent edges), when analytically known.
+
+    Returns ``None`` when the schedule cannot state its eventual behaviour.
+    """
+    missing = graph.eventually_missing_edges()
+    if missing is None:
+        return None
+    return graph.topology.all_edges - missing
+
+
+def recurrent_edges(graph: EvolvingGraph) -> Optional[frozenset[EdgeId]]:
+    """Alias of :func:`eventual_underlying_edges` (the recurrent edge set)."""
+    return eventual_underlying_edges(graph)
+
+
+def empirical_recurrent_edges(
+    recording: RecordedEvolvingGraph, suffix_start: int
+) -> frozenset[EdgeId]:
+    """Edges present at least once in ``suffix_start .. horizon-1``.
+
+    Over a finite recording this is the best observable proxy for
+    recurrence: an edge absent throughout a long suffix is *evidence* of an
+    eventually-missing edge (and for lasso replays it is exact).
+    """
+    if not 0 <= suffix_start <= recording.horizon:
+        raise ScheduleError(
+            f"suffix_start must be in 0..{recording.horizon}, got {suffix_start}"
+        )
+    union: set[EdgeId] = set()
+    for t in range(suffix_start, recording.horizon):
+        union.update(recording.present_edges(t))
+    return frozenset(union)
+
+
+def is_connected_edge_set(topology: Topology, present: frozenset[EdgeId]) -> bool:
+    """Whether the static graph ``(V, present)`` is connected.
+
+    Union-find over the footprint's nodes; works for rings (including the
+    2-node multigraph) and chains alike.
+    """
+    topology.check_edge_set(present)
+    parent = list(topology.nodes)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = topology.n
+    for edge in present:
+        u, v = topology.endpoints(edge)
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            components -= 1
+    return components == 1
+
+
+def is_connected_over_time(graph: EvolvingGraph) -> Optional[bool]:
+    """Whether ``graph`` is connected-over-time, when analytically known.
+
+    True iff the eventual underlying graph is connected. For a ring
+    footprint this is equivalent to "at most one eventually missing edge"
+    (with the 2-node multigraph allowing one of its two parallel edges to
+    die); for a chain it requires an empty eventually-missing set. Returns
+    ``None`` when the schedule cannot state its eventual behaviour.
+    """
+    eventual = eventual_underlying_edges(graph)
+    if eventual is None:
+        return None
+    return is_connected_edge_set(graph.topology, eventual)
+
+
+def one_edge(graph: EvolvingGraph, node: NodeId, t: int, t_end: int) -> bool:
+    """The paper's ``OneEdge(u, t, t')`` predicate (Section 2.1).
+
+    True iff one adjacent edge of ``node`` is continuously missing from
+    ``t`` to ``t_end`` while the other adjacent edge is continuously
+    present over the same closed interval. For chain extremities the
+    missing side may be the ever-absent ``None`` port — the paper's predicate
+    is about the two ports of the node, and a port with no footprint edge
+    is trivially "continuously missing".
+    """
+    topology = graph.topology
+    topology.check_node(node)
+    if t_end < t:
+        raise ScheduleError(f"need t <= t_end, got {t} > {t_end}")
+    ccw, cw = topology.incident_edges(node)
+
+    def continuously_present(edge: Optional[EdgeId]) -> bool:
+        if edge is None:
+            return False
+        return all(edge in graph.present_edges(s) for s in range(t, t_end + 1))
+
+    def continuously_missing(edge: Optional[EdgeId]) -> bool:
+        if edge is None:
+            return True
+        return all(edge not in graph.present_edges(s) for s in range(t, t_end + 1))
+
+    forward = continuously_missing(ccw) and continuously_present(cw)
+    backward = continuously_missing(cw) and continuously_present(ccw)
+    return forward or backward
+
+
+def absent_throughout(
+    graph: EvolvingGraph, edge: EdgeId, t: int, t_end: int
+) -> bool:
+    """Whether ``edge`` is absent at every time in the closed ``[t, t_end]``."""
+    graph.topology.check_edge(edge)
+    return all(edge not in graph.present_edges(s) for s in range(t, t_end + 1))
+
+
+def present_throughout(
+    graph: EvolvingGraph, edge: EdgeId, t: int, t_end: int
+) -> bool:
+    """Whether ``edge`` is present at every time in the closed ``[t, t_end]``."""
+    graph.topology.check_edge(edge)
+    return all(edge in graph.present_edges(s) for s in range(t, t_end + 1))
+
+
+__all__ = [
+    "underlying_edges",
+    "eventual_underlying_edges",
+    "recurrent_edges",
+    "empirical_recurrent_edges",
+    "is_connected_edge_set",
+    "is_connected_over_time",
+    "one_edge",
+    "absent_throughout",
+    "present_throughout",
+]

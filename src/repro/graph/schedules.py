@@ -1,0 +1,464 @@
+"""Library of oblivious edge schedules (connected-over-time and beyond).
+
+These are the workloads of the reproduction: families of evolving graphs
+against which the paper's algorithms are exercised. They cover the
+dynamicity classes discussed in the paper's related-work section:
+
+* :class:`StaticSchedule` — the fully static ring (every edge always
+  present), the degenerate member of every class;
+* :class:`EventuallyMissingEdgeSchedule` — the paper's central hard case:
+  one edge vanishes forever at a chosen time (Sections 3.1–3.2, sentinels);
+* :class:`IntermittentEdgeSchedule`, :class:`PeriodicSchedule` —
+  periodically varying graphs (Flocchini–Mans–Santoro [16], Ilcinkas–Wade
+  [19]);
+* :class:`TIntervalConnectedSchedule` — T-interval-connected rings
+  (Kuhn–Lynch–Oshman [22]; Ilcinkas–Wade [20]; Di Luna et al. [10]);
+* :class:`AtMostOneAbsentSchedule` — "whack-a-mole": at most one edge
+  absent at any time, the absent edge wandering;
+* :class:`BernoulliSchedule`, :class:`MarkovSchedule` — random presence,
+  i.i.d. or with on/off persistence;
+* :class:`CompositeSchedule`, :class:`SwitchAfterSchedule` — combinators;
+* :func:`chain_like_schedule` — a ring schedule with one permanently dead
+  edge, realizing the paper's "a connected-over-time chain can be seen as a
+  connected-over-time ring with a missing edge".
+
+Every schedule is deterministic given its parameters (randomized ones take
+an explicit ``seed`` and derive each round's draw purely from
+``(seed, t)``), so executions are exactly reproducible and re-queryable.
+
+Randomized schedules declare their *almost-sure* eventually-missing set
+(empty for all of them); the docstrings note where "almost surely" applies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import EvolvingGraph
+from repro.graph.topology import RingTopology, Topology
+from repro.types import EdgeId
+
+
+class StaticSchedule(EvolvingGraph):
+    """A constant present-edge set (default: every footprint edge).
+
+    The fully static ring; with a reduced ``present`` set it models any
+    static partial footprint (e.g. a chain embedded in a ring).
+    """
+
+    __slots__ = ("_present",)
+
+    def __init__(self, topology: Topology, present: Optional[Iterable[EdgeId]] = None) -> None:
+        super().__init__(topology)
+        self._present = topology.all_edges if present is None else frozenset(present)
+        topology.check_edge_set(self._present)
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        return self._present
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return self._topology.all_edges - self._present
+
+
+class EventuallyMissingEdgeSchedule(EvolvingGraph):
+    """All edges present, except one that vanishes forever at ``vanish_time``.
+
+    This is the scenario driving the sentinel mechanism of ``PEF_3+``
+    (Section 3.1): after ``vanish_time`` the evolving graph has exactly one
+    eventual missing edge, and the eventual underlying graph is the chain
+    obtained by deleting it. With ``flicker_period`` set, the doomed edge
+    also blinks before vanishing, exercising recovery paths.
+    """
+
+    __slots__ = ("_edge", "_vanish_time", "_flicker_period")
+
+    def __init__(
+        self,
+        topology: Topology,
+        edge: EdgeId,
+        vanish_time: int = 0,
+        flicker_period: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology)
+        topology.check_edge(edge)
+        if vanish_time < 0:
+            raise ScheduleError(f"vanish_time must be non-negative, got {vanish_time}")
+        if flicker_period is not None and flicker_period < 2:
+            raise ScheduleError("flicker_period must be at least 2")
+        self._edge = edge
+        self._vanish_time = vanish_time
+        self._flicker_period = flicker_period
+
+    @property
+    def missing_edge(self) -> EdgeId:
+        """The edge that eventually vanishes."""
+        return self._edge
+
+    @property
+    def vanish_time(self) -> int:
+        """First time after which the edge is never present again."""
+        return self._vanish_time
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        everything = self._topology.all_edges
+        if t >= self._vanish_time:
+            return everything - {self._edge}
+        if self._flicker_period is not None and t % self._flicker_period == 0:
+            return everything - {self._edge}
+        return everything
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset({self._edge})
+
+
+class IntermittentEdgeSchedule(EvolvingGraph):
+    """One edge present only during a periodic duty window; others always.
+
+    The edge is present at times ``t`` with ``t mod period < duty``. It is
+    recurrent (present infinitely often), so the schedule is
+    connected-over-time with an empty eventually-missing set.
+    """
+
+    __slots__ = ("_edge", "_period", "_duty")
+
+    def __init__(self, topology: Topology, edge: EdgeId, period: int, duty: int) -> None:
+        super().__init__(topology)
+        topology.check_edge(edge)
+        if period < 1:
+            raise ScheduleError(f"period must be positive, got {period}")
+        if not 1 <= duty <= period:
+            raise ScheduleError(f"duty must be in 1..{period}, got {duty}")
+        self._edge = edge
+        self._period = period
+        self._duty = duty
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        everything = self._topology.all_edges
+        if t % self._period < self._duty:
+            return everything
+        return everything - {self._edge}
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset()
+
+
+class PeriodicSchedule(EvolvingGraph):
+    """Per-edge periodic presence patterns (periodically varying graphs).
+
+    ``patterns[e]`` is a boolean sequence: edge ``e`` is present at time
+    ``t`` iff ``patterns[e][t mod len(patterns[e])]``. Edges without a
+    pattern are always present. Models the periodically varying graphs of
+    [16, 19]. An edge with an all-``False`` pattern is eventually missing
+    (indeed never present).
+    """
+
+    __slots__ = ("_patterns",)
+
+    def __init__(
+        self, topology: Topology, patterns: Mapping[EdgeId, Sequence[bool]]
+    ) -> None:
+        super().__init__(topology)
+        cleaned: dict[EdgeId, tuple[bool, ...]] = {}
+        for edge, pattern in patterns.items():
+            topology.check_edge(edge)
+            pat = tuple(bool(b) for b in pattern)
+            if not pat:
+                raise ScheduleError(f"empty pattern for edge {edge}")
+            cleaned[edge] = pat
+        self._patterns = cleaned
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        present = set(self._topology.edges)
+        for edge, pattern in self._patterns.items():
+            if not pattern[t % len(pattern)]:
+                present.discard(edge)
+        return frozenset(present)
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset(
+            edge for edge, pattern in self._patterns.items() if not any(pattern)
+        )
+
+
+class BernoulliSchedule(EvolvingGraph):
+    """Each edge independently present with probability ``p`` every round.
+
+    Deterministic given ``seed``: the round-``t`` draw is a pure function
+    of ``(seed, t)``. With ``p > 0`` every edge is recurrent almost surely,
+    so the declared eventually-missing set is empty (a.s.).
+    """
+
+    __slots__ = ("_p", "_seed")
+
+    def __init__(
+        self,
+        topology: Topology,
+        p: float | Mapping[EdgeId, float],
+        seed: int,
+    ) -> None:
+        super().__init__(topology)
+        if isinstance(p, Mapping):
+            probs = {}
+            for edge in topology.edges:
+                probs[edge] = float(p.get(edge, 1.0))
+        else:
+            probs = {edge: float(p) for edge in topology.edges}
+        for edge, prob in probs.items():
+            if not 0.0 < prob <= 1.0:
+                raise ScheduleError(
+                    f"presence probability for edge {edge} must be in (0, 1], got {prob}"
+                )
+        self._p = probs
+        self._seed = seed
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        rng = random.Random((self._seed << 32) ^ t)
+        return frozenset(
+            edge for edge in self._topology.edges if rng.random() < self._p[edge]
+        )
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset()
+
+
+class MarkovSchedule(EvolvingGraph):
+    """Per-edge two-state (on/off) Markov chains, started all-on.
+
+    Each round, a present edge goes absent with probability ``p_off`` and
+    an absent edge returns with probability ``p_on``. Models bursty
+    link failures with persistence. Deterministic given ``seed`` (the state
+    sequence is computed once, lazily, and cached). With ``p_on > 0`` every
+    edge is recurrent almost surely.
+    """
+
+    __slots__ = ("_p_off", "_p_on", "_seed", "_states", "_rng")
+
+    def __init__(
+        self, topology: Topology, p_off: float, p_on: float, seed: int
+    ) -> None:
+        super().__init__(topology)
+        if not 0.0 <= p_off <= 1.0:
+            raise ScheduleError(f"p_off must be in [0, 1], got {p_off}")
+        if not 0.0 < p_on <= 1.0:
+            raise ScheduleError(f"p_on must be in (0, 1], got {p_on}")
+        self._p_off = p_off
+        self._p_on = p_on
+        self._seed = seed
+        self._states: list[frozenset[EdgeId]] = [topology.all_edges]
+        self._rng = random.Random(seed)
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        while len(self._states) <= t:
+            previous = self._states[-1]
+            nxt = set()
+            for edge in self._topology.edges:
+                if edge in previous:
+                    if self._rng.random() >= self._p_off:
+                        nxt.add(edge)
+                else:
+                    if self._rng.random() < self._p_on:
+                        nxt.add(edge)
+            self._states.append(frozenset(nxt))
+        return self._states[t]
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset()
+
+
+class TIntervalConnectedSchedule(EvolvingGraph):
+    """A ring that stays connected at every instant, epoch by epoch.
+
+    Time is split into epochs of ``T`` rounds. During each epoch at most
+    one edge — chosen pseudo-randomly per epoch — is absent; a ring minus
+    one edge is connected, so the snapshot graph is connected at every
+    time and stable within epochs, giving T-interval connectivity [22]
+    (the setting of [10, 20]). Every edge is absent during at most a
+    subsequence of epochs and present in all others, hence recurrent
+    almost surely.
+    """
+
+    __slots__ = ("_T", "_seed", "_allow_full")
+
+    def __init__(
+        self, topology: RingTopology, T: int, seed: int, allow_full: bool = True
+    ) -> None:
+        if not topology.is_ring:
+            raise ScheduleError("T-interval-connected schedule requires a ring footprint")
+        super().__init__(topology)
+        if T < 1:
+            raise ScheduleError(f"T must be positive, got {T}")
+        self._T = T
+        self._seed = seed
+        self._allow_full = allow_full
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        epoch = t // self._T
+        rng = random.Random((self._seed << 32) ^ epoch)
+        m = self._topology.edge_count
+        choice = rng.randrange(m + 1 if self._allow_full else m)
+        if choice == m:
+            return self._topology.all_edges
+        return self._topology.all_edges - {choice}
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset()
+
+
+class AtMostOneAbsentSchedule(EvolvingGraph):
+    """At most one absent edge at any time, wandering with random holds.
+
+    The absent edge (possibly none) is re-drawn after a hold of
+    pseudo-random length in ``[min_hold, max_hold]``. Unlike
+    :class:`TIntervalConnectedSchedule` the hold lengths vary, so no global
+    interval structure exists — only the connected-over-time promise.
+    """
+
+    __slots__ = ("_min_hold", "_max_hold", "_seed", "_segments", "_rng", "_covered")
+
+    def __init__(
+        self, topology: RingTopology, seed: int, min_hold: int = 1, max_hold: int = 8
+    ) -> None:
+        if not topology.is_ring:
+            raise ScheduleError("at-most-one-absent schedule requires a ring footprint")
+        super().__init__(topology)
+        if min_hold < 1 or max_hold < min_hold:
+            raise ScheduleError(
+                f"need 1 <= min_hold <= max_hold, got {min_hold}, {max_hold}"
+            )
+        self._min_hold = min_hold
+        self._max_hold = max_hold
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._segments: list[tuple[int, Optional[EdgeId]]] = []
+        self._covered = 0
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        while self._covered <= t:
+            hold = self._rng.randint(self._min_hold, self._max_hold)
+            m = self._topology.edge_count
+            choice = self._rng.randrange(m + 1)
+            absent: Optional[EdgeId] = None if choice == m else choice
+            self._segments.append((hold, absent))
+            self._covered += hold
+        cursor = 0
+        for hold, absent in self._segments:
+            if t < cursor + hold:
+                if absent is None:
+                    return self._topology.all_edges
+                return self._topology.all_edges - {absent}
+            cursor += hold
+        raise AssertionError("unreachable: segments cover t")  # pragma: no cover
+
+    def eventually_missing_edges(self) -> frozenset[EdgeId]:
+        return frozenset()
+
+
+class CompositeSchedule(EvolvingGraph):
+    """Pointwise intersection of several schedules (all must agree present).
+
+    An edge is present iff it is present in *every* component. Useful to
+    overlay, e.g., an eventually-missing edge on top of a random schedule.
+    The eventually-missing set is the union of the components' sets when
+    all are known, else unknown.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: Sequence[EvolvingGraph]) -> None:
+        if not parts:
+            raise ScheduleError("composite schedule needs at least one part")
+        first = parts[0].topology
+        for part in parts[1:]:
+            if part.topology != first:
+                raise ScheduleError("composite parts must share a footprint")
+        super().__init__(first)
+        self._parts = tuple(parts)
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        present = self._parts[0].present_edges(t)
+        for part in self._parts[1:]:
+            present = present & part.present_edges(t)
+        return present
+
+    def eventually_missing_edges(self) -> Optional[frozenset[EdgeId]]:
+        union: set[EdgeId] = set()
+        for part in self._parts:
+            missing = part.eventually_missing_edges()
+            if missing is None:
+                return None
+            union.update(missing)
+        return frozenset(union)
+
+
+class SwitchAfterSchedule(EvolvingGraph):
+    """Play ``first`` before ``switch_time``, then ``second`` (absolute t).
+
+    The eventual behaviour is entirely ``second``'s, so the declared
+    eventually-missing set is ``second``'s.
+    """
+
+    __slots__ = ("_switch_time", "_first", "_second")
+
+    def __init__(
+        self, switch_time: int, first: EvolvingGraph, second: EvolvingGraph
+    ) -> None:
+        if first.topology != second.topology:
+            raise ScheduleError("switched schedules must share a footprint")
+        if switch_time < 0:
+            raise ScheduleError(f"switch_time must be non-negative, got {switch_time}")
+        super().__init__(first.topology)
+        self._switch_time = switch_time
+        self._first = first
+        self._second = second
+
+    def present_edges(self, t: int) -> frozenset[EdgeId]:
+        self._check_time(t)
+        if t < self._switch_time:
+            return self._first.present_edges(t)
+        return self._second.present_edges(t)
+
+    def eventually_missing_edges(self) -> Optional[frozenset[EdgeId]]:
+        return self._second.eventually_missing_edges()
+
+
+def chain_like_schedule(
+    topology: RingTopology, dead_edge: EdgeId, base: Optional[EvolvingGraph] = None
+) -> CompositeSchedule:
+    """A ring schedule in which ``dead_edge`` is *never* present.
+
+    Realizes the paper's observation that a connected-over-time chain is a
+    connected-over-time ring with a (permanently) missing edge. ``base``
+    defaults to the static all-present schedule; the result intersects it
+    with a mask removing ``dead_edge`` at every time.
+    """
+    topology.check_edge(dead_edge)
+    if base is None:
+        base = StaticSchedule(topology)
+    mask = StaticSchedule(topology, topology.all_edges - {dead_edge})
+    return CompositeSchedule([base, mask])
+
+
+__all__ = [
+    "StaticSchedule",
+    "EventuallyMissingEdgeSchedule",
+    "IntermittentEdgeSchedule",
+    "PeriodicSchedule",
+    "BernoulliSchedule",
+    "MarkovSchedule",
+    "TIntervalConnectedSchedule",
+    "AtMostOneAbsentSchedule",
+    "CompositeSchedule",
+    "SwitchAfterSchedule",
+    "chain_like_schedule",
+]

@@ -1,0 +1,322 @@
+"""Static footprints: rings and chains.
+
+The paper studies connected-over-time evolving graphs "whose underlying
+graph is an anonymous and unoriented ring of arbitrary size" (Section 2.1),
+and notes that all results transfer to chains, "a connected-over-time chain
+can be seen as a connected-over-time ring with a missing edge" (Section 1).
+
+This module provides both footprints behind a single small interface,
+:class:`Topology`. The conventions are:
+
+* Ring nodes are ``0 .. n-1``; ring edge ``i`` joins nodes ``i`` and
+  ``(i+1) mod n``. Global clockwise (CW) from node ``u`` crosses edge ``u``
+  and lands on ``(u+1) mod n``.
+* The 2-node ring is a *multigraph*: edges ``0`` and ``1`` both join nodes
+  0 and 1, as allowed by Section 5.2 ("the two nodes are linked by two
+  bidirectional edges"). The simple variant of Section 5.2 is the 2-node
+  chain.
+* Chain nodes are ``0 .. n-1``; chain edge ``i`` joins ``i`` and ``i+1``.
+  The CW port of the last node (and the CCW port of node 0) is ``None``:
+  there is never an edge there.
+
+Node anonymity is a property of the *robots' observations*, not of the data
+structure: analysis code (the "external observer" of the proofs) freely
+uses the integer labels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import TopologyError
+from repro.types import EdgeId, GlobalDirection, NodeId
+
+
+class Topology(abc.ABC):
+    """A static footprint on which an evolving graph lives.
+
+    Concrete subclasses are :class:`RingTopology` and :class:`ChainTopology`.
+    All methods are pure and cheap; topologies are immutable and hashable.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise TopologyError(f"a footprint needs at least 2 nodes, got {n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def nodes(self) -> range:
+        """All node identifiers, ``0 .. n-1``."""
+        return range(self._n)
+
+    @property
+    @abc.abstractmethod
+    def edge_count(self) -> int:
+        """Number of footprint edges."""
+
+    @property
+    def edges(self) -> range:
+        """All edge identifiers, ``0 .. edge_count-1``."""
+        return range(self.edge_count)
+
+    @property
+    def all_edges(self) -> frozenset[EdgeId]:
+        """The full edge set as a frozenset (the all-present round)."""
+        return frozenset(self.edges)
+
+    @abc.abstractmethod
+    def endpoints(self, edge: EdgeId) -> tuple[NodeId, NodeId]:
+        """The two endpoints of ``edge`` (CW-ordered for rings)."""
+
+    @abc.abstractmethod
+    def port(self, node: NodeId, direction: GlobalDirection) -> Optional[EdgeId]:
+        """Edge found at ``node``'s port in ``direction``, or ``None``.
+
+        ``None`` means the port exists but no footprint edge is ever there
+        (chain extremities). A robot pointing at such a port never moves.
+        """
+
+    @abc.abstractmethod
+    def neighbor(self, node: NodeId, direction: GlobalDirection) -> Optional[NodeId]:
+        """Node reached from ``node`` by one move in ``direction``."""
+
+    @abc.abstractmethod
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        """Hop distance between ``u`` and ``v`` in the footprint."""
+
+    @property
+    @abc.abstractmethod
+    def is_ring(self) -> bool:
+        """Whether this footprint is a (multi)ring."""
+
+    def check_node(self, node: NodeId) -> None:
+        """Raise :class:`TopologyError` unless ``node`` is a valid node id."""
+        if not 0 <= node < self._n:
+            raise TopologyError(f"node {node} outside 0..{self._n - 1}")
+
+    def check_edge(self, edge: EdgeId) -> None:
+        """Raise :class:`TopologyError` unless ``edge`` is a valid edge id."""
+        if not 0 <= edge < self.edge_count:
+            raise TopologyError(f"edge {edge} outside 0..{self.edge_count - 1}")
+
+    def check_edge_set(self, present: frozenset[EdgeId]) -> None:
+        """Raise :class:`TopologyError` if ``present`` strays off-footprint."""
+        for edge in present:
+            self.check_edge(edge)
+
+    def incident_edges(self, node: NodeId) -> tuple[Optional[EdgeId], Optional[EdgeId]]:
+        """The (CCW, CW) ports of ``node`` (entries may be ``None``)."""
+        return (self.port(node, GlobalDirection.CCW), self.port(node, GlobalDirection.CW))
+
+    def degree(self, node: NodeId, present: frozenset[EdgeId]) -> int:
+        """Number of *present* edges incident to ``node``."""
+        ccw, cw = self.incident_edges(node)
+        count = 0
+        if ccw is not None and ccw in present:
+            count += 1
+        if cw is not None and cw in present:
+            count += 1
+        return count
+
+    def edge_subsets(self) -> Iterator[frozenset[EdgeId]]:
+        """Iterate over all ``2**edge_count`` present-edge sets.
+
+        Used by the exhaustive verifier; footprints there are small
+        (typically at most 8 edges).
+        """
+        m = self.edge_count
+        for mask in range(1 << m):
+            yield frozenset(e for e in range(m) if mask >> e & 1)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._n == other._n  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._n))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._n})"
+
+
+class RingTopology(Topology):
+    """An ``n``-node ring; the 2-node case is the double-edge multigraph.
+
+    Edge ``i`` joins node ``i`` and node ``(i+1) mod n``. Every node has
+    both ports populated: CW port of ``u`` is edge ``u``, CCW port is edge
+    ``(u-1) mod n``. For ``n == 2`` this yields two distinct parallel edges
+    (ids 0 and 1) between nodes 0 and 1, matching Section 5.2's non-simple
+    2-node ring.
+    """
+
+    __slots__ = ()
+
+    @property
+    def edge_count(self) -> int:
+        return self._n
+
+    @property
+    def is_ring(self) -> bool:
+        return True
+
+    def endpoints(self, edge: EdgeId) -> tuple[NodeId, NodeId]:
+        self.check_edge(edge)
+        return (edge, (edge + 1) % self._n)
+
+    def port(self, node: NodeId, direction: GlobalDirection) -> Optional[EdgeId]:
+        self.check_node(node)
+        if direction is GlobalDirection.CW:
+            return node
+        return (node - 1) % self._n
+
+    def neighbor(self, node: NodeId, direction: GlobalDirection) -> Optional[NodeId]:
+        self.check_node(node)
+        return (node + direction.step()) % self._n
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        self.check_node(u)
+        self.check_node(v)
+        around = abs(u - v)
+        return min(around, self._n - around)
+
+    def cw_distance(self, u: NodeId, v: NodeId) -> int:
+        """Number of CW hops from ``u`` to ``v`` (directed ring distance)."""
+        self.check_node(u)
+        self.check_node(v)
+        return (v - u) % self._n
+
+    def rotate_node(self, node: NodeId, shift: int) -> NodeId:
+        """Image of ``node`` under the rotation by ``shift`` CW hops."""
+        self.check_node(node)
+        return (node + shift) % self._n
+
+    def rotate_edge(self, edge: EdgeId, shift: int) -> EdgeId:
+        """Image of ``edge`` under the rotation by ``shift`` CW hops."""
+        self.check_edge(edge)
+        return (edge + shift) % self._n
+
+    def reflect_node(self, node: NodeId) -> NodeId:
+        """Image of ``node`` under the reflection fixing node 0."""
+        self.check_node(node)
+        return (-node) % self._n
+
+    def reflect_edge(self, edge: EdgeId) -> EdgeId:
+        """Image of ``edge`` under the reflection fixing node 0.
+
+        Edge ``i`` joins ``(i, i+1)``; its mirror joins ``(-i-1, -i)``,
+        i.e. edge ``(-i-1) mod n``.
+        """
+        self.check_edge(edge)
+        return (-edge - 1) % self._n
+
+    def arc_nodes(self, start: NodeId, direction: GlobalDirection, length: int) -> list[NodeId]:
+        """The ``length + 1`` nodes of the arc walked from ``start``."""
+        self.check_node(start)
+        if length < 0:
+            raise TopologyError(f"arc length must be non-negative, got {length}")
+        step = direction.step()
+        return [(start + step * i) % self._n for i in range(length + 1)]
+
+
+class ChainTopology(Topology):
+    """An ``n``-node chain (path graph); edge ``i`` joins ``i`` and ``i+1``.
+
+    Global CW points toward higher node indices. The CW port of node
+    ``n-1`` and the CCW port of node 0 are ``None``: a robot pointing there
+    never observes an edge and never moves (the paper's remark that a chain
+    behaves like a ring whose missing edge is never present).
+    """
+
+    __slots__ = ()
+
+    @property
+    def edge_count(self) -> int:
+        return self._n - 1
+
+    @property
+    def is_ring(self) -> bool:
+        return False
+
+    def endpoints(self, edge: EdgeId) -> tuple[NodeId, NodeId]:
+        self.check_edge(edge)
+        return (edge, edge + 1)
+
+    def port(self, node: NodeId, direction: GlobalDirection) -> Optional[EdgeId]:
+        self.check_node(node)
+        if direction is GlobalDirection.CW:
+            return node if node < self._n - 1 else None
+        return node - 1 if node > 0 else None
+
+    def neighbor(self, node: NodeId, direction: GlobalDirection) -> Optional[NodeId]:
+        self.check_node(node)
+        target = node + direction.step()
+        if 0 <= target < self._n:
+            return target
+        return None
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        self.check_node(u)
+        self.check_node(v)
+        return abs(u - v)
+
+
+def towerless_placements(topology: Topology, k: int) -> Iterator[tuple[NodeId, ...]]:
+    """Iterate over all towerless ordered placements of ``k`` robots.
+
+    A placement is towerless when no two robots share a node (Section 2.4's
+    well-initiated requirement). Raises :class:`TopologyError` when
+    ``k >= n`` since well-initiated executions need strictly fewer robots
+    than nodes.
+    """
+    if k < 1:
+        raise TopologyError(f"need at least one robot, got k={k}")
+    if k >= topology.n:
+        raise TopologyError(
+            f"well-initiated executions need k < n, got k={k}, n={topology.n}"
+        )
+
+    def extend(prefix: tuple[NodeId, ...]) -> Iterator[tuple[NodeId, ...]]:
+        if len(prefix) == k:
+            yield prefix
+            return
+        for node in topology.nodes:
+            if node not in prefix:
+                yield from extend(prefix + (node,))
+
+    yield from extend(())
+
+
+def canonical_placements(topology: RingTopology, k: int) -> Iterator[tuple[NodeId, ...]]:
+    """Towerless placements up to ring rotation (robot 0 pinned at node 0).
+
+    Ring nodes are anonymous and the footprint is rotation-invariant, so an
+    execution from a placement and from any of its rotations are isomorphic.
+    Seeding the verifier with this reduced family is therefore sound.
+    """
+    if not isinstance(topology, RingTopology):
+        raise TopologyError("canonical placements are defined for rings only")
+    for placement in towerless_placements(topology, k):
+        if placement[0] == 0:
+            yield placement
+
+
+def placements_are_towerless(placement: Sequence[NodeId]) -> bool:
+    """Whether no two robots of ``placement`` share a node."""
+    return len(set(placement)) == len(placement)
+
+
+__all__ = [
+    "Topology",
+    "RingTopology",
+    "ChainTopology",
+    "towerless_placements",
+    "canonical_placements",
+    "placements_are_towerless",
+]

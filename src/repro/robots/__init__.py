@@ -1,0 +1,30 @@
+"""Robot model: local views, states, chirality frames, and algorithms.
+
+Implements the computational entities of the paper's Section 2.2: uniform,
+anonymous, silent robots with persistent memory, local weak multiplicity
+detection and stable (per-robot) chirality, programmed by deterministic
+Look–Compute–Move algorithms.
+"""
+
+from repro.robots.view import LocalView
+from repro.robots.state import DirMovedState, DirState
+from repro.robots.algorithms import (
+    PEF1,
+    PEF2,
+    Algorithm,
+    PEF3Plus,
+    get_algorithm,
+    registry,
+)
+
+__all__ = [
+    "LocalView",
+    "DirState",
+    "DirMovedState",
+    "Algorithm",
+    "PEF3Plus",
+    "PEF2",
+    "PEF1",
+    "registry",
+    "get_algorithm",
+]

@@ -1,0 +1,58 @@
+"""Robot algorithms: the paper's three protocols, baselines, and machines.
+
+* :class:`PEF3Plus` — Algorithm 1, perpetual exploration with k >= 3
+  robots on any connected-over-time ring of size n > k (Theorem 3.1);
+* :class:`PEF2` — two robots on the 3-node ring (Theorem 4.2);
+* :class:`PEF1` — one robot on the 2-node ring (Theorem 5.2);
+* baselines (keep-direction, bounce-on-blocked, ...) used as candidate
+  algorithms in the impossibility demonstrations and as ablation points;
+* :class:`TableAlgorithm` — arbitrary finite-memory transition tables,
+  enabling *exhaustive enumeration* of algorithm classes;
+* rule-ablated ``PEF_3+`` variants for the design-choice ablations.
+"""
+
+from repro.robots.algorithms.base import Algorithm, get_algorithm, registry
+from repro.robots.algorithms.pef3plus import PEF3Plus
+from repro.robots.algorithms.pef2 import PEF2
+from repro.robots.algorithms.pef1 import PEF1
+from repro.robots.algorithms.baselines import (
+    Alternator,
+    BounceOnBlocked,
+    BounceOnMeeting,
+    KeepDirection,
+    PseudoRandomDrift,
+)
+from repro.robots.algorithms.tables import (
+    TableAlgorithm,
+    TableState,
+    enumerate_memoryless_single_robot_tables,
+    enumerate_memoryless_tables,
+    random_table_algorithm,
+)
+from repro.robots.algorithms.ablations import (
+    PEF3PlusAlwaysTurnOnTower,
+    PEF3PlusNoTurn,
+    PEF3PlusTurnWhenStationary,
+)
+
+__all__ = [
+    "Algorithm",
+    "registry",
+    "get_algorithm",
+    "PEF3Plus",
+    "PEF2",
+    "PEF1",
+    "KeepDirection",
+    "BounceOnBlocked",
+    "BounceOnMeeting",
+    "Alternator",
+    "PseudoRandomDrift",
+    "TableAlgorithm",
+    "TableState",
+    "enumerate_memoryless_tables",
+    "enumerate_memoryless_single_robot_tables",
+    "random_table_algorithm",
+    "PEF3PlusNoTurn",
+    "PEF3PlusAlwaysTurnOnTower",
+    "PEF3PlusTurnWhenStationary",
+]

@@ -1,0 +1,94 @@
+"""Rule-ablated variants of ``PEF_3+`` (design-choice ablations).
+
+Section 3.1 decomposes ``PEF_3+`` into three rules: keep direction outside
+towers (Rule 1); a robot that did not move keeps its direction inside a
+tower (Rule 2, the *sentinel* rule); a robot that moved into a tower turns
+back (Rule 3, the *explorer-turn* rule).
+
+The ablation study (exhaustive verifier + targeted simulations) shows:
+
+* dropping Rule 3 (:class:`PEF3PlusNoTurn`) fails — everyone piles up
+  behind the eventual missing edge;
+* dropping Rule 2 (:class:`PEF3PlusAlwaysTurnOnTower`) fails — no
+  sentinel ever guards an extremity;
+* **swapping** Rules 2 and 3 (:class:`PEF3PlusTurnWhenStationary`) turns
+  out to *work* on every instance our solver can exhaust (k = 3,
+  n ∈ {4, 5}): the arriving robot takes over the sentinel post while the
+  previous sentinel walks off — a relay instead of a fixed guard. The
+  paper never claims its rule assignment is unique; this variant is an
+  exhaustively-verified alternative on small instances (we make no claim
+  beyond them). See EXPERIMENTS.md, experiment X4.
+"""
+
+from __future__ import annotations
+
+from repro.robots.algorithms.base import Algorithm, register
+from repro.robots.state import DirMovedState
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+
+@register("pef3+-no-turn")
+class PEF3PlusNoTurn(Algorithm):
+    """``PEF_3+`` without Rule 3: never turn back, even inside towers.
+
+    Behaviourally Rule 1 alone (the ``HasMovedPreviousStep`` bookkeeping
+    becomes inert). All robots eventually pile against an eventual missing
+    edge and wait there forever: nodes behind them starve.
+    """
+
+    def initial_state(self) -> DirMovedState:
+        return DirMovedState(Direction.LEFT, has_moved_previous_step=False)
+
+    def compute(self, state: DirMovedState, view: LocalView) -> DirMovedState:
+        return DirMovedState(state.dir, view.exists_edge(state.dir))
+
+
+@register("pef3+-always-turn")
+class PEF3PlusAlwaysTurnOnTower(Algorithm):
+    """``PEF_3+`` without Rule 2: *every* tower member turns back.
+
+    The mover and the stayer both flip, so no sentinel ever holds an
+    extremity of the eventual missing edge: the "turn back here" signal is
+    lost and with it the guarantee that both extremities get guarded.
+    """
+
+    def initial_state(self) -> DirMovedState:
+        return DirMovedState(Direction.LEFT, has_moved_previous_step=False)
+
+    def compute(self, state: DirMovedState, view: LocalView) -> DirMovedState:
+        direction = state.dir
+        if view.others_present:
+            direction = direction.opposite()
+        return DirMovedState(direction, view.exists_edge(direction))
+
+
+@register("pef3+-turn-when-stationary")
+class PEF3PlusTurnWhenStationary(Algorithm):
+    """``PEF_3+`` with Rules 2 and 3 swapped: the *stayer* turns, the
+    mover keeps going.
+
+    The sentinel role is *relayed*: an explorer that runs into a sentinel
+    keeps pointing at the missing edge (becoming the new sentinel) while
+    the old sentinel turns and leaves as the new explorer. Exhaustive
+    verification shows this variant still explores the instances we can
+    solve (k = 3, n ∈ {4, 5}) — an alternative rule assignment the paper
+    does not discuss. Kept here both as an ablation data point and as a
+    reminder that the verifier tests claims, not intuitions.
+    """
+
+    def initial_state(self) -> DirMovedState:
+        return DirMovedState(Direction.LEFT, has_moved_previous_step=False)
+
+    def compute(self, state: DirMovedState, view: LocalView) -> DirMovedState:
+        direction = state.dir
+        if not state.has_moved_previous_step and view.others_present:
+            direction = direction.opposite()
+        return DirMovedState(direction, view.exists_edge(direction))
+
+
+__all__ = [
+    "PEF3PlusNoTurn",
+    "PEF3PlusAlwaysTurnOnTower",
+    "PEF3PlusTurnWhenStationary",
+]

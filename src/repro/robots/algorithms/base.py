@@ -1,0 +1,108 @@
+"""Algorithm interface and registry.
+
+An algorithm in the paper's model (Section 2.3) is a deterministic function
+executed during the Compute phase: from the robot's current state and the
+predicates gathered during Look, produce the next state (possibly flipping
+the ``dir`` variable). That is the whole interface — robots cannot choose
+to "stay": the Move phase unconditionally crosses the pointed edge whenever
+it is present. All control is exercised through ``dir``.
+
+Algorithm objects are immutable, stateless strategy objects shared by every
+robot (robots are *uniform*); all per-robot information lives in the state
+values they return. Determinism and state hashability are contractual —
+the exhaustive verifier (:mod:`repro.verification`) relies on both.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Hashable, Optional
+
+from repro.errors import AlgorithmError
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+
+class Algorithm(abc.ABC):
+    """A deterministic Look–Compute–Move robot algorithm."""
+
+    #: Short, unique, human-readable identifier (CLI and reports).
+    name: str = "unnamed"
+
+    @abc.abstractmethod
+    def initial_state(self) -> Hashable:
+        """The state every robot starts with.
+
+        The model fixes ``dir = LEFT`` initially (Section 2.2); concrete
+        algorithms must honor that in the state they return here.
+        """
+
+    @abc.abstractmethod
+    def compute(self, state: Hashable, view: LocalView) -> Hashable:
+        """The Compute phase: next state from current state and Look view.
+
+        Must be pure (no side effects, no randomness not derived from the
+        arguments) and total over the 8 possible views.
+        """
+
+    @property
+    def is_finite_state(self) -> bool:
+        """Whether the reachable state space is finite (verifier-eligible).
+
+        True for everything in this library; provided as an explicit knob
+        for user-defined algorithms with unbounded counters.
+        """
+        return True
+
+    def check_state(self, state: Hashable) -> None:
+        """Validate a state object; raises :class:`AlgorithmError`."""
+        direction = getattr(state, "dir", None)
+        if not isinstance(direction, Direction):
+            raise AlgorithmError(
+                f"{self.name}: state {state!r} lacks a Direction-valued 'dir'"
+            )
+        try:
+            hash(state)
+        except TypeError as exc:
+            raise AlgorithmError(f"{self.name}: state {state!r} is unhashable") from exc
+
+    def describe(self) -> str:
+        """One-line description for reports (defaults to the docstring head)."""
+        doc = (self.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+registry: dict[str, Callable[[], Algorithm]] = {}
+"""Global name → factory registry used by the CLI and the experiments."""
+
+
+def register(name: str) -> Callable[[type], type]:
+    """Class decorator registering a zero-argument algorithm factory."""
+
+    def decorate(cls: type) -> type:
+        if name in registry:
+            raise AlgorithmError(f"duplicate algorithm registration: {name}")
+        registry[name] = cls
+        cls.name = name
+        return cls
+
+    return decorate
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Instantiate a registered algorithm by name.
+
+    Raises :class:`AlgorithmError` with the list of known names when the
+    name is unknown.
+    """
+    factory: Optional[Callable[[], Algorithm]] = registry.get(name)
+    if factory is None:
+        known = ", ".join(sorted(registry))
+        raise AlgorithmError(f"unknown algorithm {name!r}; known: {known}")
+    return factory()
+
+
+__all__ = ["Algorithm", "registry", "register", "get_algorithm"]

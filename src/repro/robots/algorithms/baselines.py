@@ -1,0 +1,143 @@
+"""Baseline and candidate algorithms.
+
+None of these solves perpetual exploration on connected-over-time rings in
+the regimes where the paper proves impossibility — that is their purpose.
+They serve three roles:
+
+1. *candidates* thrown at the impossibility adversaries (Figures 2–3
+   reproductions): natural strategies a practitioner might try, all of
+   which the traps defeat;
+2. *ablation points* against ``PEF_3+``: :class:`KeepDirection` is exactly
+   Rule 1 alone, which suffices on rings without an eventual missing edge
+   (Lemma 3.2's hypothesis) but fails once towers must be managed;
+3. *workload drivers* for engine benchmarks.
+
+All are deterministic (``PseudoRandomDrift`` derives its bits from a seed
+and a bounded phase counter, so it is deterministic *and* finite-state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlgorithmError
+from repro.robots.algorithms.base import Algorithm, register
+from repro.robots.state import DirState
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+
+@register("keep-direction")
+class KeepDirection(Algorithm):
+    """Never change direction (the paper's Rule 1 in isolation).
+
+    Sufficient for perpetual exploration on connected-over-time rings with
+    *no* eventual missing edge and no meetings (Section 3.1's discussion);
+    starves behind an eventual missing edge, where it simply waits forever.
+    """
+
+    def initial_state(self) -> DirState:
+        return DirState(Direction.LEFT)
+
+    def compute(self, state: DirState, view: LocalView) -> DirState:
+        return state
+
+
+@register("bounce-on-blocked")
+class BounceOnBlocked(Algorithm):
+    """Turn back whenever the pointed edge is currently absent.
+
+    The most natural single-robot strategy for dynamic rings. The
+    Theorem 5.1 oscillation adversary defeats it on any ring of size >= 3:
+    the robot ping-pongs between two nodes forever.
+    """
+
+    def initial_state(self) -> DirState:
+        return DirState(Direction.LEFT)
+
+    def compute(self, state: DirState, view: LocalView) -> DirState:
+        if view.exists_edge(state.dir):
+            return state
+        return DirState(state.dir.opposite())
+
+
+@register("bounce-on-meeting")
+class BounceOnMeeting(Algorithm):
+    """Turn back whenever another robot shares the node.
+
+    A memory-free cousin of ``PEF_3+``'s tower rules: it ignores
+    ``HasMovedPreviousStep``, so *both* members of a fresh tower turn,
+    destroying the sentinel mechanism (compare Rule 2).
+    """
+
+    def initial_state(self) -> DirState:
+        return DirState(Direction.LEFT)
+
+    def compute(self, state: DirState, view: LocalView) -> DirState:
+        if view.others_present:
+            return DirState(state.dir.opposite())
+        return state
+
+
+@register("alternator")
+class Alternator(Algorithm):
+    """Flip direction every round, unconditionally.
+
+    A pathological control: it cannot even explore the *static* ring of
+    size >= 3 (it oscillates over at most two adjacent nodes by itself).
+    """
+
+    def initial_state(self) -> DirState:
+        return DirState(Direction.LEFT)
+
+    def compute(self, state: DirState, view: LocalView) -> DirState:
+        return DirState(state.dir.opposite())
+
+
+@dataclass(frozen=True, slots=True)
+class PhasedDirState:
+    """State of :class:`PseudoRandomDrift`: direction plus a phase counter."""
+
+    dir: Direction
+    phase: int
+
+
+class PseudoRandomDrift(Algorithm):
+    """Deterministic "coin flips" from a seed and a cyclic phase counter.
+
+    At phase p the robot turns iff bit ``hash((seed, p))`` is set; the
+    phase advances modulo ``period``, keeping the state space finite (the
+    verifier can exhaust it). Deterministic given ``seed`` — this is a
+    *deterministic* algorithm in the paper's sense, merely with an
+    irregular turn pattern; it is defeated like every other one in the
+    impossible regimes.
+    """
+
+    def __init__(self, period: int = 16, seed: int = 0) -> None:
+        if period < 1:
+            raise AlgorithmError(f"period must be positive, got {period}")
+        self.period = period
+        self.seed = seed
+        self.name = f"pseudo-random-drift(p={period},s={seed})"
+        self._turn_bits = tuple(
+            hash((seed, phase)) & 1 == 1 for phase in range(period)
+        )
+
+    def initial_state(self) -> PhasedDirState:
+        return PhasedDirState(Direction.LEFT, 0)
+
+    def compute(self, state: PhasedDirState, view: LocalView) -> PhasedDirState:
+        direction = state.dir
+        if self._turn_bits[state.phase]:
+            direction = direction.opposite()
+        return PhasedDirState(direction, (state.phase + 1) % self.period)
+
+
+__all__ = [
+    "KeepDirection",
+    "BounceOnBlocked",
+    "BounceOnMeeting",
+    "Alternator",
+    "PseudoRandomDrift",
+    "PhasedDirState",
+]

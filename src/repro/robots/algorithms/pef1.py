@@ -1,0 +1,44 @@
+"""``PEF_1`` — a single robot on the 2-node connected-over-time ring (§5.2).
+
+Theorem 5.2: ``PEF_1`` perpetually explores every connected-over-time ring
+of 2 nodes with one robot. (One robot cannot explore anything larger —
+Theorem 5.1.)
+
+Section 5.2 admits both readings of a "2-node ring": the simple one (a
+2-node chain, one bidirectional edge) and the multigraph one (two parallel
+bidirectional edges). The algorithm covers both: "As soon as at least one
+adjacent edge to the current node of the robot is present, its variable
+``dir`` points arbitrarily to one of these edges."
+
+The paper leaves the choice among present edges arbitrary; our
+deterministic resolution prefers the current direction (no gratuitous
+turn), and otherwise takes the unique present one. Any resolution works:
+with n = 2, crossing *either* present edge visits the other node.
+"""
+
+from __future__ import annotations
+
+from repro.robots.algorithms.base import Algorithm, register
+from repro.robots.state import DirState
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+
+@register("pef1")
+class PEF1(Algorithm):
+    """``PEF_1``: one robot on the 2-node ring (Theorem 5.2)."""
+
+    def initial_state(self) -> DirState:
+        """``dir = LEFT`` (model default)."""
+        return DirState(Direction.LEFT)
+
+    def compute(self, state: DirState, view: LocalView) -> DirState:
+        if view.exists_edge(state.dir):
+            return state
+        opposite = state.dir.opposite()
+        if view.exists_edge(opposite):
+            return DirState(opposite)
+        return state
+
+
+__all__ = ["PEF1"]

@@ -1,0 +1,39 @@
+"""``PEF_2`` — two robots on the 3-node connected-over-time ring (§4.2).
+
+Theorem 4.2: ``PEF_2`` perpetually explores every connected-over-time ring
+of exactly 3 nodes with two fully synchronous robots. (Two robots cannot
+explore larger rings at all — Theorem 4.1.)
+
+The algorithm, verbatim from Section 4.2: "Each robot disposes only of its
+``dir`` variable. If at a time t, a robot is isolated on a node with only
+one adjacent edge, then it points to this edge. Otherwise (i.e., none of
+the adjacent edges is present, both adjacent edges are present, or the
+other robot is present on the same node), the robot keeps its current
+direction."
+"""
+
+from __future__ import annotations
+
+from repro.robots.algorithms.base import Algorithm, register
+from repro.robots.state import DirState
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+
+@register("pef2")
+class PEF2(Algorithm):
+    """``PEF_2``: two robots on the 3-node ring (Theorem 4.2)."""
+
+    def initial_state(self) -> DirState:
+        """``dir = LEFT`` (model default)."""
+        return DirState(Direction.LEFT)
+
+    def compute(self, state: DirState, view: LocalView) -> DirState:
+        if view.is_isolated:
+            single = view.single_present_direction
+            if single is not None:
+                return DirState(single)
+        return state
+
+
+__all__ = ["PEF2"]

@@ -1,0 +1,54 @@
+"""``PEF_3+`` — Algorithm 1 of the paper (Section 3).
+
+Perpetual Exploration in FSYNC with 3 or more robots: the paper's main
+positive result (Theorem 3.1). Works on every connected-over-time ring of
+size strictly greater than the number of robots, for any k >= 3.
+
+The algorithm, verbatim from Algorithm 1::
+
+    1: if HasMovedPreviousStep and ExistsOtherRobotsOnCurrentNode() then
+    2:     dir <- opposite(dir)
+    3: end if
+    4: HasMovedPreviousStep <- ExistsEdge(dir)
+
+and its three informal rules (Section 3.1):
+
+* **Rule 1** — a robot keeps its direction while not involved in a tower;
+* **Rule 2** — a robot that did *not* move and finds itself in a tower
+  keeps its direction (it becomes/remains a *sentinel* at an extremity of
+  an eventual missing edge);
+* **Rule 3** — a robot that moved into a tower turns back (the sentinel
+  "signals" the explorer that it reached a dead end).
+
+Line 4 deserves a note: ``ExistsEdge(dir)`` is evaluated with the
+post-line-3 ``dir`` and exactly predicts whether the robot will move in
+this round's Move phase, because movement is unconditional whenever the
+pointed edge is present. Hence at the next round's Compute the variable
+truthfully reads "I moved during the previous cycle".
+"""
+
+from __future__ import annotations
+
+from repro.robots.algorithms.base import Algorithm, register
+from repro.robots.state import DirMovedState
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+
+@register("pef3+")
+class PEF3Plus(Algorithm):
+    """Algorithm 1 (``PEF_3+``): k >= 3 robots, any ring size n > k."""
+
+    def initial_state(self) -> DirMovedState:
+        """``dir = LEFT`` (model default), no previous movement."""
+        return DirMovedState(Direction.LEFT, has_moved_previous_step=False)
+
+    def compute(self, state: DirMovedState, view: LocalView) -> DirMovedState:
+        direction = state.dir
+        if state.has_moved_previous_step and view.others_present:
+            direction = direction.opposite()
+        will_move = view.exists_edge(direction)
+        return DirMovedState(direction, will_move)
+
+
+__all__ = ["PEF3Plus"]

@@ -1,0 +1,176 @@
+"""Finite-memory transition-table algorithms, and their enumeration.
+
+The paper's impossibility theorems quantify over *all* deterministic
+algorithms. Short of symbolic proof, a reproduction can still do something
+strong: enumerate entire finite-memory classes and verify that *every*
+member fails. A deterministic algorithm whose state is
+``(dir, mem)`` with ``mem`` ranging over ``M`` values is exactly a table
+
+    (mem, dir, view) -> (mem', dir')
+
+with ``M * 2 * 8`` entries. :class:`TableAlgorithm` interprets such tables;
+the ``enumerate_*`` helpers generate exhaustive families:
+
+* all ``2**16`` memoryless (M = 1) algorithms — every way to pick a new
+  direction from (dir, view);
+* the ``2**8`` memoryless *single-robot* algorithms — multiplicity
+  detection never fires when k = 1, so only the 8 alone-views matter.
+
+Table algorithms are also the fuzzing substrate: random tables exercised
+against the traps and the verifier in property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import AlgorithmError
+from repro.robots.algorithms.base import Algorithm
+from repro.robots.view import LocalView
+from repro.types import Direction
+
+_DIR_BIT = {Direction.LEFT: 0, Direction.RIGHT: 1}
+_BIT_DIR = (Direction.LEFT, Direction.RIGHT)
+
+
+@dataclass(frozen=True, slots=True)
+class TableState:
+    """State of a :class:`TableAlgorithm`: direction plus bounded memory."""
+
+    dir: Direction
+    mem: int
+
+
+class TableAlgorithm(Algorithm):
+    """A deterministic algorithm given by an explicit transition table.
+
+    Parameters
+    ----------
+    memory_size:
+        Number of memory values ``M`` (``M = 1`` means memoryless: the
+        only state is ``dir``).
+    entries:
+        Flat sequence of ``M * 2 * 8`` encoded outputs. The entry for
+        ``(mem, dir, view)`` lives at index
+        ``(mem * 2 + dir_bit) * 8 + view.index()`` and encodes
+        ``new_mem * 2 + new_dir_bit``.
+    name:
+        Optional report name; defaults to a content hash of the table.
+    """
+
+    def __init__(
+        self,
+        memory_size: int,
+        entries: Sequence[int],
+        name: str | None = None,
+    ) -> None:
+        if memory_size < 1:
+            raise AlgorithmError(f"memory_size must be >= 1, got {memory_size}")
+        expected = memory_size * 2 * 8
+        if len(entries) != expected:
+            raise AlgorithmError(
+                f"table needs {expected} entries for memory_size={memory_size}, "
+                f"got {len(entries)}"
+            )
+        bound = memory_size * 2
+        for index, value in enumerate(entries):
+            if not 0 <= value < bound:
+                raise AlgorithmError(
+                    f"entry {index} encodes {value}, outside 0..{bound - 1}"
+                )
+        self.memory_size = memory_size
+        self._entries = tuple(int(v) for v in entries)
+        self.name = name if name is not None else f"table[m={memory_size}]:{self.signature()}"
+
+    def signature(self) -> str:
+        """A compact hexadecimal content fingerprint of the table."""
+        value = 0
+        for entry in self._entries:
+            value = value * (self.memory_size * 2) + entry
+        return format(value, "x")
+
+    @property
+    def entries(self) -> tuple[int, ...]:
+        """The raw encoded table."""
+        return self._entries
+
+    @property
+    def is_memoryless(self) -> bool:
+        """Whether the algorithm's only state is its ``dir`` variable."""
+        return self.memory_size == 1
+
+    def initial_state(self) -> TableState:
+        """``dir = LEFT`` (model default), memory 0."""
+        return TableState(Direction.LEFT, 0)
+
+    def compute(self, state: TableState, view: LocalView) -> TableState:
+        index = (state.mem * 2 + _DIR_BIT[state.dir]) * 8 + view.index()
+        encoded = self._entries[index]
+        return TableState(_BIT_DIR[encoded % 2], encoded // 2)
+
+
+def memoryless_table_from_bits(bits: int, name: str | None = None) -> TableAlgorithm:
+    """The memoryless table whose 16 direction outputs are the bits of ``bits``.
+
+    Bit ``i`` of ``bits`` (0 = least significant) is the new direction
+    (0 = LEFT, 1 = RIGHT) for the input with flat index ``i``
+    (``dir_bit * 8 + view_index``).
+    """
+    if not 0 <= bits < 1 << 16:
+        raise AlgorithmError(f"bits must fit in 16 bits, got {bits}")
+    entries = [(bits >> i) & 1 for i in range(16)]
+    return TableAlgorithm(1, entries, name=name or f"memoryless:{bits:04x}")
+
+
+def enumerate_memoryless_tables() -> Iterator[TableAlgorithm]:
+    """All ``2**16`` memoryless algorithms, in bit order.
+
+    This family contains every deterministic robot whose whole persistent
+    memory is its ``dir`` variable — including ``PEF_2``,
+    :class:`~repro.robots.algorithms.baselines.KeepDirection` and friends.
+    """
+    for bits in range(1 << 16):
+        yield memoryless_table_from_bits(bits)
+
+
+def enumerate_memoryless_single_robot_tables() -> Iterator[TableAlgorithm]:
+    """The ``2**8`` memoryless algorithms relevant to a *single* robot.
+
+    With k = 1, ``others_present`` is always false, so only the 8 inputs
+    with a clear multiplicity bit are ever consulted. Tables are emitted
+    with the others-set entries mirroring the others-clear ones, making
+    each emitted algorithm the canonical representative of its k = 1
+    behavioural class.
+    """
+    for bits in range(1 << 8):
+        entries = [0] * 16
+        for dir_bit in range(2):
+            for left in range(2):
+                for right in range(2):
+                    compact = dir_bit * 4 + left * 2 + right
+                    output = (bits >> compact) & 1
+                    for others in range(2):
+                        view_index = left << 2 | right << 1 | others
+                        entries[dir_bit * 8 + view_index] = output
+        yield TableAlgorithm(1, entries, name=f"memoryless1r:{bits:02x}")
+
+
+def random_table_algorithm(
+    rng: random.Random, memory_size: int = 1
+) -> TableAlgorithm:
+    """A uniformly random transition table (fuzzing helper)."""
+    bound = memory_size * 2
+    entries = [rng.randrange(bound) for _ in range(memory_size * 2 * 8)]
+    return TableAlgorithm(memory_size, entries)
+
+
+__all__ = [
+    "TableState",
+    "TableAlgorithm",
+    "memoryless_table_from_bits",
+    "enumerate_memoryless_tables",
+    "enumerate_memoryless_single_robot_tables",
+    "random_table_algorithm",
+]

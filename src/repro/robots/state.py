@@ -1,0 +1,68 @@
+"""Robot state types.
+
+Robots have *persistent memory* (paper Section 2.2): their state survives
+between rounds. Every algorithm publishes a frozen, hashable state type
+exposing at least a ``dir`` attribute (the direction variable of the
+model, initially ``LEFT``). Hashability is a hard requirement: the
+exhaustive verifier explores the product space of positions and states.
+
+Two concrete shapes cover the paper's algorithms:
+
+* :class:`DirState` — direction only (``PEF_2``, ``PEF_1``, most
+  baselines);
+* :class:`DirMovedState` — direction plus the ``HasMovedPreviousStep``
+  boolean of Algorithm 1 (``PEF_3+``).
+
+:class:`TableState` (direction plus a bounded integer memory) lives with
+the table machines in :mod:`repro.robots.algorithms.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.types import Direction
+
+
+@runtime_checkable
+class RobotState(Protocol):
+    """Structural interface of all robot states: expose ``dir``."""
+
+    @property
+    def dir(self) -> Direction:  # pragma: no cover - protocol
+        """The robot's direction variable."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class DirState:
+    """A state holding only the model's ``dir`` variable."""
+
+    dir: Direction
+
+    def with_dir(self, direction: Direction) -> "DirState":
+        """Return a copy pointing to ``direction``."""
+        return DirState(direction)
+
+
+@dataclass(frozen=True, slots=True)
+class DirMovedState:
+    """``PEF_3+`` state: ``dir`` plus ``HasMovedPreviousStep``.
+
+    ``has_moved_previous_step`` is maintained exactly as Algorithm 1's
+    line 4: it is set to ``ExistsEdge(dir)`` (with the post-Compute
+    ``dir``), which equals "the robot will move during this round's Move
+    phase" because Move is unconditional whenever the pointed edge is
+    present.
+    """
+
+    dir: Direction
+    has_moved_previous_step: bool
+
+    def with_dir(self, direction: Direction) -> "DirMovedState":
+        """Return a copy pointing to ``direction``."""
+        return DirMovedState(direction, self.has_moved_previous_step)
+
+
+__all__ = ["RobotState", "DirState", "DirMovedState"]

@@ -1,0 +1,92 @@
+"""Local views: what a robot perceives during its Look phase.
+
+Per the paper's Section 2.3, the Look phase updates exactly three local
+predicates:
+
+* ``ExistsEdge(dir)`` — an adjacent edge on the robot's pointed direction;
+* ``ExistsEdge(opposite dir)`` — same for the other port;
+* ``ExistsOtherRobotsOnCurrentNode()`` — weak multiplicity detection.
+
+We store the two edge bits keyed by *local* direction (left/right in the
+robot's own frame) rather than by pointed/opposite: the two encodings are
+interconvertible given the robot's ``dir``, and the left/right keying stays
+stable while ``compute`` mutates ``dir``, which keeps algorithm code
+straight-line. The engine builds views by translating global ports through
+the robot's chirality, so no global information ever leaks into a view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Direction
+
+
+@dataclass(frozen=True, slots=True)
+class LocalView:
+    """A robot-local snapshot taken during the Look phase.
+
+    Attributes
+    ----------
+    exists_edge_left:
+        ``ExistsEdge(left)`` in the robot's own frame.
+    exists_edge_right:
+        ``ExistsEdge(right)`` in the robot's own frame.
+    others_present:
+        ``ExistsOtherRobotsOnCurrentNode()`` — at least one co-located
+        robot (the robot cannot count beyond "alone or not").
+    """
+
+    exists_edge_left: bool
+    exists_edge_right: bool
+    others_present: bool
+
+    def exists_edge(self, direction: Direction) -> bool:
+        """``ExistsEdge(direction)`` for a local direction."""
+        if direction is Direction.LEFT:
+            return self.exists_edge_left
+        return self.exists_edge_right
+
+    @property
+    def is_isolated(self) -> bool:
+        """Whether the robot stands alone on its node (paper: *isolated*)."""
+        return not self.others_present
+
+    @property
+    def degree(self) -> int:
+        """Number of present adjacent edges (0, 1 or 2)."""
+        return int(self.exists_edge_left) + int(self.exists_edge_right)
+
+    @property
+    def single_present_direction(self) -> Direction | None:
+        """The unique local direction with a present edge, if exactly one."""
+        if self.exists_edge_left and not self.exists_edge_right:
+            return Direction.LEFT
+        if self.exists_edge_right and not self.exists_edge_left:
+            return Direction.RIGHT
+        return None
+
+    def index(self) -> int:
+        """Dense 3-bit encoding (left<<2 | right<<1 | others), for tables."""
+        return (
+            (int(self.exists_edge_left) << 2)
+            | (int(self.exists_edge_right) << 1)
+            | int(self.others_present)
+        )
+
+    @staticmethod
+    def from_index(index: int) -> "LocalView":
+        """Inverse of :meth:`index` (index in ``0..7``)."""
+        if not 0 <= index < 8:
+            raise ValueError(f"view index must be in 0..7, got {index}")
+        return LocalView(
+            exists_edge_left=bool(index >> 2 & 1),
+            exists_edge_right=bool(index >> 1 & 1),
+            others_present=bool(index & 1),
+        )
+
+
+ALL_VIEWS: tuple[LocalView, ...] = tuple(LocalView.from_index(i) for i in range(8))
+"""All eight possible local views, in :meth:`LocalView.index` order."""
+
+__all__ = ["LocalView", "ALL_VIEWS"]

@@ -1,0 +1,208 @@
+"""JSON serialization of footprints, schedules, recordings, certificates.
+
+Reproduction artifacts should outlive the process that computed them:
+a trap certificate is a *proof object*, and the whole point of proof
+objects is that third parties can re-check them. This module provides a
+stable, versioned JSON encoding for:
+
+* footprints (:class:`~repro.graph.topology.RingTopology` /
+  :class:`~repro.graph.topology.ChainTopology`);
+* replayable schedules (:class:`~repro.graph.evolving.ExplicitSchedule`,
+  :class:`~repro.graph.evolving.LassoSchedule`,
+  :class:`~repro.graph.evolving.RecordedEvolvingGraph`);
+* :class:`~repro.verification.certificates.TrapCertificate` objects —
+  round-trippable and re-validatable after a load.
+
+The format is deliberately boring: plain dicts, sorted edge lists,
+explicit ``"format"``/``"version"`` headers. Loading rejects unknown
+formats loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ScheduleError, TopologyError
+from repro.graph.evolving import (
+    EvolvingGraph,
+    ExplicitSchedule,
+    LassoSchedule,
+    RecordedEvolvingGraph,
+)
+from repro.graph.topology import ChainTopology, RingTopology, Topology
+from repro.types import Chirality
+from repro.verification.certificates import TrapCertificate
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Topologies
+# ----------------------------------------------------------------------
+def topology_to_dict(topology: Topology) -> dict[str, Any]:
+    """Encode a footprint."""
+    if isinstance(topology, RingTopology):
+        kind = "ring"
+    elif isinstance(topology, ChainTopology):
+        kind = "chain"
+    else:
+        raise TopologyError(f"cannot serialize footprint of type {type(topology)!r}")
+    return {"format": "topology", "version": FORMAT_VERSION, "kind": kind, "n": topology.n}
+
+
+def topology_from_dict(data: dict[str, Any]) -> Topology:
+    """Decode a footprint."""
+    _expect(data, "topology")
+    kind = data["kind"]
+    if kind == "ring":
+        return RingTopology(int(data["n"]))
+    if kind == "chain":
+        return ChainTopology(int(data["n"]))
+    raise TopologyError(f"unknown footprint kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def _steps(steps) -> list[list[int]]:
+    return [sorted(step) for step in steps]
+
+
+def schedule_to_dict(schedule: EvolvingGraph) -> dict[str, Any]:
+    """Encode an explicit/lasso/recorded schedule.
+
+    Function-backed and generator-backed schedules are intentionally not
+    serializable (they are code, not data); materialize them into an
+    :class:`ExplicitSchedule` or recording first.
+    """
+    base: dict[str, Any] = {
+        "format": "schedule",
+        "version": FORMAT_VERSION,
+        "topology": topology_to_dict(schedule.topology),
+    }
+    if isinstance(schedule, LassoSchedule):
+        base["kind"] = "lasso"
+        base["prefix"] = _steps(schedule.prefix_steps)
+        base["cycle"] = _steps(schedule.cycle_steps)
+        return base
+    if isinstance(schedule, RecordedEvolvingGraph):
+        base["kind"] = "recording"
+        base["steps"] = _steps(schedule.steps)
+        return base
+    if isinstance(schedule, ExplicitSchedule):
+        base["kind"] = "explicit"
+        base["steps"] = _steps(
+            schedule.present_edges(t) for t in range(schedule.horizon)
+        )
+        base["suffix"] = sorted(schedule.present_edges(schedule.horizon))
+        return base
+    raise ScheduleError(
+        f"cannot serialize schedule of type {type(schedule)!r}; "
+        "materialize it into an ExplicitSchedule or a recording first"
+    )
+
+
+def schedule_from_dict(data: dict[str, Any]) -> EvolvingGraph:
+    """Decode a schedule encoded by :func:`schedule_to_dict`."""
+    _expect(data, "schedule")
+    topology = topology_from_dict(data["topology"])
+    kind = data["kind"]
+    if kind == "lasso":
+        return LassoSchedule(topology, data["prefix"], data["cycle"])
+    if kind == "recording":
+        return RecordedEvolvingGraph(topology, data["steps"])
+    if kind == "explicit":
+        return ExplicitSchedule(
+            topology, data["steps"], suffix=frozenset(data["suffix"])
+        )
+    raise ScheduleError(f"unknown schedule kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Certificates
+# ----------------------------------------------------------------------
+def certificate_to_dict(certificate: TrapCertificate) -> dict[str, Any]:
+    """Encode a trap certificate (a portable impossibility witness)."""
+    return {
+        "format": "trap-certificate",
+        "version": FORMAT_VERSION,
+        "algorithm": certificate.algorithm_name,
+        "topology": topology_to_dict(certificate.topology),
+        "chiralities": [c.value for c in certificate.chiralities],
+        "seed_positions": list(certificate.seed_positions),
+        "prefix": _steps(certificate.prefix),
+        "cycle": _steps(certificate.cycle),
+        "starved_node": certificate.starved_node,
+        "eventually_missing": sorted(certificate.eventually_missing),
+    }
+
+
+def certificate_from_dict(data: dict[str, Any]) -> TrapCertificate:
+    """Decode a certificate; re-validate with
+    :func:`repro.verification.certificates.validate_certificate`."""
+    _expect(data, "trap-certificate")
+    return TrapCertificate(
+        algorithm_name=data["algorithm"],
+        topology=topology_from_dict(data["topology"]),
+        chiralities=tuple(Chirality(value) for value in data["chiralities"]),
+        seed_positions=tuple(int(p) for p in data["seed_positions"]),
+        prefix=tuple(frozenset(step) for step in data["prefix"]),
+        cycle=tuple(frozenset(step) for step in data["cycle"]),
+        starved_node=int(data["starved_node"]),
+        eventually_missing=frozenset(data["eventually_missing"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON entry points
+# ----------------------------------------------------------------------
+def dumps(obj: Topology | EvolvingGraph | TrapCertificate, indent: int = 2) -> str:
+    """Serialize any supported object to a JSON string."""
+    if isinstance(obj, Topology):
+        data = topology_to_dict(obj)
+    elif isinstance(obj, EvolvingGraph):
+        data = schedule_to_dict(obj)
+    elif isinstance(obj, TrapCertificate):
+        data = certificate_to_dict(obj)
+    else:
+        raise ScheduleError(f"cannot serialize object of type {type(obj)!r}")
+    return json.dumps(data, indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Topology | EvolvingGraph | TrapCertificate:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    fmt = data.get("format")
+    if fmt == "topology":
+        return topology_from_dict(data)
+    if fmt == "schedule":
+        return schedule_from_dict(data)
+    if fmt == "trap-certificate":
+        return certificate_from_dict(data)
+    raise ScheduleError(f"unknown serialized format {fmt!r}")
+
+
+def _expect(data: dict[str, Any], fmt: str) -> None:
+    if data.get("format") != fmt:
+        raise ScheduleError(
+            f"expected format {fmt!r}, got {data.get('format')!r}"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported {fmt} version {data.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "topology_to_dict",
+    "topology_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "certificate_to_dict",
+    "certificate_from_dict",
+    "dumps",
+    "loads",
+]

@@ -1,0 +1,144 @@
+"""Configurations and adversary observations.
+
+A *configuration* (paper Section 2.3) captures the position and state of
+every robot at a given time. Configurations here additionally carry the
+robots' chirality vector — fixed through an execution, but needed to
+interpret local states globally (the external observer's viewpoint used in
+every proof).
+
+An :class:`Observation` is the package handed to edge schedulers each
+round. Oblivious schedules ignore it; adaptive adversaries (the
+impossibility constructions) read it freely — the model's adversary knows
+everything, including the robots' internal states and their deterministic
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import ConfigurationError
+from repro.graph.topology import Topology
+from repro.types import Chirality, GlobalDirection, NodeId, RobotId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.robots.algorithms.base import Algorithm
+
+
+@dataclass(frozen=True, slots=True)
+class Configuration:
+    """Positions, states and chiralities of all robots at one instant."""
+
+    positions: tuple[NodeId, ...]
+    states: tuple[Hashable, ...]
+    chiralities: tuple[Chirality, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.positions) == len(self.states) == len(self.chiralities)):
+            raise ConfigurationError(
+                "positions, states and chiralities must have equal lengths, got "
+                f"{len(self.positions)}, {len(self.states)}, {len(self.chiralities)}"
+            )
+
+    @property
+    def robot_count(self) -> int:
+        """Number of robots (k)."""
+        return len(self.positions)
+
+    @property
+    def robots(self) -> range:
+        """All robot identifiers."""
+        return range(len(self.positions))
+
+    def occupancy(self) -> dict[NodeId, int]:
+        """Map node → number of robots currently there (only nodes > 0)."""
+        counts: dict[NodeId, int] = {}
+        for position in self.positions:
+            counts[position] = counts.get(position, 0) + 1
+        return counts
+
+    def towers(self) -> dict[NodeId, tuple[RobotId, ...]]:
+        """Nodes currently hosting a tower (>= 2 robots), with members.
+
+        In the paper a tower is a maximal (robot-set, interval) pair; this
+        method gives the instantaneous cross-section, which is what round
+        reasoning needs. Interval-maximal towers are reconstructed from
+        traces by :mod:`repro.analysis.towers`.
+        """
+        members: dict[NodeId, list[RobotId]] = {}
+        for robot, position in enumerate(self.positions):
+            members.setdefault(position, []).append(robot)
+        return {
+            node: tuple(robots)
+            for node, robots in members.items()
+            if len(robots) >= 2
+        }
+
+    @property
+    def is_towerless(self) -> bool:
+        """Whether no node hosts two or more robots."""
+        return len(set(self.positions)) == len(self.positions)
+
+    def robots_at(self, node: NodeId) -> tuple[RobotId, ...]:
+        """The robots currently located on ``node``."""
+        return tuple(robot for robot, pos in enumerate(self.positions) if pos == node)
+
+    def global_direction(self, robot: RobotId) -> GlobalDirection:
+        """The *global* direction robot ``robot`` currently points to.
+
+        External-observer helper (proof vocabulary: "the robot considers
+        the clockwise direction"); translates the robot's local ``dir``
+        through its chirality.
+        """
+        state = self.states[robot]
+        return self.chiralities[robot].to_global(state.dir)  # type: ignore[attr-defined]
+
+    def pointed_edge(self, robot: RobotId, topology: Topology) -> int | None:
+        """The footprint edge robot ``robot`` points to (``None`` off-chain)."""
+        return topology.port(self.positions[robot], self.global_direction(robot))
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """Everything an (omniscient) edge scheduler may see before round ``t``.
+
+    The evolving-graph adversary of the impossibility proofs chooses
+    ``E_t`` knowing the full history and the robots' internal states, and
+    can simulate the deterministic algorithm forward. ``Observation``
+    grants exactly that power: the configuration entering round ``t``, the
+    footprint, and a handle on the algorithm.
+    """
+
+    t: int
+    topology: Topology
+    configuration: Configuration
+    algorithm: "Algorithm"
+
+
+def validate_initial_configuration(
+    topology: Topology, configuration: Configuration, require_towerless: bool = True
+) -> None:
+    """Check the well-initiated conditions of Section 2.4.
+
+    Raises :class:`ConfigurationError` unless: every position is a footprint
+    node, strictly fewer robots than nodes, and (unless disabled for
+    deliberately ill-initiated experiments) the placement is towerless.
+    """
+    if configuration.robot_count == 0:
+        raise ConfigurationError("need at least one robot")
+    for position in configuration.positions:
+        topology.check_node(position)
+    if configuration.robot_count >= topology.n:
+        raise ConfigurationError(
+            f"well-initiated executions need k < n; got k={configuration.robot_count}, "
+            f"n={topology.n}"
+        )
+    if require_towerless and not configuration.is_towerless:
+        raise ConfigurationError(
+            f"initial configuration must be towerless, got positions "
+            f"{configuration.positions}"
+        )
+
+
+__all__ = ["Configuration", "Observation", "validate_initial_configuration"]

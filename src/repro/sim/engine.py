@@ -1,0 +1,252 @@
+"""The FSYNC engine: fully synchronous Look–Compute–Move rounds (§2.3).
+
+The single-round transition lives in :func:`step_fsync` and is the one
+source of truth for the model's semantics — the exhaustive verifier
+(:mod:`repro.verification`) drives the *same* function, so a solver verdict
+and a simulator replay can never disagree about what a round does.
+
+Round ``t`` (from configuration ``γ_t`` on snapshot ``G_t``):
+
+1. the edge scheduler fixes ``E_t`` — it may observe the full configuration
+   (omniscient adaptive adversary) or ignore it (oblivious schedule);
+2. **Look**: every robot perceives ``ExistsEdge(left)``,
+   ``ExistsEdge(right)`` (local frame, via its chirality) and
+   ``ExistsOtherRobotsOnCurrentNode()``, all on the same snapshot;
+3. **Compute**: every robot's state is updated by the (uniform,
+   deterministic) algorithm, synchronously;
+4. **Move**: every robot crosses its pointed edge iff that edge is in
+   ``E_t``; otherwise it stays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.graph.topology import Topology
+from repro.robots.algorithms.base import Algorithm
+from repro.robots.view import LocalView
+from repro.sim.config import Configuration, Observation, validate_initial_configuration
+from repro.sim.observers import Observer
+from repro.sim.trace import ExecutionTrace, RoundRecord
+from repro.types import Chirality, EdgeId, GlobalDirection, NodeId
+
+
+@runtime_checkable
+class EdgeScheduler(Protocol):
+    """Anything that fixes the present-edge set of each round.
+
+    Both oblivious :class:`~repro.graph.evolving.EvolvingGraph` schedules
+    and adaptive :mod:`repro.adversary` constructions satisfy this.
+    """
+
+    def edges_at(self, t: int, observation: Observation) -> frozenset[EdgeId]:
+        """The present-edge set ``E_t``, chosen before the robots Look."""
+        ...  # pragma: no cover - protocol
+
+
+def look(
+    topology: Topology,
+    configuration: Configuration,
+    present: frozenset[EdgeId],
+) -> tuple[LocalView, ...]:
+    """The Look phase: every robot's local view on one shared snapshot."""
+    occupancy = configuration.occupancy()
+    views = []
+    for robot in configuration.robots:
+        position = configuration.positions[robot]
+        chirality = configuration.chiralities[robot]
+        cw_port = topology.port(position, GlobalDirection.CW)
+        ccw_port = topology.port(position, GlobalDirection.CCW)
+        exists_cw = cw_port is not None and cw_port in present
+        exists_ccw = ccw_port is not None and ccw_port in present
+        if chirality is Chirality.AGREE:
+            exists_right, exists_left = exists_cw, exists_ccw
+        else:
+            exists_right, exists_left = exists_ccw, exists_cw
+        views.append(
+            LocalView(
+                exists_edge_left=exists_left,
+                exists_edge_right=exists_right,
+                others_present=occupancy[position] >= 2,
+            )
+        )
+    return tuple(views)
+
+
+def step_fsync(
+    topology: Topology,
+    algorithm: Algorithm,
+    configuration: Configuration,
+    present: frozenset[EdgeId],
+) -> tuple[Configuration, tuple[LocalView, ...], tuple[bool, ...]]:
+    """One full synchronous round; returns (γ_{t+1}, views, moved flags).
+
+    Pure: depends only on its arguments. This is the transition the
+    exhaustive verifier explores.
+    """
+    views = look(topology, configuration, present)
+    new_states = tuple(
+        algorithm.compute(configuration.states[robot], views[robot])
+        for robot in configuration.robots
+    )
+    new_positions = []
+    moved = []
+    for robot in configuration.robots:
+        position = configuration.positions[robot]
+        chirality = configuration.chiralities[robot]
+        global_dir = chirality.to_global(new_states[robot].dir)  # type: ignore[attr-defined]
+        port = topology.port(position, global_dir)
+        if port is not None and port in present:
+            landing = topology.neighbor(position, global_dir)
+            assert landing is not None  # a present edge always has a far side
+            new_positions.append(landing)
+            moved.append(True)
+        else:
+            new_positions.append(position)
+            moved.append(False)
+    after = Configuration(
+        positions=tuple(new_positions),
+        states=new_states,
+        chiralities=configuration.chiralities,
+    )
+    return after, views, moved_tuple(moved)
+
+
+def moved_tuple(moved: Sequence[bool]) -> tuple[bool, ...]:
+    """Normalize movement flags to a tuple (micro-helper for callers)."""
+    return tuple(bool(m) for m in moved)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a finite run: final configuration plus optional trace."""
+
+    topology: Topology
+    algorithm: Algorithm
+    initial: Configuration
+    final: Configuration
+    rounds: int
+    trace: Optional[ExecutionTrace]
+
+    @property
+    def k(self) -> int:
+        """Number of robots."""
+        return self.initial.robot_count
+
+
+def make_initial_configuration(
+    topology: Topology,
+    algorithm: Algorithm,
+    positions: Sequence[NodeId],
+    chiralities: Optional[Sequence[Chirality]] = None,
+) -> Configuration:
+    """Build γ_0: given positions, model-initial states, chosen chiralities.
+
+    Chiralities default to all-:attr:`~repro.types.Chirality.AGREE`; pass a
+    vector to exercise disagreeing frames (the proofs' mirrored robots).
+    """
+    k = len(positions)
+    if chiralities is None:
+        chiralities = (Chirality.AGREE,) * k
+    if len(chiralities) != k:
+        raise ConfigurationError(
+            f"chiralities length {len(chiralities)} != positions length {k}"
+        )
+    initial_state = algorithm.initial_state()
+    algorithm.check_state(initial_state)
+    return Configuration(
+        positions=tuple(positions),
+        states=(initial_state,) * k,
+        chiralities=tuple(chiralities),
+    )
+
+
+def run_fsync(
+    topology: Topology,
+    scheduler: EdgeScheduler,
+    algorithm: Algorithm,
+    positions: Sequence[NodeId],
+    rounds: int,
+    chiralities: Optional[Sequence[Chirality]] = None,
+    observers: Iterable[Observer] = (),
+    keep_trace: bool = True,
+    require_well_initiated: bool = True,
+) -> RunResult:
+    """Run ``rounds`` synchronous rounds and return the result.
+
+    Parameters
+    ----------
+    topology, scheduler, algorithm:
+        The footprint, the edge scheduler (oblivious schedule or adaptive
+        adversary) and the robots' uniform algorithm.
+    positions:
+        Initial node of each robot (defines k).
+    rounds:
+        Number of rounds to execute.
+    chiralities:
+        Per-robot chirality (default all AGREE).
+    observers:
+        Streaming observers fed every completed round.
+    keep_trace:
+        Retain the full :class:`ExecutionTrace` (memory ~ rounds); turn
+        off for endurance runs and rely on observers.
+    require_well_initiated:
+        Enforce Section 2.4's well-initiated conditions on γ_0. Disable
+        only for deliberately ill-initiated experiments.
+    """
+    if rounds < 0:
+        raise ScheduleError(f"rounds must be non-negative, got {rounds}")
+    configuration = make_initial_configuration(topology, algorithm, positions, chiralities)
+    if require_well_initiated:
+        validate_initial_configuration(topology, configuration)
+    else:
+        for position in configuration.positions:
+            topology.check_node(position)
+
+    trace = ExecutionTrace(topology, configuration) if keep_trace else None
+    observer_list = list(observers)
+    for observer in observer_list:
+        observer.on_start(topology, configuration)
+
+    initial = configuration
+    for t in range(rounds):
+        observation = Observation(
+            t=t, topology=topology, configuration=configuration, algorithm=algorithm
+        )
+        present = frozenset(scheduler.edges_at(t, observation))
+        topology.check_edge_set(present)
+        after, views, moved = step_fsync(topology, algorithm, configuration, present)
+        record = RoundRecord(
+            t=t,
+            present_edges=present,
+            before=configuration,
+            views=views,
+            after=after,
+            moved=moved,
+        )
+        if trace is not None:
+            trace.append(record)
+        for observer in observer_list:
+            observer.on_round(record)
+        configuration = after
+
+    return RunResult(
+        topology=topology,
+        algorithm=algorithm,
+        initial=initial,
+        final=configuration,
+        rounds=rounds,
+        trace=trace,
+    )
+
+
+__all__ = [
+    "EdgeScheduler",
+    "look",
+    "step_fsync",
+    "RunResult",
+    "make_initial_configuration",
+    "run_fsync",
+]

@@ -1,0 +1,225 @@
+"""Streaming observers: constant-memory instrumentation of long runs.
+
+Retaining a full :class:`~repro.sim.trace.ExecutionTrace` costs memory per
+round; million-round endurance runs instead attach *observers*, which the
+engines feed one :class:`~repro.sim.trace.RoundRecord` at a time (records
+are then discarded unless tracing is also on).
+
+Provided observers:
+
+* :class:`VisitTracker` — per-node visit counts, last-visit times and the
+  largest inter-visit gap (the quantity behind the finite-horizon
+  perpetual-exploration certificates);
+* :class:`TowerLogger` — interval-maximal towers as they form and break;
+* :class:`EdgeRecorder` — per-edge presence statistics and last-presence
+  times (recurrence/staleness audits of adaptive adversaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.graph.topology import Topology
+from repro.sim.config import Configuration
+from repro.sim.trace import RoundRecord
+from repro.types import EdgeId, NodeId, RobotId
+
+
+@runtime_checkable
+class Observer(Protocol):
+    """Anything able to consume a run round by round."""
+
+    def on_start(self, topology: Topology, initial: Configuration) -> None:
+        """Called once before round 0."""
+        ...  # pragma: no cover - protocol
+
+    def on_round(self, record: RoundRecord) -> None:
+        """Called after each completed round."""
+        ...  # pragma: no cover - protocol
+
+
+class VisitTracker:
+    """Per-node visit accounting with maximal-gap tracking.
+
+    ``max_gap[v]`` is the largest number of consecutive time steps during
+    which node ``v`` was unoccupied, over the whole observed window
+    (including the still-open trailing gap). A finite-horizon certificate
+    for perpetual exploration is "every node's ``max_gap`` stays below the
+    certificate window" — see :mod:`repro.analysis.exploration`.
+    """
+
+    def __init__(self) -> None:
+        self.visit_counts: dict[NodeId, int] = {}
+        self.first_visit: dict[NodeId, int] = {}
+        self.last_visit: dict[NodeId, int] = {}
+        self.max_gap: dict[NodeId, int] = {}
+        self.cover_time: int | None = None
+        self._n = 0
+        self._now = 0
+
+    def on_start(self, topology: Topology, initial: Configuration) -> None:
+        self._n = topology.n
+        self._now = 0
+        for node in topology.nodes:
+            self.visit_counts[node] = 0
+            self.max_gap[node] = 0
+        for node in set(initial.positions):
+            self._mark(node, 0)
+        self._maybe_covered(0)
+
+    def _mark(self, node: NodeId, t: int) -> None:
+        self.visit_counts[node] = self.visit_counts.get(node, 0) + 1
+        self.first_visit.setdefault(node, t)
+        previous = self.last_visit.get(node)
+        if previous is not None:
+            gap = t - previous - 1
+            if gap > self.max_gap[node]:
+                self.max_gap[node] = gap
+        else:
+            gap = t  # unvisited since the start of time
+            if gap > self.max_gap[node]:
+                self.max_gap[node] = gap
+        self.last_visit[node] = t
+
+    def _maybe_covered(self, t: int) -> None:
+        if self.cover_time is None and len(self.first_visit) == self._n:
+            self.cover_time = t
+
+    def on_round(self, record: RoundRecord) -> None:
+        t = record.t + 1
+        self._now = t
+        for node in set(record.after.positions):
+            self._mark(node, t)
+        self._maybe_covered(t)
+
+    def trailing_gap(self, node: NodeId) -> int:
+        """Time steps since ``node`` was last occupied (now-open gap)."""
+        last = self.last_visit.get(node)
+        if last is None:
+            return self._now + 1
+        return self._now - last
+
+    def worst_gap(self, node: NodeId) -> int:
+        """Max of the recorded maximal gap and the still-open trailing gap."""
+        return max(self.max_gap.get(node, 0), self.trailing_gap(node))
+
+    def starved_nodes(self, window: int) -> frozenset[NodeId]:
+        """Nodes whose worst gap meets or exceeds ``window``."""
+        return frozenset(
+            node for node in self.max_gap if self.worst_gap(node) >= window
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TowerEvent:
+    """An interval-maximal tower: members, location, and closed interval.
+
+    Matches the paper's definition (Section 2.2): the robot set ``members``
+    occupied ``node`` together throughout ``[start, end]``, and the pair
+    (set, interval) is maximal. ``end`` is ``None`` while still open.
+    """
+
+    node: NodeId
+    members: tuple[RobotId, ...]
+    start: int
+    end: int | None
+
+
+class TowerLogger:
+    """Reconstructs interval-maximal towers from the round stream."""
+
+    def __init__(self) -> None:
+        self.closed: list[TowerEvent] = []
+        self._open: dict[tuple[NodeId, tuple[RobotId, ...]], int] = {}
+        self._now = 0
+
+    def on_start(self, topology: Topology, initial: Configuration) -> None:
+        self._now = 0
+        for node, members in initial.towers().items():
+            self._open[(node, members)] = 0
+
+    def on_round(self, record: RoundRecord) -> None:
+        t = record.t + 1
+        self._now = t
+        current = {
+            (node, members) for node, members in record.after.towers().items()
+        }
+        for key, start in list(self._open.items()):
+            if key not in current:
+                node, members = key
+                self.closed.append(TowerEvent(node, members, start, t - 1))
+                del self._open[key]
+        for key in current:
+            self._open.setdefault(key, t)
+
+    def all_events(self) -> list[TowerEvent]:
+        """Closed towers plus still-open ones (with ``end=None``)."""
+        events = list(self.closed)
+        for (node, members), start in self._open.items():
+            events.append(TowerEvent(node, members, start, None))
+        events.sort(key=lambda e: (e.start, e.node))
+        return events
+
+    @property
+    def max_members(self) -> int:
+        """Largest tower size ever observed (0 when no tower formed)."""
+        sizes = [len(e.members) for e in self.all_events()]
+        return max(sizes, default=0)
+
+
+class EdgeRecorder:
+    """Per-edge presence statistics (recurrence / staleness audits)."""
+
+    def __init__(self) -> None:
+        self.presence_counts: dict[EdgeId, int] = {}
+        self.last_present: dict[EdgeId, int | None] = {}
+        self.longest_absence: dict[EdgeId, int] = {}
+        self._absent_since: dict[EdgeId, int] = {}
+        self._edges: tuple[EdgeId, ...] = ()
+        self._rounds = 0
+
+    def on_start(self, topology: Topology, initial: Configuration) -> None:
+        self._edges = tuple(topology.edges)
+        for edge in self._edges:
+            self.presence_counts[edge] = 0
+            self.last_present[edge] = None
+            self.longest_absence[edge] = 0
+            self._absent_since[edge] = 0
+        self._rounds = 0
+
+    def on_round(self, record: RoundRecord) -> None:
+        t = record.t
+        self._rounds = t + 1
+        for edge in self._edges:
+            if edge in record.present_edges:
+                self.presence_counts[edge] += 1
+                self.last_present[edge] = t
+                gap = t - self._absent_since[edge]
+                if gap > self.longest_absence[edge]:
+                    self.longest_absence[edge] = gap
+                self._absent_since[edge] = t + 1
+            # absent: the open gap is measured lazily below
+
+    def open_absence(self, edge: EdgeId) -> int:
+        """Rounds since ``edge`` was last present (possibly still growing)."""
+        return self._rounds - self._absent_since[edge]
+
+    def worst_absence(self, edge: EdgeId) -> int:
+        """Max of closed absences and the still-open one."""
+        return max(self.longest_absence[edge], self.open_absence(edge))
+
+    def suspected_eventually_missing(self, threshold: int) -> frozenset[EdgeId]:
+        """Edges absent throughout the trailing ``threshold`` rounds."""
+        return frozenset(
+            edge for edge in self._edges if self.open_absence(edge) >= threshold
+        )
+
+
+__all__ = [
+    "Observer",
+    "VisitTracker",
+    "TowerEvent",
+    "TowerLogger",
+    "EdgeRecorder",
+]

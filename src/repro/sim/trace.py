@@ -1,0 +1,132 @@
+"""Execution traces: the external observer's record of a run.
+
+An execution (paper Section 2.3) is the sequence ``(G_0, γ_0), (G_1, γ_1),
+...``. :class:`ExecutionTrace` stores exactly that — plus per-round detail
+(views, computed states, movement flags) that the proofs reason about and
+the analysis layer consumes. Traces are append-only during a run and
+immutable afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Optional
+
+from repro.graph.evolving import RecordedEvolvingGraph
+from repro.graph.topology import Topology
+from repro.robots.view import LocalView
+from repro.sim.config import Configuration
+from repro.types import EdgeId, NodeId, RobotId
+
+
+@dataclass(frozen=True, slots=True)
+class RoundRecord:
+    """Everything that happened during one synchronous round ``t``.
+
+    ``before`` is the configuration during the Look phase (states are the
+    *pre-Compute* states); ``after`` is the configuration entering round
+    ``t + 1`` (post-Compute states, post-Move positions). ``views`` are the
+    Look-phase snapshots; ``moved[i]`` tells whether robot ``i`` crossed an
+    edge during the Move phase.
+    """
+
+    t: int
+    present_edges: frozenset[EdgeId]
+    before: Configuration
+    views: tuple[LocalView, ...]
+    after: Configuration
+    moved: tuple[bool, ...]
+
+
+@dataclass
+class ExecutionTrace:
+    """The full record of a finite run.
+
+    The configuration at time ``t`` (``0 <= t <= rounds``) is reachable via
+    :meth:`configuration_at`; per-round details via :attr:`records`.
+    """
+
+    topology: Topology
+    initial: Configuration
+    records: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """Number of completed rounds."""
+        return len(self.records)
+
+    @property
+    def final(self) -> Configuration:
+        """The configuration after the last completed round."""
+        if not self.records:
+            return self.initial
+        return self.records[-1].after
+
+    def append(self, record: RoundRecord) -> None:
+        """Append one completed round (engine-internal)."""
+        self.records.append(record)
+
+    def configuration_at(self, t: int) -> Configuration:
+        """The configuration entering round ``t`` (``γ_t`` of the paper)."""
+        if t == 0:
+            return self.initial
+        if not 0 < t <= len(self.records):
+            raise IndexError(f"time {t} outside 0..{len(self.records)}")
+        return self.records[t - 1].after
+
+    def positions_at(self, t: int) -> tuple[NodeId, ...]:
+        """Robot positions entering round ``t``."""
+        return self.configuration_at(t).positions
+
+    def states_at(self, t: int) -> tuple[Hashable, ...]:
+        """Robot states entering round ``t``."""
+        return self.configuration_at(t).states
+
+    def visits(self) -> Iterator[tuple[int, NodeId, RobotId]]:
+        """Iterate all (time, node, robot) visit events.
+
+        A robot *visits* the node it stands on; time 0 positions count as
+        visits at t = 0, and each round's post-Move positions count at
+        ``t + 1``.
+        """
+        for robot, node in enumerate(self.initial.positions):
+            yield (0, node, robot)
+        for record in self.records:
+            for robot, node in enumerate(record.after.positions):
+                yield (record.t + 1, node, robot)
+
+    def nodes_visited(self) -> frozenset[NodeId]:
+        """All nodes visited at least once during the run."""
+        seen: set[NodeId] = set(self.initial.positions)
+        for record in self.records:
+            seen.update(record.after.positions)
+        return frozenset(seen)
+
+    def visited_between(self, start: int, end: int) -> frozenset[NodeId]:
+        """Nodes occupied at some time ``t`` with ``start <= t <= end``."""
+        seen: set[NodeId] = set()
+        for t in range(max(start, 0), min(end, self.rounds) + 1):
+            seen.update(self.positions_at(t))
+        return frozenset(seen)
+
+    def recorded_graph(self) -> RecordedEvolvingGraph:
+        """The realized evolving graph of this run."""
+        return RecordedEvolvingGraph(
+            self.topology, [record.present_edges for record in self.records]
+        )
+
+    def robot_path(self, robot: RobotId) -> list[NodeId]:
+        """The node sequence robot ``robot`` occupied at times 0..rounds."""
+        path = [self.initial.positions[robot]]
+        for record in self.records:
+            path.append(record.after.positions[robot])
+        return path
+
+    def move_count(self, robot: Optional[RobotId] = None) -> int:
+        """Edge crossings by one robot, or by all robots together."""
+        if robot is None:
+            return sum(sum(record.moved) for record in self.records)
+        return sum(1 for record in self.records if record.moved[robot])
+
+
+__all__ = ["RoundRecord", "ExecutionTrace"]

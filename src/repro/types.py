@@ -1,0 +1,133 @@
+"""Fundamental value types shared across the :mod:`repro` library.
+
+This module defines the small algebra of directions used throughout the
+paper's model (Section 2.2):
+
+* :class:`Direction` — a robot-local direction (``LEFT`` / ``RIGHT``). The
+  paper's robots store such a value in their ``dir`` variable, initially
+  ``LEFT``.
+* :class:`GlobalDirection` — the external observer's orientation of the ring
+  (``CW`` / ``CCW``, Section 2.1). Robots never see global directions; they
+  exist only for analysis and proofs.
+* :class:`Chirality` — the fixed, per-robot mapping between the two frames.
+  "Each robot has its own stable chirality" (Section 2.2): it can label its
+  two ports consistently over time, but two robots may disagree.
+
+Identifiers (node, edge, robot) are plain ``int`` for speed; the aliases
+below exist for documentation value in signatures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Final
+
+NodeId = int
+"""Identifier of a ring/chain node (``0 .. n-1``)."""
+
+EdgeId = int
+"""Identifier of a footprint edge (``0 .. m-1``)."""
+
+RobotId = int
+"""Simulator-internal robot index.
+
+The paper's robots are anonymous; algorithms never observe this identifier.
+It exists purely so the engine, traces and analysis code can talk about
+individual robots, exactly like the external observer of the proofs.
+"""
+
+
+class Direction(enum.Enum):
+    """A robot-local direction: the label of one of the two ports.
+
+    The robot's ``dir`` variable (Section 2.2) holds such a value and is
+    initially :attr:`LEFT`.
+    """
+
+    LEFT = "left"
+    RIGHT = "right"
+
+    def opposite(self) -> "Direction":
+        """Return the other local direction (the paper's overline-dir)."""
+        return Direction.RIGHT if self is Direction.LEFT else Direction.LEFT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Direction.{self.name}"
+
+
+class GlobalDirection(enum.Enum):
+    """The external observer's orientation of the ring (Section 2.1).
+
+    ``CW`` (clockwise) moves from node ``u`` to node ``(u+1) mod n``;
+    ``CCW`` moves to ``(u-1) mod n``. These are analysis-only notions.
+    """
+
+    CW = "cw"
+    CCW = "ccw"
+
+    def opposite(self) -> "GlobalDirection":
+        """Return the other global direction."""
+        return GlobalDirection.CCW if self is GlobalDirection.CW else GlobalDirection.CW
+
+    def step(self) -> int:
+        """Signed node-index increment of one move in this direction."""
+        return 1 if self is GlobalDirection.CW else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GlobalDirection.{self.name}"
+
+
+class Chirality(enum.Enum):
+    """Fixed mapping between a robot's local frame and the global frame.
+
+    * :attr:`AGREE` — the robot's local ``RIGHT`` is the global ``CW``.
+    * :attr:`DISAGREE` — the robot's local ``RIGHT`` is the global ``CCW``.
+
+    Chirality is *stable* (never changes during an execution) but arbitrary
+    per robot, reproducing "no common sense of direction".
+    """
+
+    AGREE = "agree"
+    DISAGREE = "disagree"
+
+    def to_global(self, local: Direction) -> GlobalDirection:
+        """Translate a local direction into the global frame."""
+        if self is Chirality.AGREE:
+            return GlobalDirection.CW if local is Direction.RIGHT else GlobalDirection.CCW
+        return GlobalDirection.CCW if local is Direction.RIGHT else GlobalDirection.CW
+
+    def to_local(self, global_dir: GlobalDirection) -> Direction:
+        """Translate a global direction into this robot's local frame."""
+        if self is Chirality.AGREE:
+            return Direction.RIGHT if global_dir is GlobalDirection.CW else Direction.LEFT
+        return Direction.LEFT if global_dir is GlobalDirection.CW else Direction.RIGHT
+
+    def flipped(self) -> "Chirality":
+        """Return the opposite chirality (used by mirror-symmetry arguments)."""
+        return Chirality.DISAGREE if self is Chirality.AGREE else Chirality.AGREE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Chirality.{self.name}"
+
+
+LEFT: Final[Direction] = Direction.LEFT
+RIGHT: Final[Direction] = Direction.RIGHT
+CW: Final[GlobalDirection] = GlobalDirection.CW
+CCW: Final[GlobalDirection] = GlobalDirection.CCW
+AGREE: Final[Chirality] = Chirality.AGREE
+DISAGREE: Final[Chirality] = Chirality.DISAGREE
+
+__all__ = [
+    "NodeId",
+    "EdgeId",
+    "RobotId",
+    "Direction",
+    "GlobalDirection",
+    "Chirality",
+    "LEFT",
+    "RIGHT",
+    "CW",
+    "CCW",
+    "AGREE",
+    "DISAGREE",
+]

@@ -1,0 +1,49 @@
+"""Exhaustive verification: exact Table 1 verdicts on concrete instances.
+
+The paper's Table 1 claims are universally quantified ("no deterministic
+algorithm…", "…any connected-over-time ring"). For a *fixed* finite-state
+algorithm on a *fixed* ring size, perpetual exploration against the
+strongest adversary is decidable — the interaction is a game on the finite
+product of robot positions, robot states and adversarial edge choices.
+This subpackage decides it:
+
+* :mod:`repro.verification.product` — the product transition system,
+  driven by the very same :func:`repro.sim.engine.step_fsync` the
+  simulator uses;
+* :mod:`repro.verification.game` — the solver: the adversary wins iff,
+  from some well-initiated configuration, some reachable SCC of the
+  target-node-avoiding subgraph leaves at most one ring edge never
+  present (see the soundness/completeness argument in the module
+  docstring). Emits replayable lasso certificates on wins;
+* :mod:`repro.verification.certificates` — certificate datatypes and the
+  *independent* replay validator (simulator-checked, period-exact);
+* :mod:`repro.verification.enumeration` — exhaustive sweeps over whole
+  algorithm classes (e.g. all 256 memoryless single-robot algorithms).
+"""
+
+from repro.verification.certificates import (
+    TrapCertificate,
+    certificate_schedule,
+    validate_certificate,
+)
+from repro.verification.game import ExplorationVerdict, synthesize_trap, verify_exploration
+from repro.verification.product import ProductSystem, SysState
+from repro.verification.enumeration import (
+    SweepResult,
+    sweep_single_robot_memoryless,
+    sweep_two_robot_memoryless,
+)
+
+__all__ = [
+    "ProductSystem",
+    "SysState",
+    "ExplorationVerdict",
+    "verify_exploration",
+    "synthesize_trap",
+    "TrapCertificate",
+    "certificate_schedule",
+    "validate_certificate",
+    "SweepResult",
+    "sweep_single_robot_memoryless",
+    "sweep_two_robot_memoryless",
+]

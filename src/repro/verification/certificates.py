@@ -1,0 +1,157 @@
+"""Trap certificates: machine-checkable impossibility witnesses.
+
+A :class:`TrapCertificate` is a finite object proving an infinite claim:
+*this* algorithm, started from *this* well-initiated configuration on
+*this* ring, never visits ``starved_node`` again after a finite prefix,
+although the scheduled evolving graph is connected-over-time.
+
+The proof pattern is the paper's own (Sections 4.1, 5.1): exhibit a lasso
+— a finite prefix of edge sets followed by a finite cycle repeated forever
+(the proofs' ``G_ω``). Because the robots are deterministic, checking the
+infinite behaviour needs only one period:
+
+1. **periodicity** — the full system configuration (positions *and*
+   states) after the prefix equals the configuration one cycle later, so
+   the execution is eventually periodic and the first period determines
+   everything;
+2. **starvation** — the starved node is unoccupied at every instant of
+   that period (hence of every later one);
+3. **recurrence budget** — every edge absent from *all* cycle steps is
+   eventually missing; there must be at most one such edge on a ring
+   (none on a chain), and every other edge must appear in the cycle,
+   making it recurrent in the infinite unrolling.
+
+:func:`validate_certificate` replays the lasso through the *simulator*
+(:func:`repro.sim.engine.run_fsync`) — not through the solver that
+produced it — so a bug in either component is caught by the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CertificateError
+from repro.graph.evolving import LassoSchedule
+from repro.graph.topology import Topology
+from repro.robots.algorithms.base import Algorithm
+from repro.sim.engine import run_fsync
+from repro.types import Chirality, EdgeId, NodeId
+
+
+@dataclass(frozen=True)
+class TrapCertificate:
+    """A replayable impossibility witness (see module docstring)."""
+
+    algorithm_name: str
+    topology: Topology
+    chiralities: tuple[Chirality, ...]
+    seed_positions: tuple[NodeId, ...]
+    prefix: tuple[frozenset[EdgeId], ...]
+    cycle: tuple[frozenset[EdgeId], ...]
+    starved_node: NodeId
+    eventually_missing: frozenset[EdgeId]
+
+    @property
+    def k(self) -> int:
+        """Number of robots."""
+        return len(self.seed_positions)
+
+    @property
+    def n(self) -> int:
+        """Ring size."""
+        return self.topology.n
+
+    def summary(self) -> str:
+        """One-line human summary for reports."""
+        return (
+            f"trap[{self.algorithm_name} k={self.k} n={self.n}]: starves node "
+            f"{self.starved_node}, prefix {len(self.prefix)}, cycle "
+            f"{len(self.cycle)}, eventually missing {sorted(self.eventually_missing)}"
+        )
+
+
+def certificate_schedule(certificate: TrapCertificate) -> LassoSchedule:
+    """The certificate's evolving graph (prefix + repeated cycle)."""
+    return LassoSchedule(
+        certificate.topology, certificate.prefix, certificate.cycle
+    )
+
+
+def validate_certificate(
+    certificate: TrapCertificate, algorithm: Algorithm
+) -> None:
+    """Independently replay and check a certificate; raise on any defect.
+
+    Raises :class:`CertificateError` unless all three conditions of the
+    module docstring hold under simulator replay.
+    """
+    if algorithm.name != certificate.algorithm_name:
+        raise CertificateError(
+            f"certificate is for {certificate.algorithm_name!r}, "
+            f"got algorithm {algorithm.name!r}"
+        )
+    topology = certificate.topology
+    if not certificate.cycle:
+        raise CertificateError("certificate cycle is empty")
+
+    # Recurrence budget: edges never present during the cycle.
+    cycle_union: set[EdgeId] = set()
+    for step in certificate.cycle:
+        cycle_union.update(step)
+    missing = topology.all_edges - cycle_union
+    if missing != certificate.eventually_missing:
+        raise CertificateError(
+            f"declared eventually-missing {sorted(certificate.eventually_missing)} "
+            f"!= realized {sorted(missing)}"
+        )
+    budget = 1 if topology.is_ring else 0
+    if len(missing) > budget:
+        raise CertificateError(
+            f"{len(missing)} eventually-missing edges exceed the "
+            f"connected-over-time budget {budget}"
+        )
+
+    # Replay through the simulator: prefix + two cycles.
+    schedule = certificate_schedule(certificate)
+    p, c = len(certificate.prefix), len(certificate.cycle)
+    towerless_seed = len(set(certificate.seed_positions)) == len(
+        certificate.seed_positions
+    )
+    result = run_fsync(
+        topology,
+        schedule,
+        algorithm,
+        positions=certificate.seed_positions,
+        rounds=p + 2 * c,
+        chiralities=certificate.chiralities,
+        # Ill-initiated (towered) seeds arise from experiment X6 traps.
+        require_well_initiated=towerless_seed,
+    )
+    trace = result.trace
+    assert trace is not None
+
+    # Periodicity: the configuration after the prefix recurs one cycle later.
+    at_anchor = trace.configuration_at(p)
+    at_anchor_plus = trace.configuration_at(p + c)
+    if at_anchor != at_anchor_plus:
+        raise CertificateError(
+            "execution is not periodic over the certificate cycle: "
+            f"configuration at t={p} differs from t={p + c}"
+        )
+
+    # Starvation: the node is unoccupied throughout one full period.
+    for t in range(p, p + c):
+        if certificate.starved_node in trace.positions_at(t):
+            raise CertificateError(
+                f"starved node {certificate.starved_node} is occupied at t={t}"
+            )
+
+    # Recurrent edges really recur: every non-missing edge appears in the cycle.
+    for edge in topology.edges:
+        if edge in missing:
+            continue
+        if edge not in cycle_union:  # pragma: no cover - implied by missing calc
+            raise CertificateError(f"edge {edge} neither recurrent nor declared missing")
+
+
+__all__ = ["TrapCertificate", "certificate_schedule", "validate_certificate"]

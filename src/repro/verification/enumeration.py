@@ -1,0 +1,172 @@
+"""Exhaustive and sampled sweeps over whole algorithm classes.
+
+The paper's impossibility theorems quantify over *all* deterministic
+algorithms. For bounded-memory classes this is a finite quantifier, and we
+can discharge it by brute force:
+
+* :func:`sweep_single_robot_memoryless` — all ``2**8`` memoryless
+  single-robot algorithms on an ``n >= 3`` ring. With one robot,
+  chirality is a relabeling of left/right, and the enumerated class is
+  closed under that relabeling, so checking one chirality per table
+  covers the class-level claim. Theorem 5.1 predicts: all of them fail.
+* :func:`sweep_two_robot_memoryless` — the ``2**16`` memoryless two-robot
+  algorithms on an ``n >= 4`` ring (exhaustive or uniformly sampled).
+  The enumerated class is closed under the left/right relabeling too, so
+  the all-AGREE chirality vector is checked first and mixed vectors only
+  as a fallback. Theorem 4.1 predicts: all fail.
+
+A sweep's value is the *shape* of its result: ``trapped == total`` is an
+exhaustive finite-domain confirmation of the paper's universally
+quantified claim, something no sampling of schedules could give.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import VerificationError
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms.tables import (
+    TableAlgorithm,
+    enumerate_memoryless_single_robot_tables,
+    memoryless_table_from_bits,
+)
+from repro.types import Chirality
+from repro.verification.game import verify_exploration
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of an algorithm-class sweep."""
+
+    description: str
+    n: int
+    k: int
+    total: int
+    trapped: int
+    explorers: list[str] = field(default_factory=list)
+    states_explored: int = 0
+
+    @property
+    def all_trapped(self) -> bool:
+        """Whether every member of the class failed (the theorems' claim)."""
+        return self.trapped == self.total and not self.explorers
+
+    def summary(self) -> str:
+        """One-line human summary for reports."""
+        status = "ALL TRAPPED" if self.all_trapped else (
+            f"{len(self.explorers)} UNEXPECTED EXPLORERS: {self.explorers[:5]}"
+        )
+        return (
+            f"{self.description} (n={self.n}, k={self.k}): "
+            f"{self.trapped}/{self.total} trapped — {status}"
+        )
+
+
+def sweep_single_robot_memoryless(
+    n: int, validate_certificates: bool = False
+) -> SweepResult:
+    """Check all 256 memoryless single-robot algorithms on the ``n``-ring.
+
+    Theorem 5.1 says every one of them must be trappable for ``n >= 3``.
+    """
+    if n < 3:
+        raise VerificationError(
+            f"Theorem 5.1 concerns rings of size >= 3, got n={n}"
+        )
+    topology = RingTopology(n)
+    result = SweepResult(
+        description="all memoryless 1-robot algorithms", n=n, k=1, total=0, trapped=0
+    )
+    for algorithm in enumerate_memoryless_single_robot_tables():
+        verdict = verify_exploration(
+            algorithm,
+            topology,
+            k=1,
+            chirality_vectors=[(Chirality.AGREE,)],
+            validate=validate_certificates,
+        )
+        result.total += 1
+        result.states_explored += verdict.states_explored
+        if verdict.explorable:
+            result.explorers.append(algorithm.name)
+        else:
+            result.trapped += 1
+    return result
+
+
+def sweep_two_robot_memoryless(
+    n: int,
+    sample: Optional[int] = 2048,
+    seed: int = 20170605,
+    validate_certificates: bool = False,
+    extra_tables: Iterable[TableAlgorithm] = (),
+) -> SweepResult:
+    """Check memoryless two-robot algorithms on the ``n``-ring.
+
+    ``sample=None`` sweeps all 65536 tables (minutes); an integer draws
+    that many distinct tables uniformly (plus any ``extra_tables``, e.g.
+    the structured baselines). Theorem 4.1 says every member must be
+    trappable for ``n >= 4``.
+
+    For each table the all-AGREE chirality vector is tried first; only if
+    the table survives it are the remaining vectors checked (an algorithm
+    fails the spec if *any* well-initiated execution — any chirality
+    assignment — is trappable).
+    """
+    if n < 4:
+        raise VerificationError(
+            f"Theorem 4.1 concerns rings of size >= 4, got n={n}"
+        )
+    topology = RingTopology(n)
+    if sample is None:
+        bit_patterns: Iterable[int] = range(1 << 16)
+        total_hint = 1 << 16
+    else:
+        if not 1 <= sample <= 1 << 16:
+            raise VerificationError(f"sample must be in 1..65536, got {sample}")
+        rng = random.Random(seed)
+        bit_patterns = rng.sample(range(1 << 16), sample)
+        total_hint = sample
+    description = (
+        "all memoryless 2-robot algorithms"
+        if sample is None
+        else f"{total_hint} sampled memoryless 2-robot algorithms"
+    )
+    result = SweepResult(description=description, n=n, k=2, total=0, trapped=0)
+
+    agree_first = [
+        [(Chirality.AGREE, Chirality.AGREE)],
+        [(Chirality.AGREE, Chirality.DISAGREE)],
+    ]
+
+    def check(algorithm: TableAlgorithm) -> None:
+        result.total += 1
+        for vectors in agree_first:
+            verdict = verify_exploration(
+                algorithm,
+                topology,
+                k=2,
+                chirality_vectors=vectors,
+                validate=validate_certificates,
+            )
+            result.states_explored += verdict.states_explored
+            if not verdict.explorable:
+                result.trapped += 1
+                return
+        result.explorers.append(algorithm.name)
+
+    for bits in bit_patterns:
+        check(memoryless_table_from_bits(bits))
+    for algorithm in extra_tables:
+        check(algorithm)
+    return result
+
+
+__all__ = [
+    "SweepResult",
+    "sweep_single_robot_memoryless",
+    "sweep_two_robot_memoryless",
+]

@@ -1,0 +1,421 @@
+"""The exploration game solver: exact verdicts and trap synthesis.
+
+Fix a finite-state deterministic algorithm ``A``, a footprint of ``n``
+nodes and ``k < n`` robots. The interaction between robots and adversary
+is a turn game on the finite product system (:mod:`.product`): each round
+the adversary picks a present-edge set, the robots respond
+deterministically. The adversary *wins* iff it can produce an infinite
+play that is connected-over-time (at most one edge present only finitely
+often, on a ring; none on a chain) while some node is visited only
+finitely often.
+
+**Decision criterion.** The adversary wins iff for some chirality vector,
+some target node ``v`` and some strongly connected component ``S`` of the
+``v``-avoiding subgraph of the reachable product graph, ``S`` has at least
+one internal transition and the union ``U`` of present-edge labels over
+*all* internal transitions of ``S`` misses at most ``budget`` footprint
+edges (``budget`` = 1 ring / 0 chain).
+
+*Soundness*: inside an SCC the adversary can realize a single closed walk
+traversing every internal transition, and repeat it forever after a finite
+prefix leading into ``S``; every edge in ``U`` then appears once per
+period (recurrent), every edge outside ``U`` never appears again
+(eventually missing, within budget), and ``v`` is never occupied after the
+prefix.
+
+*Completeness*: in any winning play, after the last visit to ``v`` the
+play stays in the ``v``-avoiding subgraph; the transitions it uses
+infinitely often form a strongly connected sub-multigraph contained in
+some SCC ``S``, and the union of their labels is exactly the recurrent
+edge set, which the full-``S`` union can only enlarge — so ``S`` passes
+the criterion.
+
+Symmetry reductions (all verdict-preserving, see
+:func:`default_chirality_vectors` and
+:func:`repro.graph.topology.canonical_placements`): seeds are reduced by
+ring rotation; chirality vectors by robot permutation (robots are uniform
+with identical initial states) and by ring reflection (which flips every
+robot's chirality).
+
+On a win the solver emits a :class:`~.certificates.TrapCertificate`
+(prefix + cycle lasso), which is immediately re-validated by *simulator
+replay* — solver and engine check each other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import VerificationError
+from repro.graph.topology import Topology
+from repro.robots.algorithms.base import Algorithm
+from repro.types import Chirality, EdgeId, NodeId
+from repro.verification.certificates import TrapCertificate, validate_certificate
+from repro.verification.product import ProductSystem, SysState
+
+_InternalTransition = tuple[SysState, frozenset[EdgeId], SysState]
+
+
+def default_chirality_vectors(k: int) -> tuple[tuple[Chirality, ...], ...]:
+    """Chirality vectors to check, reduced by symmetry.
+
+    Robots are uniform and start in identical states, so permuting robots
+    (together with re-canonicalizing the seed placement) maps executions
+    to executions: only the *multiset* of chiralities matters. Reflecting
+    the ring maps chirality vector ``χ`` to its flip: a vector and its
+    flip give mirror-isomorphic games. Representatives: ``i`` AGREE robots
+    and ``k - i`` DISAGREE for ``ceil(k/2) <= i <= k``.
+    """
+    if k < 1:
+        raise VerificationError(f"need at least one robot, got k={k}")
+    vectors = []
+    for agree_count in range(k, (k - 1) // 2, -1):
+        vectors.append(
+            (Chirality.AGREE,) * agree_count
+            + (Chirality.DISAGREE,) * (k - agree_count)
+        )
+    return tuple(vectors)
+
+
+@dataclass
+class ExplorationVerdict:
+    """The solver's answer for one (algorithm, footprint, k) instance."""
+
+    algorithm_name: str
+    topology: Topology
+    k: int
+    explorable: bool
+    certificate: Optional[TrapCertificate]
+    states_explored: int
+    transitions_explored: int
+    chirality_vectors: tuple[tuple[Chirality, ...], ...]
+
+    @property
+    def n(self) -> int:
+        """Ring size."""
+        return self.topology.n
+
+    def summary(self) -> str:
+        """One-line human summary for reports."""
+        verdict = "EXPLORES" if self.explorable else "TRAPPED"
+        detail = "" if self.certificate is None else f" — {self.certificate.summary()}"
+        return (
+            f"{self.algorithm_name} k={self.k} n={self.n}: {verdict} "
+            f"({self.states_explored} states, {self.transitions_explored} "
+            f"transitions){detail}"
+        )
+
+
+def verify_exploration(
+    algorithm: Algorithm,
+    topology: Topology,
+    k: int,
+    chirality_vectors: Optional[Sequence[Sequence[Chirality]]] = None,
+    max_states: int = 2_000_000,
+    validate: bool = True,
+    placements: Optional[Sequence[Sequence[NodeId]]] = None,
+) -> ExplorationVerdict:
+    """Decide perpetual exploration for a finite-state algorithm instance.
+
+    Returns an :class:`ExplorationVerdict`; when the adversary wins, the
+    verdict carries a simulator-validated :class:`TrapCertificate` (set
+    ``validate=False`` to skip the replay, e.g. inside huge sweeps).
+
+    ``placements`` overrides the initial configurations to quantify over
+    (default: every towerless placement, rotation-reduced on rings — the
+    paper's well-initiated starts). Passing placements that contain
+    towers asks the *ill-initiated* question instead — see experiment X6.
+    """
+    if chirality_vectors is None:
+        vectors = default_chirality_vectors(k)
+    else:
+        vectors = tuple(tuple(vector) for vector in chirality_vectors)
+        for vector in vectors:
+            if len(vector) != k:
+                raise VerificationError(
+                    f"chirality vector {vector} has length {len(vector)}, want {k}"
+                )
+    total_states = 0
+    total_transitions = 0
+    for vector in vectors:
+        system = ProductSystem(topology, algorithm, vector, max_states=max_states)
+        seeds = system.initial_states(placements)
+        graph = system.reachable(seeds)
+        total_states += len(graph)
+        total_transitions += sum(len(out) for out in graph.values())
+        for target in topology.nodes:
+            win = _winning_scc(topology, graph, target)
+            if win is None:
+                continue
+            scc_states, internal = win
+            certificate = _extract_certificate(
+                topology, algorithm, vector, graph, seeds, target, scc_states, internal
+            )
+            if validate:
+                validate_certificate(certificate, algorithm)
+            return ExplorationVerdict(
+                algorithm_name=algorithm.name,
+                topology=topology,
+                k=k,
+                explorable=False,
+                certificate=certificate,
+                states_explored=total_states,
+                transitions_explored=total_transitions,
+                chirality_vectors=vectors,
+            )
+    return ExplorationVerdict(
+        algorithm_name=algorithm.name,
+        topology=topology,
+        k=k,
+        explorable=True,
+        certificate=None,
+        states_explored=total_states,
+        transitions_explored=total_transitions,
+        chirality_vectors=vectors,
+    )
+
+
+def synthesize_trap(
+    algorithm: Algorithm,
+    topology: Topology,
+    k: int,
+    chirality_vectors: Optional[Sequence[Sequence[Chirality]]] = None,
+    max_states: int = 2_000_000,
+) -> TrapCertificate:
+    """Produce a validated trap for an instance known to be non-explorable.
+
+    Raises :class:`VerificationError` when the instance is in fact
+    explorable (no trap exists).
+    """
+    verdict = verify_exploration(
+        algorithm, topology, k, chirality_vectors, max_states, validate=True
+    )
+    if verdict.explorable or verdict.certificate is None:
+        raise VerificationError(
+            f"{algorithm.name!r} explores {topology!r} with k={k}: no trap exists"
+        )
+    return verdict.certificate
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _winning_scc(
+    topology: Topology,
+    graph: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]],
+    target: NodeId,
+) -> Optional[tuple[set[SysState], list[_InternalTransition]]]:
+    """Find an SCC of the target-avoiding subgraph within recurrence budget."""
+    budget = 1 if topology.is_ring else 0
+    avoiding = {state for state in graph if target not in state[0]}
+    if not avoiding:
+        return None
+
+    successor_cache: dict[SysState, tuple[SysState, ...]] = {}
+
+    def successors(state: SysState) -> tuple[SysState, ...]:
+        cached = successor_cache.get(state)
+        if cached is None:
+            cached = tuple(
+                {succ for _label, succ in graph[state] if succ in avoiding}
+            )
+            successor_cache[state] = cached
+        return cached
+
+    for component in _tarjan_sccs(avoiding, successors):
+        component_set = set(component)
+        internal: list[_InternalTransition] = []
+        union: set[EdgeId] = set()
+        for state in component:
+            for label, succ in graph[state]:
+                if succ in component_set:
+                    internal.append((state, label, succ))
+                    union.update(label)
+        if not internal:
+            continue
+        missing = topology.all_edges - union
+        if len(missing) <= budget:
+            return component_set, internal
+    return None
+
+
+def _tarjan_sccs(
+    nodes: Iterable[SysState],
+    successors,
+) -> Iterable[list[SysState]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[SysState, int] = {}
+    low: dict[SysState, int] = {}
+    on_stack: set[SysState] = set()
+    stack: list[SysState] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[SysState, Iterable]] = [(root, iter(successors(root)))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, child_iter = work[-1]
+            advanced = False
+            for child in child_iter:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    if index[child] < low[node]:
+                        low[node] = index[child]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                yield component
+
+
+def _extract_certificate(
+    topology: Topology,
+    algorithm: Algorithm,
+    chiralities: tuple[Chirality, ...],
+    graph: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]],
+    seeds: Sequence[SysState],
+    target: NodeId,
+    scc_states: set[SysState],
+    internal: list[_InternalTransition],
+) -> TrapCertificate:
+    """Build the lasso certificate for a winning SCC."""
+    # --- prefix: BFS from the seeds (full graph) into the SCC -----------
+    parent: dict[SysState, Optional[tuple[SysState, frozenset[EdgeId]]]] = {}
+    queue: deque[SysState] = deque()
+    entry: Optional[SysState] = None
+    for seed in seeds:
+        if seed in parent:
+            continue
+        parent[seed] = None
+        queue.append(seed)
+        if seed in scc_states:
+            entry = seed
+            break
+    while queue and entry is None:
+        state = queue.popleft()
+        for label, succ in graph[state]:
+            if succ in parent:
+                continue
+            parent[succ] = (state, label)
+            if succ in scc_states:
+                entry = succ
+                break
+            queue.append(succ)
+    if entry is None:  # pragma: no cover - SCC is reachable by construction
+        raise VerificationError("winning SCC unreachable from seeds")
+
+    prefix: list[frozenset[EdgeId]] = []
+    cursor = entry
+    while parent[cursor] is not None:
+        prev, label = parent[cursor]  # type: ignore[misc]
+        prefix.append(label)
+        cursor = prev
+    prefix.reverse()
+    seed_state = cursor
+
+    # --- cycle: closed walk covering the SCC's recurrent edge union -----
+    union: set[EdgeId] = set()
+    for _state, label, _succ in internal:
+        union.update(label)
+    remaining = set(union)
+    cover: list[_InternalTransition] = []
+    pool = list(internal)
+    while remaining:
+        best = max(pool, key=lambda tr: len(tr[1] & remaining))
+        gain = best[1] & remaining
+        if not gain:  # pragma: no cover - remaining ⊆ union by construction
+            raise VerificationError("cover construction stalled")
+        cover.append(best)
+        remaining -= gain
+    if not cover:
+        cover = [internal[0]]
+
+    adjacency: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]] = {}
+    for state, label, succ in internal:
+        adjacency.setdefault(state, []).append((label, succ))
+
+    def internal_path(src: SysState, dst: SysState) -> list[frozenset[EdgeId]]:
+        """Labels of a shortest internal walk src → dst within the SCC."""
+        if src == dst:
+            return []
+        back: dict[SysState, tuple[SysState, frozenset[EdgeId]]] = {}
+        bfs: deque[SysState] = deque([src])
+        seen = {src}
+        while bfs:
+            node = bfs.popleft()
+            for label, succ in adjacency.get(node, ()):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                back[succ] = (node, label)
+                if succ == dst:
+                    bfs.clear()
+                    break
+                bfs.append(succ)
+        if dst not in back:  # pragma: no cover - SCC is strongly connected
+            raise VerificationError("SCC internal path missing")
+        labels: list[frozenset[EdgeId]] = []
+        node = dst
+        while node != src:
+            prev, label = back[node]
+            labels.append(label)
+            node = prev
+        labels.reverse()
+        return labels
+
+    cycle: list[frozenset[EdgeId]] = []
+    cursor = entry
+    for state, label, succ in cover:
+        cycle.extend(internal_path(cursor, state))
+        cycle.append(label)
+        cursor = succ
+    cycle.extend(internal_path(cursor, entry))
+
+    realized_union: set[EdgeId] = set()
+    for step in cycle:
+        realized_union.update(step)
+    missing = topology.all_edges - realized_union
+
+    return TrapCertificate(
+        algorithm_name=algorithm.name,
+        topology=topology,
+        chiralities=chiralities,
+        seed_positions=seed_state[0],
+        prefix=tuple(prefix),
+        cycle=tuple(cycle),
+        starved_node=target,
+        eventually_missing=frozenset(missing),
+    )
+
+
+__all__ = [
+    "default_chirality_vectors",
+    "ExplorationVerdict",
+    "verify_exploration",
+    "synthesize_trap",
+]

@@ -1,0 +1,10 @@
+"""Text rendering: ring snapshots, space–time diagrams, report tables.
+
+Pure-text output (no plotting dependencies): suitable for terminals, CI
+logs and the benchmark harness artifacts.
+"""
+
+from repro.viz.ascii_art import render_ring, render_space_time
+from repro.viz.tables import TextTable
+
+__all__ = ["render_ring", "render_space_time", "TextTable"]

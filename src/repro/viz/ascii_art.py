@@ -1,0 +1,100 @@
+"""ASCII rendering of ring configurations and executions.
+
+Two views:
+
+* :func:`render_ring` — one instant, the ring unrolled on a line::
+
+      (0)--1--(2)xx3--(4)--...
+
+  Nodes are ``(i)`` (with ``*`` markers per robot on them); edges are
+  ``--`` when present and ``xx`` when absent; the line wraps around, the
+  final edge closing the ring back to node 0.
+
+* :func:`render_space_time` — rounds as rows, producing the space–time
+  diagrams in which the paper's figures are easiest to recognize (the
+  oscillation trap draws a zigzag; sentinels draw two straight rails).
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import ExecutionTrace
+from repro.sim.config import Configuration
+from repro.graph.topology import Topology
+from repro.types import EdgeId, GlobalDirection
+
+
+def render_ring(
+    topology: Topology,
+    present: frozenset[EdgeId],
+    configuration: Configuration | None = None,
+) -> str:
+    """One-line picture of the ring (or chain) at one instant."""
+    occupancy: dict[int, int] = {}
+    if configuration is not None:
+        occupancy = configuration.occupancy()
+    parts: list[str] = []
+    for node in topology.nodes:
+        robots = occupancy.get(node, 0)
+        marker = "*" * robots
+        parts.append(f"({node}{marker})")
+        cw = topology.port(node, GlobalDirection.CW)
+        last = node == topology.n - 1
+        if cw is None:
+            if not last:
+                parts.append("  ")
+            continue
+        glyph = "--" if cw in present else "xx"
+        if last:
+            parts.append(f"{glyph}>0")  # the wrap-around edge
+        else:
+            parts.append(glyph)
+    return "".join(parts)
+
+
+def render_space_time(
+    trace: ExecutionTrace,
+    start: int = 0,
+    end: int | None = None,
+    max_rows: int = 200,
+) -> str:
+    """Rounds-by-nodes diagram of a run.
+
+    Each row is one time step: a column per node showing the number of
+    robots there (``.`` for none, ``1``/``2``/… for occupancy), and on
+    the interleaved columns the edge state during the *following* round
+    (space = present, ``x`` = absent). The last column is the wrap edge.
+    """
+    n = trace.topology.n
+    if end is None:
+        end = trace.rounds
+    end = min(end, trace.rounds)
+    rows = []
+    header = "t    " + " ".join(f"{node:^3d}" for node in range(n))
+    rows.append(header)
+    times = range(start, end + 1)
+    if len(times) > max_rows:
+        times = range(start, start + max_rows)
+    for t in times:
+        configuration = trace.configuration_at(t)
+        occupancy = configuration.occupancy()
+        present = (
+            trace.records[t].present_edges if t < trace.rounds else None
+        )
+        cells = []
+        for node in range(n):
+            count = occupancy.get(node, 0)
+            cell = "." if count == 0 else str(count)
+            cells.append(f" {cell} ")
+            if present is not None:
+                cw = trace.topology.port(node, GlobalDirection.CW)
+                if cw is None:
+                    cells.append(" ")
+                else:
+                    cells.append("x" if cw not in present else " ")
+            else:
+                cells.append(" ")
+        rows.append(f"{t:<4d} " + "".join(cells).rstrip())
+    return "\n".join(rows)
+
+
+__all__ = ["render_ring", "render_space_time"]

@@ -1,0 +1,51 @@
+"""Aligned text tables for experiment and benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    >>> t = TextTable(["robots", "ring", "verdict"])
+    >>> t.add_row([3, ">= 4", "possible"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    robots | ring | verdict
+    -------+------+---------
+    3      | >= 4 | possible
+    """
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row (cells are str()-ed)."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self._headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append(row)
+
+    @property
+    def row_count(self) -> int:
+        """Number of data rows."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The table as an aligned multi-line string."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+        lines = [fmt(self._headers)]
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+
+__all__ = ["TextTable"]

@@ -1,0 +1,200 @@
+"""Tests for the adaptive adversaries (oscillation, phase trap, window, SSYNC).
+
+These are the executable impossibility constructions; the tests assert the
+properties the proofs promise: confinement of the robots, and recurrence
+of the realized evolving graph within the connected-over-time budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.oscillation import OscillationTrap
+from repro.adversary.phase_trap import TheoremPhaseTrap
+from repro.adversary.ssync_blocker import SsyncBlocker
+from repro.adversary.window import WindowConfinementAdversary
+from repro.analysis.recurrence import recurrence_report
+from repro.errors import TopologyError
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import (
+    PEF1,
+    PEF2,
+    Alternator,
+    BounceOnBlocked,
+    BounceOnMeeting,
+    KeepDirection,
+    PEF3Plus,
+)
+from repro.robots.algorithms.tables import random_table_algorithm
+from repro.sim.engine import run_fsync
+from repro.sim.semi_sync import run_ssync
+from repro.types import AGREE, DISAGREE
+
+SINGLE_ROBOT_ALGOS = [PEF1(), PEF2(), KeepDirection(), BounceOnBlocked(), Alternator()]
+
+
+class TestOscillationTrap:
+    @pytest.mark.parametrize("algorithm", SINGLE_ROBOT_ALGOS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("chirality", [AGREE, DISAGREE])
+    def test_confines_every_candidate(self, algorithm, chirality) -> None:
+        ring = RingTopology(6)
+        trap = OscillationTrap(ring)
+        result = run_fsync(
+            ring, trap, algorithm, positions=[2], rounds=300, chiralities=[chirality]
+        )
+        trace = result.trace
+        assert trace is not None
+        window = trap.window
+        assert window is not None
+        assert trace.nodes_visited() <= set(window)
+        # The realized graph honors the connected-over-time budget.
+        report = recurrence_report(trace.recorded_graph())
+        assert report.within_budget
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_confines_random_finite_state_algorithms(self, seed: int) -> None:
+        ring = RingTopology(5)
+        algorithm = random_table_algorithm(random.Random(seed), memory_size=2)
+        trap = OscillationTrap(ring)
+        result = run_fsync(ring, trap, algorithm, positions=[0], rounds=150)
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.nodes_visited()) <= 2
+
+    def test_rejects_small_rings(self) -> None:
+        with pytest.raises(TopologyError):
+            OscillationTrap(RingTopology(2))
+
+    def test_rejects_multiple_robots(self) -> None:
+        ring = RingTopology(5)
+        trap = OscillationTrap(ring)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_fsync(ring, trap, PEF3Plus(), positions=[0, 2], rounds=5)
+
+    def test_window_anchors_on_first_position(self) -> None:
+        ring = RingTopology(7)
+        trap = OscillationTrap(ring)
+        assert trap.window is None
+        run_fsync(ring, trap, PEF1(), positions=[4], rounds=3)
+        assert trap.window == (4, 5)
+
+
+class TestPhaseTrap:
+    @pytest.mark.parametrize(
+        "algorithm", [PEF2(), BounceOnBlocked()], ids=lambda a: a.name
+    )
+    def test_literal_script_defeats_live_algorithms(self, algorithm) -> None:
+        ring = RingTopology(5)
+        trap = TheoremPhaseTrap(ring, anchor=0)
+        result = run_fsync(ring, trap, algorithm, positions=[0, 1], rounds=400)
+        trace = result.trace
+        assert trace is not None
+        assert trace.nodes_visited() <= {0, 1, 2}
+        assert not trap.used_fallback
+        assert trap.phase_advances > 50  # the machine cycles briskly
+        report = recurrence_report(trace.recorded_graph())
+        assert report.suspected_eventually_missing == frozenset()
+
+    def test_stalling_algorithm_triggers_fallback(self) -> None:
+        # PEF_3+ with two robots parks pointing at absent edges; the literal
+        # script stalls and hands over to greedy confinement.
+        ring = RingTopology(5)
+        trap = TheoremPhaseTrap(ring, anchor=0, patience=16)
+        result = run_fsync(ring, trap, PEF3Plus(), positions=[0, 1], rounds=200)
+        trace = result.trace
+        assert trace is not None
+        assert trap.used_fallback
+        assert trace.nodes_visited() <= {0, 1, 2}
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [PEF2(), KeepDirection(), BounceOnBlocked(), BounceOnMeeting(), Alternator()],
+        ids=lambda a: a.name,
+    )
+    def test_confines_candidates_with_any_outcome(self, algorithm) -> None:
+        ring = RingTopology(6)
+        trap = TheoremPhaseTrap(ring, anchor=1)
+        result = run_fsync(ring, trap, algorithm, positions=[1, 2], rounds=300)
+        trace = result.trace
+        assert trace is not None
+        assert trace.nodes_visited() <= {1, 2, 3}
+
+    def test_rejects_ring_of_three(self) -> None:
+        with pytest.raises(TopologyError):
+            TheoremPhaseTrap(RingTopology(3), anchor=0)
+
+
+class TestWindowConfinement:
+    def test_window_shape(self) -> None:
+        ring = RingTopology(8)
+        adversary = WindowConfinementAdversary(ring, anchor=6, length=3)
+        assert adversary.window == (6, 7, 0)
+        assert set(adversary.relevant_edges) == {5, 6, 7, 0}
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_confines_random_two_robot_algorithms(self, seed: int) -> None:
+        ring = RingTopology(6)
+        algorithm = random_table_algorithm(random.Random(seed), memory_size=1)
+        adversary = WindowConfinementAdversary(ring, anchor=0, length=3)
+        result = run_fsync(ring, adversary, algorithm, positions=[0, 2], rounds=120)
+        trace = result.trace
+        assert trace is not None
+        assert trace.nodes_visited() <= {0, 1, 2}
+
+    def test_window_length_validation(self) -> None:
+        ring = RingTopology(5)
+        with pytest.raises(TopologyError):
+            WindowConfinementAdversary(ring, anchor=0, length=5)
+        with pytest.raises(TopologyError):
+            WindowConfinementAdversary(ring, anchor=0, length=1)
+
+
+class TestSsyncBlocker:
+    def test_freezes_pef3plus_with_three_robots(self) -> None:
+        """The [10] argument: even PEF_3+ (k=3) dies under SSYNC."""
+        ring = RingTopology(6)
+        blocker = SsyncBlocker(ring)
+        result = run_ssync(
+            ring,
+            blocker,
+            blocker,
+            PEF3Plus(),
+            positions=[0, 2, 4],
+            rounds=240,
+        )
+        trace = result.trace
+        assert trace is not None
+        # Nobody ever moves: only the three initial nodes are visited.
+        assert trace.nodes_visited() == {0, 2, 4}
+        assert result.is_fair()
+        # Every edge was presented often: no suspected eventually-missing edge.
+        report = recurrence_report(trace.recorded_graph())
+        assert report.suspected_eventually_missing == frozenset()
+
+    def test_needs_two_robots(self) -> None:
+        ring = RingTopology(4)
+        blocker = SsyncBlocker(ring)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_ssync(ring, blocker, blocker, PEF1(), positions=[0], rounds=4)
+
+    def test_snapshots_are_nearly_complete(self) -> None:
+        ring = RingTopology(6)
+        blocker = SsyncBlocker(ring)
+        result = run_ssync(
+            ring, blocker, blocker, KeepDirection(), positions=[0, 3], rounds=60
+        )
+        trace = result.trace
+        assert trace is not None
+        for record in trace.records:
+            # At most the two edges adjacent to the activated robot are gone.
+            assert len(ring.all_edges - record.present_edges) <= 2

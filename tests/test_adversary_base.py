@@ -1,0 +1,99 @@
+"""Tests for adversary infrastructure: the recurrence ledger and knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import RecurrenceLedger
+from repro.adversary.oscillation import OscillationTrap
+from repro.adversary.window import WindowConfinementAdversary
+from repro.errors import ConfigurationError
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import PEF1
+from repro.sim.engine import run_fsync
+
+
+class TestRecurrenceLedger:
+    def test_staleness_accumulates_and_resets(self) -> None:
+        ring = RingTopology(3)
+        ledger = RecurrenceLedger(ring)
+        ledger.record(frozenset({0}))
+        ledger.record(frozenset({0}))
+        ledger.record(frozenset({0, 1}))
+        assert ledger.staleness(0) == 0
+        assert ledger.staleness(1) == 0
+        assert ledger.staleness(2) == 3
+        assert ledger.rounds == 3
+
+    def test_worst_staleness_remembers_closed_streaks(self) -> None:
+        ring = RingTopology(3)
+        ledger = RecurrenceLedger(ring)
+        for _ in range(4):
+            ledger.record(frozenset({0, 2}))  # edge 1 absent 4 rounds
+        ledger.record(ring.all_edges)  # edge 1 returns
+        ledger.record(ring.all_edges)
+        assert ledger.staleness(1) == 0
+        assert ledger.worst_staleness(1) == 4
+
+    def test_stale_edges_threshold(self) -> None:
+        ring = RingTopology(4)
+        ledger = RecurrenceLedger(ring)
+        for _ in range(5):
+            ledger.record(frozenset({0}))
+        assert ledger.stale_edges(5) == {1, 2, 3}
+        assert ledger.stale_edges(6) == frozenset()
+
+    def test_audit_budgets(self) -> None:
+        ring = RingTopology(4)
+        ring_ledger = RecurrenceLedger(ring)
+        for _ in range(10):
+            ring_ledger.record(ring.all_edges - {2})
+        assert ring_ledger.audit_connected_over_time(threshold=10)
+
+        chain = ChainTopology(4)
+        chain_ledger = RecurrenceLedger(chain)
+        for _ in range(10):
+            chain_ledger.record(chain.all_edges - {1})
+        assert not chain_ledger.audit_connected_over_time(threshold=10)
+
+    def test_two_stale_edges_fail_even_the_ring_budget(self) -> None:
+        ring = RingTopology(5)
+        ledger = RecurrenceLedger(ring)
+        for _ in range(8):
+            ledger.record(ring.all_edges - {0, 3})
+        assert not ledger.audit_connected_over_time(threshold=8)
+
+
+class TestTrapConfiguration:
+    def test_oscillation_trap_respects_explicit_anchor(self) -> None:
+        ring = RingTopology(6)
+        trap = OscillationTrap(ring, window_anchor=3)
+        assert trap.window == (3, 4)
+        result = run_fsync(ring, trap, PEF1(), positions=[3], rounds=30)
+        trace = result.trace
+        assert trace is not None
+        assert trace.nodes_visited() <= {3, 4}
+
+    def test_oscillation_trap_rejects_start_outside_window(self) -> None:
+        ring = RingTopology(6)
+        trap = OscillationTrap(ring, window_anchor=3)
+        with pytest.raises(ConfigurationError):
+            run_fsync(ring, trap, PEF1(), positions=[0], rounds=5)
+
+    def test_window_adversary_ledger_tracks_run(self) -> None:
+        ring = RingTopology(6)
+        adversary = WindowConfinementAdversary(ring, anchor=0, length=2)
+        run_fsync(ring, adversary, PEF1(), positions=[0], rounds=50)
+        assert adversary.ledger.rounds == 50
+        # Greedy recurrence pressure keeps every edge's streak short for
+        # an oscillating victim.
+        assert adversary.ledger.audit_connected_over_time(threshold=25)
+
+    def test_window_wraps_around_node_zero(self) -> None:
+        ring = RingTopology(5)
+        adversary = WindowConfinementAdversary(ring, anchor=4, length=2)
+        assert adversary.window == (4, 0)
+        result = run_fsync(ring, adversary, PEF1(), positions=[4], rounds=40)
+        trace = result.trace
+        assert trace is not None
+        assert trace.nodes_visited() <= {4, 0}

@@ -1,0 +1,205 @@
+"""Unit tests for the paper's algorithms and the baselines.
+
+Each algorithm's Compute function is checked against its prose
+specification, view by view, plus registry plumbing and state contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.robots.algorithms import (
+    PEF1,
+    PEF2,
+    Alternator,
+    BounceOnBlocked,
+    BounceOnMeeting,
+    KeepDirection,
+    PEF3Plus,
+    PseudoRandomDrift,
+    get_algorithm,
+    registry,
+)
+from repro.robots.state import DirMovedState, DirState
+from repro.robots.view import ALL_VIEWS, LocalView
+from repro.types import LEFT, RIGHT, Direction
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self) -> None:
+        for name in ("pef3+", "pef2", "pef1"):
+            assert name in registry
+            assert get_algorithm(name).name == name
+
+    def test_unknown_name_raises_with_catalog(self) -> None:
+        with pytest.raises(AlgorithmError, match="pef3"):
+            get_algorithm("definitely-not-an-algorithm")
+
+    def test_initial_states_point_left(self) -> None:
+        # The model fixes dir = LEFT initially (Section 2.2).
+        for name in registry:
+            state = get_algorithm(name).initial_state()
+            assert state.dir is LEFT
+
+    def test_check_state_accepts_own_states(self) -> None:
+        for name in registry:
+            algorithm = get_algorithm(name)
+            algorithm.check_state(algorithm.initial_state())
+
+    def test_check_state_rejects_garbage(self) -> None:
+        with pytest.raises(AlgorithmError):
+            PEF2().check_state(object())
+
+
+class TestPEF3Plus:
+    """Algorithm 1, rule by rule."""
+
+    def test_rule1_keeps_direction_when_isolated(self) -> None:
+        algo = PEF3Plus()
+        for moved in (False, True):
+            for view in ALL_VIEWS:
+                if view.others_present:
+                    continue
+                state = DirMovedState(LEFT, moved)
+                assert algo.compute(state, view).dir is LEFT
+
+    def test_rule2_stationary_tower_member_keeps_direction(self) -> None:
+        algo = PEF3Plus()
+        view = LocalView(True, True, others_present=True)
+        state = DirMovedState(RIGHT, has_moved_previous_step=False)
+        assert algo.compute(state, view).dir is RIGHT
+
+    def test_rule3_moving_tower_member_turns(self) -> None:
+        algo = PEF3Plus()
+        view = LocalView(True, True, others_present=True)
+        state = DirMovedState(RIGHT, has_moved_previous_step=True)
+        assert algo.compute(state, view).dir is LEFT
+
+    def test_line4_predicts_movement_with_new_direction(self) -> None:
+        algo = PEF3Plus()
+        # Robot moved into a tower pointing RIGHT; edge exists only LEFT.
+        view = LocalView(
+            exists_edge_left=True, exists_edge_right=False, others_present=True
+        )
+        state = DirMovedState(RIGHT, has_moved_previous_step=True)
+        nxt = algo.compute(state, view)
+        assert nxt.dir is LEFT
+        assert nxt.has_moved_previous_step  # it will cross the LEFT edge
+
+    def test_line4_false_when_pointed_edge_absent(self) -> None:
+        algo = PEF3Plus()
+        view = LocalView(
+            exists_edge_left=False, exists_edge_right=True, others_present=False
+        )
+        state = DirMovedState(LEFT, has_moved_previous_step=True)
+        nxt = algo.compute(state, view)
+        assert nxt.dir is LEFT
+        assert not nxt.has_moved_previous_step
+
+    def test_compute_total_over_all_views(self) -> None:
+        algo = PEF3Plus()
+        for view in ALL_VIEWS:
+            for direction in Direction:
+                for moved in (False, True):
+                    nxt = algo.compute(DirMovedState(direction, moved), view)
+                    assert isinstance(nxt, DirMovedState)
+
+
+class TestPEF2:
+    def test_isolated_one_edge_points_to_it(self) -> None:
+        algo = PEF2()
+        state = DirState(LEFT)
+        view = LocalView(False, True, others_present=False)
+        assert algo.compute(state, view).dir is RIGHT
+
+    def test_keeps_direction_otherwise(self) -> None:
+        algo = PEF2()
+        state = DirState(RIGHT)
+        keep_views = [
+            LocalView(False, False, False),  # no edges
+            LocalView(True, True, False),  # both edges
+            LocalView(True, False, True),  # not isolated
+            LocalView(False, True, True),  # not isolated
+        ]
+        for view in keep_views:
+            assert algo.compute(state, view).dir is RIGHT
+
+    def test_matches_prose_for_all_views(self) -> None:
+        algo = PEF2()
+        for view in ALL_VIEWS:
+            for direction in Direction:
+                result = algo.compute(DirState(direction), view).dir
+                if not view.others_present and view.degree == 1:
+                    assert result is view.single_present_direction
+                else:
+                    assert result is direction
+
+
+class TestPEF1:
+    def test_prefers_current_direction(self) -> None:
+        algo = PEF1()
+        view = LocalView(True, True, False)
+        assert algo.compute(DirState(LEFT), view).dir is LEFT
+        assert algo.compute(DirState(RIGHT), view).dir is RIGHT
+
+    def test_switches_to_unique_present_edge(self) -> None:
+        algo = PEF1()
+        view = LocalView(False, True, False)
+        assert algo.compute(DirState(LEFT), view).dir is RIGHT
+
+    def test_keeps_direction_when_nothing_present(self) -> None:
+        algo = PEF1()
+        view = LocalView(False, False, False)
+        assert algo.compute(DirState(LEFT), view).dir is LEFT
+
+    def test_always_points_to_present_edge_when_one_exists(self) -> None:
+        algo = PEF1()
+        for view in ALL_VIEWS:
+            if view.degree == 0:
+                continue
+            for direction in Direction:
+                result = algo.compute(DirState(direction), view)
+                assert view.exists_edge(result.dir)
+
+
+class TestBaselines:
+    def test_keep_direction_never_turns(self) -> None:
+        algo = KeepDirection()
+        for view in ALL_VIEWS:
+            assert algo.compute(DirState(RIGHT), view).dir is RIGHT
+
+    def test_bounce_on_blocked(self) -> None:
+        algo = BounceOnBlocked()
+        blocked = LocalView(False, True, False)
+        open_view = LocalView(True, True, False)
+        assert algo.compute(DirState(LEFT), blocked).dir is RIGHT
+        assert algo.compute(DirState(LEFT), open_view).dir is LEFT
+
+    def test_bounce_on_meeting(self) -> None:
+        algo = BounceOnMeeting()
+        tower = LocalView(True, True, True)
+        alone = LocalView(True, True, False)
+        assert algo.compute(DirState(LEFT), tower).dir is RIGHT
+        assert algo.compute(DirState(LEFT), alone).dir is LEFT
+
+    def test_alternator_always_turns(self) -> None:
+        algo = Alternator()
+        for view in ALL_VIEWS:
+            assert algo.compute(DirState(LEFT), view).dir is RIGHT
+
+    def test_pseudo_random_drift_is_deterministic_and_cyclic(self) -> None:
+        a = PseudoRandomDrift(period=8, seed=5)
+        b = PseudoRandomDrift(period=8, seed=5)
+        view = LocalView(True, True, False)
+        state_a = a.initial_state()
+        state_b = b.initial_state()
+        for _ in range(20):
+            state_a = a.compute(state_a, view)
+            state_b = b.compute(state_b, view)
+            assert state_a == state_b
+            assert 0 <= state_a.phase < 8
+
+    def test_pseudo_random_drift_validates_period(self) -> None:
+        with pytest.raises(AlgorithmError):
+            PseudoRandomDrift(period=0)

@@ -1,0 +1,147 @@
+"""Tests for the analysis layer: exploration reports, towers, recurrence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.exploration import analyze_visits, exploration_report
+from repro.analysis.recurrence import recurrence_report
+from repro.analysis.towers import (
+    check_no_large_towers,
+    check_tower_directions,
+    tower_report,
+)
+from repro.errors import ConfigurationError
+from repro.graph.evolving import RecordedEvolvingGraph
+from repro.graph.schedules import (
+    BernoulliSchedule,
+    EventuallyMissingEdgeSchedule,
+    StaticSchedule,
+)
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import KeepDirection, PEF3Plus
+from repro.sim.engine import run_fsync
+from repro.sim.observers import VisitTracker
+
+
+def _pef3_run(n=6, rounds=200, edge=2):
+    ring = RingTopology(n)
+    sched = EventuallyMissingEdgeSchedule(ring, edge=edge, vanish_time=0)
+    result = run_fsync(
+        ring, sched, PEF3Plus(), positions=[0, 2, 4], rounds=rounds
+    )
+    assert result.trace is not None
+    return result.trace
+
+
+class TestExplorationReport:
+    def test_report_from_trace(self) -> None:
+        trace = _pef3_run()
+        report = exploration_report(trace)
+        assert report.covered
+        assert report.cover_time is not None
+        assert report.max_worst_gap < 20
+        assert report.passes_window_certificate(20)
+        assert not report.passes_window_certificate(1)
+        assert report.starved_nodes(suffix=50) == frozenset()
+
+    def test_starved_detection(self) -> None:
+        ring = RingTopology(5)
+        result = run_fsync(
+            ring, StaticSchedule(ring, frozenset()), KeepDirection(),
+            positions=[0], rounds=60,
+        )
+        assert result.trace is not None
+        report = exploration_report(result.trace)
+        assert not report.covered
+        assert report.starved_nodes(suffix=30) == frozenset({1, 2, 3, 4})
+        with pytest.raises(ConfigurationError):
+            report.starved_nodes(suffix=0)
+
+    def test_report_matches_tracker_path(self) -> None:
+        ring = RingTopology(6)
+        sched = BernoulliSchedule(ring, p=0.6, seed=4)
+        tracker = VisitTracker()
+        result = run_fsync(
+            ring, sched, PEF3Plus(), positions=[0, 2, 4], rounds=150,
+            observers=[tracker],
+        )
+        assert result.trace is not None
+        from_trace = exploration_report(result.trace)
+        from_tracker = analyze_visits(tracker, 6, 150)
+        assert from_trace.visit_counts == from_tracker.visit_counts
+        assert from_trace.worst_gap == from_tracker.worst_gap
+        assert from_trace.cover_time == from_tracker.cover_time
+
+    def test_render_mentions_coverage(self) -> None:
+        report = exploration_report(_pef3_run(rounds=80))
+        text = report.render()
+        assert "covered: True" in text
+
+
+class TestTowerAnalysis:
+    def test_pef3plus_tower_lemmas_hold(self) -> None:
+        """Empirical Lemmas 3.3 and 3.4 on a sentinel-forming run."""
+        trace = _pef3_run(rounds=300)
+        assert check_no_large_towers(trace, limit=2)
+        assert check_tower_directions(trace)
+        report = tower_report(trace)
+        assert report.tower_count >= 1
+        assert report.max_members == 2
+
+    def test_lemma_checks_hold_across_schedules(self) -> None:
+        ring = RingTopology(7)
+        for seed in (1, 2, 3):
+            sched = BernoulliSchedule(ring, p=0.5, seed=seed)
+            result = run_fsync(
+                ring, sched, PEF3Plus(), positions=[0, 2, 4], rounds=250
+            )
+            assert result.trace is not None
+            assert check_no_large_towers(result.trace, limit=2)
+            assert check_tower_directions(result.trace)
+
+    def test_report_render(self) -> None:
+        report = tower_report(_pef3_run(rounds=100))
+        assert "towers:" in report.render()
+
+    def test_large_tower_detected_from_ill_initiated_start(self) -> None:
+        ring = RingTopology(5)
+        result = run_fsync(
+            ring,
+            StaticSchedule(ring, frozenset()),
+            KeepDirection(),
+            positions=[0, 0, 0],
+            rounds=3,
+            require_well_initiated=False,
+        )
+        assert result.trace is not None
+        assert not check_no_large_towers(result.trace, limit=2)
+
+
+class TestRecurrenceReport:
+    def test_static_recording(self) -> None:
+        ring = RingTopology(4)
+        rec = RecordedEvolvingGraph(ring, [ring.all_edges] * 20)
+        report = recurrence_report(rec)
+        assert report.suspected_eventually_missing == frozenset()
+        assert report.within_budget
+        assert max(report.worst_absence.values()) == 0
+
+    def test_eventually_missing_detected(self) -> None:
+        ring = RingTopology(4)
+        steps = [ring.all_edges] * 5 + [ring.all_edges - {2}] * 15
+        report = recurrence_report(RecordedEvolvingGraph(ring, steps))
+        assert report.suspected_eventually_missing == {2}
+        assert report.within_budget  # ring budget is one
+
+    def test_chain_budget_is_zero(self) -> None:
+        chain = ChainTopology(4)
+        steps = [chain.all_edges] * 5 + [chain.all_edges - {1}] * 15
+        report = recurrence_report(RecordedEvolvingGraph(chain, steps))
+        assert report.suspected_eventually_missing == {1}
+        assert not report.within_budget
+
+    def test_render(self) -> None:
+        ring = RingTopology(3)
+        report = recurrence_report(RecordedEvolvingGraph(ring, [ring.all_edges] * 4))
+        assert "OK" in report.render()

@@ -1,0 +1,102 @@
+"""Tests for trap certificates, including tamper detection.
+
+A certificate validator that accepts everything is worse than none; these
+tests corrupt genuine certificates in every dimension the validator
+checks and assert each corruption is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.graph.evolving import LassoSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import PEF1, PEF2
+from repro.verification.certificates import (
+    certificate_schedule,
+    validate_certificate,
+)
+from repro.verification.game import synthesize_trap
+
+
+@pytest.fixture(scope="module")
+def pef1_cert():
+    """A genuine validated trap for PEF_1 on the 3-ring."""
+    return synthesize_trap(PEF1(), RingTopology(3), k=1)
+
+
+class TestGenuineCertificates:
+    def test_validates_cleanly(self, pef1_cert) -> None:
+        validate_certificate(pef1_cert, PEF1())
+
+    def test_schedule_is_lasso(self, pef1_cert) -> None:
+        schedule = certificate_schedule(pef1_cert)
+        assert isinstance(schedule, LassoSchedule)
+        assert schedule.eventually_missing_edges() == pef1_cert.eventually_missing
+
+    def test_summary_is_informative(self, pef1_cert) -> None:
+        text = pef1_cert.summary()
+        assert "pef1" in text
+        assert "starves node" in text
+
+
+class TestTamperDetection:
+    def test_wrong_algorithm_rejected(self, pef1_cert) -> None:
+        with pytest.raises(CertificateError, match="pef1"):
+            validate_certificate(pef1_cert, PEF2())
+
+    def test_empty_cycle_rejected(self, pef1_cert) -> None:
+        bad = replace(pef1_cert, cycle=())
+        with pytest.raises(CertificateError, match="cycle"):
+            validate_certificate(bad, PEF1())
+
+    def test_wrong_missing_declaration_rejected(self, pef1_cert) -> None:
+        ring = pef1_cert.topology
+        wrong = frozenset({0}) ^ pef1_cert.eventually_missing
+        bad = replace(pef1_cert, eventually_missing=frozenset(wrong))
+        with pytest.raises(CertificateError, match="eventually-missing"):
+            validate_certificate(bad, PEF1())
+
+    def test_budget_violation_rejected(self, pef1_cert) -> None:
+        # Strip two edges from every cycle step: too many edges die.
+        ring = pef1_cert.topology
+        doomed = set(list(ring.edges)[:2])
+        bad = replace(
+            pef1_cert,
+            cycle=tuple(step - doomed for step in pef1_cert.cycle),
+            eventually_missing=frozenset(
+                pef1_cert.eventually_missing | doomed
+            ),
+        )
+        with pytest.raises(CertificateError, match="budget"):
+            validate_certificate(bad, PEF1())
+
+    def test_non_periodic_lasso_rejected(self, pef1_cert) -> None:
+        # Append a disruptive extra step to the cycle: the configuration
+        # after one period no longer matches.
+        ring = pef1_cert.topology
+        extra = ring.all_edges - pef1_cert.eventually_missing
+        bad = replace(pef1_cert, cycle=pef1_cert.cycle + (extra,))
+        with pytest.raises(CertificateError):
+            validate_certificate(bad, PEF1())
+
+    def test_starvation_violation_rejected(self, pef1_cert) -> None:
+        # Claim a node the robot occupies *during the cycle* is starved.
+        from repro.sim.engine import run_fsync
+
+        replay = run_fsync(
+            pef1_cert.topology,
+            certificate_schedule(pef1_cert),
+            PEF1(),
+            positions=pef1_cert.seed_positions,
+            rounds=len(pef1_cert.prefix),
+            chiralities=pef1_cert.chiralities,
+        )
+        occupied_in_cycle = replay.final.positions[0]
+        assert occupied_in_cycle != pef1_cert.starved_node
+        bad = replace(pef1_cert, starved_node=occupied_in_cycle)
+        with pytest.raises(CertificateError):
+            validate_certificate(bad, PEF1())

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAlgos:
+    def test_lists_registered_algorithms(self, capsys) -> None:
+        assert main(["algos"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pef3+", "pef2", "pef1", "keep-direction"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_prints_report(self, capsys) -> None:
+        code = main(
+            [
+                "run",
+                "--algo",
+                "pef3+",
+                "--n",
+                "6",
+                "--k",
+                "3",
+                "--schedule",
+                "eventually-missing@0",
+                "--rounds",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "covered: True" in out
+        assert "towers:" in out
+
+    def test_run_with_diagram(self, capsys) -> None:
+        code = main(
+            [
+                "run",
+                "--algo",
+                "pef1",
+                "--n",
+                "2",
+                "--k",
+                "1",
+                "--schedule",
+                "static",
+                "--rounds",
+                "20",
+                "--diagram",
+            ]
+        )
+        assert code == 0
+        assert "t " in capsys.readouterr().out
+
+    def test_unknown_schedule_fails_cleanly(self, capsys) -> None:
+        code = main(
+            ["run", "--algo", "pef1", "--n", "4", "--k", "1", "--schedule", "nope"]
+        )
+        assert code == 2
+        assert "unknown schedule" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_explorable_instance(self, capsys) -> None:
+        assert main(["verify", "--algo", "pef2", "--n", "3", "--k", "2"]) == 0
+        assert "EXPLORES" in capsys.readouterr().out
+
+    def test_trapped_instance_prints_certificate(self, capsys) -> None:
+        assert main(["verify", "--algo", "pef1", "--n", "3", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TRAPPED" in out
+        assert "cycle" in out
+
+    def test_save_writes_replayable_certificate(self, tmp_path, capsys) -> None:
+        target = tmp_path / "trap.json"
+        code = main(
+            ["verify", "--algo", "pef1", "--n", "3", "--k", "1", "--save", str(target)]
+        )
+        assert code == 0
+        assert "written to" in capsys.readouterr().out
+
+        from repro.robots.algorithms import PEF1
+        from repro.serialize import loads
+        from repro.verification.certificates import TrapCertificate, validate_certificate
+
+        restored = loads(target.read_text())
+        assert isinstance(restored, TrapCertificate)
+        validate_certificate(restored, PEF1())
+
+    def test_save_on_explorable_instance_warns(self, tmp_path, capsys) -> None:
+        target = tmp_path / "none.json"
+        code = main(
+            ["verify", "--algo", "pef1", "--n", "2", "--k", "1", "--save", str(target)]
+        )
+        assert code == 0
+        assert "nothing to save" in capsys.readouterr().err
+        assert not target.exists()
+
+
+class TestTrap:
+    def test_fig3(self, capsys) -> None:
+        code = main(
+            ["trap", "--kind", "fig3", "--algo", "pef1", "--n", "5", "--rounds", "60"]
+        )
+        assert code == 0
+        assert "confined=True" in capsys.readouterr().out
+
+    def test_fig2(self, capsys) -> None:
+        code = main(
+            ["trap", "--kind", "fig2", "--algo", "pef2", "--n", "5", "--rounds", "80"]
+        )
+        assert code == 0
+        assert "confined=True" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            main([])

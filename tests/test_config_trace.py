@@ -1,0 +1,126 @@
+"""Tests for configurations, traces and round records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.schedules import EventuallyMissingEdgeSchedule, StaticSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import KeepDirection, PEF3Plus
+from repro.sim.config import Configuration, validate_initial_configuration
+from repro.sim.engine import make_initial_configuration, run_fsync
+from repro.types import AGREE, CCW, CW, DISAGREE
+
+
+class TestConfiguration:
+    def test_length_mismatch_rejected(self) -> None:
+        algo = PEF3Plus()
+        s = algo.initial_state()
+        with pytest.raises(ConfigurationError):
+            Configuration(positions=(0, 1), states=(s,), chiralities=(AGREE, AGREE))
+
+    def test_occupancy_and_towers(self) -> None:
+        algo = PEF3Plus()
+        s = algo.initial_state()
+        config = Configuration(
+            positions=(1, 1, 1, 3),
+            states=(s,) * 4,
+            chiralities=(AGREE,) * 4,
+        )
+        assert config.occupancy() == {1: 3, 3: 1}
+        assert config.towers() == {1: (0, 1, 2)}
+        assert not config.is_towerless
+        assert config.robots_at(3) == (3,)
+
+    def test_towerless(self) -> None:
+        algo = PEF3Plus()
+        s = algo.initial_state()
+        config = Configuration((0, 2), (s, s), (AGREE, AGREE))
+        assert config.is_towerless
+        assert config.towers() == {}
+
+    def test_global_direction_and_pointed_edge(self) -> None:
+        ring = RingTopology(5)
+        algo = KeepDirection()
+        config = make_initial_configuration(
+            ring, algo, [2, 2], chiralities=[AGREE, DISAGREE]
+        )
+        # dir=LEFT: AGREE robot points CCW, DISAGREE robot points CW.
+        assert config.global_direction(0) is CCW
+        assert config.global_direction(1) is CW
+        assert config.pointed_edge(0, ring) == 1  # CCW edge of node 2
+        assert config.pointed_edge(1, ring) == 2  # CW edge of node 2
+
+    def test_validate_initial(self) -> None:
+        ring = RingTopology(3)
+        algo = PEF3Plus()
+        good = make_initial_configuration(ring, algo, [0, 1])
+        validate_initial_configuration(ring, good)
+        towered = make_initial_configuration(ring, algo, [0, 0])
+        with pytest.raises(ConfigurationError):
+            validate_initial_configuration(ring, towered)
+        validate_initial_configuration(ring, towered, require_towerless=False)
+        crowded = make_initial_configuration(ring, algo, [0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            validate_initial_configuration(ring, crowded)
+
+
+class TestTrace:
+    def _run(self):
+        ring = RingTopology(6)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=2, vanish_time=5)
+        return run_fsync(ring, sched, PEF3Plus(), positions=[0, 3], rounds=40)
+
+    def test_configuration_at_bounds(self) -> None:
+        trace = self._run().trace
+        assert trace is not None
+        with pytest.raises(IndexError):
+            trace.configuration_at(41)
+        with pytest.raises(IndexError):
+            trace.configuration_at(-1)
+
+    def test_visits_timeline(self) -> None:
+        trace = self._run().trace
+        assert trace is not None
+        events = list(trace.visits())
+        # Initial placements at t=0, then one event per robot per round.
+        assert events[0][0] == 0
+        assert len(events) == 2 + 2 * 40
+        assert max(t for t, _n, _r in events) == 40
+
+    def test_robot_path_consistency(self) -> None:
+        trace = self._run().trace
+        assert trace is not None
+        for robot in range(2):
+            path = trace.robot_path(robot)
+            assert len(path) == 41
+            for t, node in enumerate(path):
+                assert trace.positions_at(t)[robot] == node
+
+    def test_move_count(self) -> None:
+        trace = self._run().trace
+        assert trace is not None
+        total = trace.move_count()
+        per_robot = sum(trace.move_count(r) for r in range(2))
+        assert total == per_robot
+        assert 0 < total <= 2 * 40
+
+    def test_visited_between(self) -> None:
+        trace = self._run().trace
+        assert trace is not None
+        everything = trace.visited_between(0, 40)
+        assert everything == trace.nodes_visited()
+        early = trace.visited_between(0, 0)
+        assert early == frozenset({0, 3})
+
+    def test_recorded_graph_matches_schedule(self) -> None:
+        ring = RingTopology(4)
+        sched = StaticSchedule(ring, {0, 2})
+        result = run_fsync(ring, sched, KeepDirection(), positions=[0], rounds=6)
+        trace = result.trace
+        assert trace is not None
+        recording = trace.recorded_graph()
+        assert recording.horizon == 6
+        for t in range(6):
+            assert recording.present_edges(t) == {0, 2}

@@ -1,0 +1,119 @@
+"""Edge cases across modules: the small rings, empty runs, boundary times.
+
+The 2-node multigraph ring and the 2-node chain are where off-by-ones
+hide; these tests pin their behaviour, along with zero-round runs and
+other boundary conditions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.graph.schedules import StaticSchedule
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import PEF1, KeepDirection, PEF3Plus
+from repro.sim.engine import make_initial_configuration, run_fsync, step_fsync
+from repro.types import AGREE, CCW, CW, DISAGREE
+
+
+class TestTwoNodeMultigraphRing:
+    def test_pef1_alternates_between_nodes(self) -> None:
+        ring = RingTopology(2)
+        result = run_fsync(
+            ring, StaticSchedule(ring), PEF1(), positions=[0], rounds=10
+        )
+        trace = result.trace
+        assert trace is not None
+        assert trace.robot_path(0) == [0, 1] * 5 + [0]
+
+    def test_one_dead_parallel_edge_is_harmless(self) -> None:
+        ring = RingTopology(2)
+        # Only edge 1 ever present: still a connected-over-time 2-ring.
+        schedule = StaticSchedule(ring, {1})
+        result = run_fsync(ring, schedule, PEF1(), positions=[0], rounds=10)
+        trace = result.trace
+        assert trace is not None
+        assert trace.nodes_visited() == {0, 1}
+
+    def test_crossing_either_edge_lands_on_the_other_node(self) -> None:
+        ring = RingTopology(2)
+        algo = KeepDirection()
+        for chirality in (AGREE, DISAGREE):
+            config = make_initial_configuration(ring, algo, [0], [chirality])
+            after, _views, moved = step_fsync(ring, algo, config, ring.all_edges)
+            assert moved == (True,)
+            assert after.positions == (1,)
+
+
+class TestTwoNodeChain:
+    def test_pef1_oscillates_over_the_single_edge(self) -> None:
+        chain = ChainTopology(2)
+        result = run_fsync(
+            chain, StaticSchedule(chain), PEF1(), positions=[1], rounds=9
+        )
+        trace = result.trace
+        assert trace is not None
+        assert trace.robot_path(0) == [1, 0] * 4 + [1, 0]
+
+    def test_edge_counts(self) -> None:
+        assert ChainTopology(2).edge_count == 1
+        assert RingTopology(2).edge_count == 2
+
+
+class TestZeroAndOneRoundRuns:
+    def test_zero_rounds(self) -> None:
+        ring = RingTopology(5)
+        result = run_fsync(
+            ring, StaticSchedule(ring), PEF3Plus(), positions=[0, 2], rounds=0
+        )
+        assert result.rounds == 0
+        assert result.final == result.initial
+        trace = result.trace
+        assert trace is not None
+        assert trace.rounds == 0
+        assert trace.nodes_visited() == {0, 2}
+
+    def test_one_round(self) -> None:
+        ring = RingTopology(5)
+        result = run_fsync(
+            ring, StaticSchedule(ring), KeepDirection(), positions=[3], rounds=1
+        )
+        assert result.final.positions == (2,)
+
+
+class TestBoundaryValidation:
+    def test_position_out_of_range(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(TopologyError):
+            run_fsync(ring, StaticSchedule(ring), PEF1(), positions=[4], rounds=1)
+
+    def test_single_robot_on_two_ring_is_well_initiated(self) -> None:
+        ring = RingTopology(2)
+        result = run_fsync(
+            ring, StaticSchedule(ring), PEF1(), positions=[1], rounds=2
+        )
+        assert result.rounds == 2
+
+    def test_k_equals_n_rejected_even_on_two_ring(self) -> None:
+        ring = RingTopology(2)
+        with pytest.raises(ConfigurationError):
+            run_fsync(ring, StaticSchedule(ring), PEF1(), positions=[0, 1], rounds=1)
+
+
+class TestPortGeometrySmallRings:
+    def test_three_ring_ports(self) -> None:
+        ring = RingTopology(3)
+        for node in ring.nodes:
+            cw = ring.port(node, CW)
+            ccw = ring.port(node, CCW)
+            assert cw != ccw
+            assert ring.neighbor(node, CW) == (node + 1) % 3
+            assert ring.neighbor(node, CCW) == (node - 1) % 3
+
+    def test_two_ring_ports_are_the_two_parallel_edges(self) -> None:
+        ring = RingTopology(2)
+        assert {ring.port(0, CW), ring.port(0, CCW)} == {0, 1}
+        assert {ring.port(1, CW), ring.port(1, CCW)} == {0, 1}
+        # Both edges join the same node pair.
+        assert set(ring.endpoints(0)) == set(ring.endpoints(1)) == {0, 1}

@@ -1,0 +1,59 @@
+"""Tests for exhaustive algorithm-class sweeps.
+
+``test_all_256_single_robot_algorithms_fail_on_ring3`` is the flagship:
+a finite-domain, machine-checked confirmation of Theorem 5.1's universal
+quantifier over the memoryless class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.robots.algorithms.tables import TableAlgorithm
+from repro.verification.enumeration import (
+    sweep_single_robot_memoryless,
+    sweep_two_robot_memoryless,
+)
+
+
+class TestSingleRobotSweep:
+    def test_all_256_single_robot_algorithms_fail_on_ring3(self) -> None:
+        result = sweep_single_robot_memoryless(3)
+        assert result.total == 256
+        assert result.trapped == 256
+        assert result.all_trapped
+        assert result.explorers == []
+
+    def test_rejects_small_rings(self) -> None:
+        with pytest.raises(VerificationError):
+            sweep_single_robot_memoryless(2)
+
+    def test_summary_shape(self) -> None:
+        result = sweep_single_robot_memoryless(3)
+        assert "ALL TRAPPED" in result.summary()
+        assert "256/256" in result.summary()
+
+
+class TestTwoRobotSweep:
+    def test_sampled_sweep_all_trapped_on_ring4(self) -> None:
+        result = sweep_two_robot_memoryless(4, sample=96, seed=7)
+        assert result.total == 96
+        assert result.all_trapped
+
+    def test_extra_tables_included(self) -> None:
+        extra = TableAlgorithm(1, [0] * 16, name="all-left")
+        result = sweep_two_robot_memoryless(4, sample=8, extra_tables=[extra])
+        assert result.total == 9
+        assert result.all_trapped
+
+    def test_sample_bounds_validated(self) -> None:
+        with pytest.raises(VerificationError):
+            sweep_two_robot_memoryless(4, sample=0)
+        with pytest.raises(VerificationError):
+            sweep_two_robot_memoryless(3, sample=4)
+
+    def test_deterministic_given_seed(self) -> None:
+        a = sweep_two_robot_memoryless(4, sample=16, seed=3)
+        b = sweep_two_robot_memoryless(4, sample=16, seed=3)
+        assert a.trapped == b.trapped == 16

@@ -1,0 +1,171 @@
+"""Tests for evolving-graph containers and the restrict operator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import (
+    ExplicitSchedule,
+    FunctionSchedule,
+    LassoSchedule,
+    RecordedEvolvingGraph,
+    restrict,
+)
+from repro.graph.schedules import StaticSchedule
+from repro.graph.topology import RingTopology
+
+
+class TestExplicitSchedule:
+    def test_steps_then_hold(self) -> None:
+        ring = RingTopology(4)
+        sched = ExplicitSchedule(ring, [{0, 1}, {2}], suffix="hold")
+        assert sched.present_edges(0) == {0, 1}
+        assert sched.present_edges(1) == {2}
+        assert sched.present_edges(100) == {2}
+
+    def test_constant_suffix(self) -> None:
+        ring = RingTopology(4)
+        sched = ExplicitSchedule(ring, [{0}], suffix=frozenset({1, 2}))
+        assert sched.present_edges(5) == {1, 2}
+        assert sched.eventually_missing_edges() == {0, 3}
+
+    def test_no_suffix_raises_beyond_horizon(self) -> None:
+        ring = RingTopology(4)
+        sched = ExplicitSchedule(ring, [{0}], suffix=None)
+        assert sched.present_edges(0) == {0}
+        with pytest.raises(ScheduleError):
+            sched.present_edges(1)
+        assert sched.eventually_missing_edges() is None
+
+    def test_hold_requires_a_step(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(ScheduleError):
+            ExplicitSchedule(ring, [], suffix="hold")
+
+    def test_rejects_alien_edges(self) -> None:
+        ring = RingTopology(3)
+        with pytest.raises(Exception):
+            ExplicitSchedule(ring, [{7}])
+
+    def test_negative_time_rejected(self) -> None:
+        ring = RingTopology(3)
+        sched = ExplicitSchedule(ring, [set()])
+        with pytest.raises(ScheduleError):
+            sched.present_edges(-1)
+
+
+class TestLassoSchedule:
+    def test_prefix_then_cycle(self) -> None:
+        ring = RingTopology(4)
+        lasso = LassoSchedule(ring, [{0}], [{1}, {2}])
+        assert [lasso.present_edges(t) for t in range(6)] == [
+            {0},
+            {1},
+            {2},
+            {1},
+            {2},
+            {1},
+        ]
+
+    def test_eventually_missing_is_cycle_complement(self) -> None:
+        ring = RingTopology(4)
+        lasso = LassoSchedule(ring, [ring.all_edges], [{0}, {1}])
+        assert lasso.eventually_missing_edges() == {2, 3}
+
+    def test_empty_cycle_rejected(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(ScheduleError):
+            LassoSchedule(ring, [], [])
+
+    def test_empty_prefix_allowed(self) -> None:
+        ring = RingTopology(4)
+        lasso = LassoSchedule(ring, [], [{3}])
+        assert lasso.present_edges(0) == {3}
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_periodicity(self, t: int) -> None:
+        ring = RingTopology(4)
+        lasso = LassoSchedule(ring, [{0}, {1}], [{2}, {3}, {0, 1}])
+        if t >= 2:
+            assert lasso.present_edges(t) == lasso.present_edges(t + 3)
+
+
+class TestFunctionSchedule:
+    def test_wraps_function(self) -> None:
+        ring = RingTopology(3)
+        sched = FunctionSchedule(ring, lambda t: {t % 3})
+        assert sched.present_edges(4) == {1}
+
+    def test_declared_missing(self) -> None:
+        ring = RingTopology(3)
+        sched = FunctionSchedule(ring, lambda t: {0}, eventually_missing={1, 2})
+        assert sched.eventually_missing_edges() == {1, 2}
+
+    def test_undeclared_missing_is_unknown(self) -> None:
+        ring = RingTopology(3)
+        sched = FunctionSchedule(ring, lambda t: {0})
+        assert sched.eventually_missing_edges() is None
+
+
+class TestRecordedEvolvingGraph:
+    def test_horizon_enforced(self) -> None:
+        ring = RingTopology(3)
+        rec = RecordedEvolvingGraph(ring, [{0}, {1}])
+        assert rec.horizon == 2
+        with pytest.raises(ScheduleError):
+            rec.present_edges(2)
+
+    def test_absence_intervals(self) -> None:
+        ring = RingTopology(3)
+        rec = RecordedEvolvingGraph(
+            ring, [{0}, {1}, {1}, {0, 1}, set(), set(), {0}]
+        )
+        assert rec.absence_intervals(0) == [(1, 2), (4, 5)]
+        assert rec.absence_intervals(1) == [(0, 0), (4, 6)]
+        assert rec.absence_intervals(2) == [(0, 6)]
+
+    def test_last_presence(self) -> None:
+        ring = RingTopology(3)
+        rec = RecordedEvolvingGraph(ring, [{0}, {1}, set()])
+        assert rec.last_presence(0) == 0
+        assert rec.last_presence(1) == 1
+        assert rec.last_presence(2) is None
+
+
+class TestRestrict:
+    def test_removes_exactly_requested_times(self) -> None:
+        ring = RingTopology(4)
+        base = StaticSchedule(ring)
+        restricted = restrict(base, {1: [2, 3], 3: range(5, 7)})
+        assert restricted.present_edges(0) == ring.all_edges
+        assert restricted.present_edges(2) == ring.all_edges - {1}
+        assert restricted.present_edges(3) == ring.all_edges - {1}
+        assert restricted.present_edges(4) == ring.all_edges
+        assert restricted.present_edges(5) == ring.all_edges - {3}
+
+    def test_preserves_eventual_metadata(self) -> None:
+        ring = RingTopology(4)
+        base = StaticSchedule(ring)
+        restricted = restrict(base, {0: [0]})
+        assert restricted.eventually_missing_edges() == frozenset()
+
+    def test_accepts_pair_list(self) -> None:
+        ring = RingTopology(4)
+        base = StaticSchedule(ring)
+        restricted = restrict(base, [(2, [0]), (2, [1])])
+        assert restricted.present_edges(0) == ring.all_edges - {2}
+        assert restricted.present_edges(1) == ring.all_edges - {2}
+
+    def test_negative_time_rejected(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(ScheduleError):
+            restrict(StaticSchedule(ring), {0: [-1]})
+
+    def test_composes_with_itself(self) -> None:
+        ring = RingTopology(4)
+        once = restrict(StaticSchedule(ring), {0: [0]})
+        twice = restrict(once, {1: [0]})
+        assert twice.present_edges(0) == ring.all_edges - {0, 1}

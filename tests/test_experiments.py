@@ -1,0 +1,107 @@
+"""Tests for experiment harnesses: battery, figures, cover-time sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.battery import run_battery, schedule_battery, spread_positions
+from repro.experiments.cover_time import cover_time_sweep
+from repro.experiments.figures import figure2_experiment, figure3_experiment
+from repro.graph.properties import is_connected_over_time
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import (
+    PEF1,
+    PEF2,
+    BounceOnBlocked,
+    KeepDirection,
+    PEF3Plus,
+)
+
+
+class TestBattery:
+    def test_battery_entries_are_connected_over_time(self) -> None:
+        ring = RingTopology(6)
+        for name, schedule in schedule_battery(ring):
+            verdict = is_connected_over_time(schedule)
+            assert verdict is True, name
+
+    def test_chain_battery_avoids_eventually_missing(self) -> None:
+        chain = ChainTopology(4)
+        names = [name for name, _ in schedule_battery(chain)]
+        assert not any(name.startswith("eventually-missing") for name in names)
+        for name, schedule in schedule_battery(chain):
+            assert is_connected_over_time(schedule) is True, name
+
+    def test_spread_positions(self) -> None:
+        assert spread_positions(RingTopology(9), 3) == (0, 3, 6)
+        assert spread_positions(RingTopology(4), 3) == (0, 1, 2)
+
+    def test_pef3plus_passes_battery(self) -> None:
+        outcomes = run_battery(RingTopology(6), PEF3Plus(), k=3, rounds=1200)
+        assert len(outcomes) == 10
+        for outcome in outcomes:
+            assert outcome.passed, outcome.summary()
+
+    def test_keep_direction_fails_eventually_missing(self) -> None:
+        outcomes = run_battery(RingTopology(6), KeepDirection(), k=3, rounds=1200)
+        failures = {o.schedule_name for o in outcomes if not o.passed}
+        assert "eventually-missing@0" in failures
+
+    def test_pef2_passes_battery_on_ring3(self) -> None:
+        outcomes = run_battery(RingTopology(3), PEF2(), k=2, rounds=1200)
+        for outcome in outcomes:
+            assert outcome.passed, outcome.summary()
+
+    def test_pef1_passes_battery_on_both_two_node_variants(self) -> None:
+        for topology in (RingTopology(2), ChainTopology(2)):
+            outcomes = run_battery(topology, PEF1(), k=1, rounds=800)
+            for outcome in outcomes:
+                assert outcome.passed, (repr(topology), outcome.summary())
+
+
+class TestFigureExperiments:
+    def test_figure3_confines_and_stays_connected(self) -> None:
+        outcome = figure3_experiment(PEF1(), n=7, rounds=300)
+        assert outcome.confined
+        assert outcome.starved_count == 5
+        assert outcome.recurrence.within_budget
+        assert "fig3" in outcome.summary()
+
+    def test_figure3_zigzag_alternates(self) -> None:
+        outcome = figure3_experiment(BounceOnBlocked(), n=5, rounds=100)
+        path = outcome.trace.robot_path(0)
+        # After the first move the robot strictly alternates between 2 nodes.
+        tail = path[1:]
+        assert set(tail) == set(outcome.window)
+        assert all(tail[i] != tail[i + 1] for i in range(len(tail) - 1))
+
+    def test_figure2_literal_script_on_pef2(self) -> None:
+        outcome = figure2_experiment(PEF2(), n=6, rounds=300)
+        assert outcome.confined
+        assert not outcome.used_fallback
+        assert outcome.starved_count == 3
+        assert outcome.recurrence.suspected_eventually_missing == frozenset()
+
+    def test_figure2_fallback_on_pef3plus(self) -> None:
+        outcome = figure2_experiment(PEF3Plus(), n=6, rounds=200, patience=16)
+        assert outcome.confined
+        assert outcome.used_fallback
+
+
+class TestCoverTimeSweep:
+    def test_sweep_shape_and_monotonicity(self) -> None:
+        points = cover_time_sweep(
+            PEF3Plus(), sizes=[4, 6, 8], k=3, rounds=600, schedules=["static"]
+        )
+        assert len(points) == 3
+        assert all(p.covered for p in points)
+        times = [p.cover_time for p in points]
+        assert times == sorted(times)  # bigger rings take at least as long
+
+    def test_sweep_includes_move_rate(self) -> None:
+        points = cover_time_sweep(
+            PEF3Plus(), sizes=[5], k=3, rounds=300, schedules=["static"]
+        )
+        point = points[0]
+        assert 0 < point.total_moves_per_round <= 3
+        assert len(point.row()) == 7

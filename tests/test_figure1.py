@@ -1,0 +1,87 @@
+"""Tests for the Lemma 4.1 / Figure 1 construction.
+
+The five default scenarios realize the paper's five Figure 1 cases; for
+each, Claims 1–4 of the proof must verify on the concrete execution, and
+for the "stubborn" (never-leave-OneEdge) scenarios the 8-ring exploration
+must indeed fail after the shared edge is removed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.experiments.figure1 import (
+    Lemma41Scenario,
+    default_scenarios,
+    run_lemma41_construction,
+)
+from repro.graph.schedules import StaticSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import KeepDirection
+from repro.types import Chirality
+
+SCENARIOS = default_scenarios()
+
+
+class TestFiveCases:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_all_claims_hold(self, scenario: Lemma41Scenario) -> None:
+        outcome = run_lemma41_construction(scenario)
+        assert outcome.claim1_symmetric, outcome.summary()
+        assert outcome.claim2_no_tower, outcome.summary()
+        assert outcome.claim3_r1_same, outcome.summary()
+        assert outcome.claim4_adjacent_same_state, outcome.summary()
+
+    def test_the_five_cases_are_distinct(self) -> None:
+        outcomes = [run_lemma41_construction(s) for s in SCENARIOS]
+        signatures = {(o.delta, o.f_is_i) for o in outcomes}
+        assert len(signatures) == 5
+
+    def test_case_deltas(self) -> None:
+        by_name = {
+            s.name: run_lemma41_construction(s) for s in SCENARIOS
+        }
+        assert by_name["never-moved"].delta == 0
+        assert by_name["one-step-ccw"].delta == 1  # i is CW of f
+        assert by_name["one-step-cw"].delta == -1
+        assert by_name["there-and-back-ccw"].delta == -1  # a is CCW of f=i
+        assert by_name["there-and-back-cw"].delta == 1
+
+
+class TestStubbornStatesStarve:
+    @pytest.mark.parametrize("name", ["one-step-ccw", "one-step-cw"])
+    def test_keep_direction_scenarios_starve_the_8_ring(self, name: str) -> None:
+        """At time t the robots point at the removed shared edge: with
+        ``KeepDirection`` they wait there forever and the 8-ring starves."""
+        scenario = next(s for s in SCENARIOS if s.name == name)
+        assert isinstance(scenario.algorithm, KeepDirection)
+        outcome = run_lemma41_construction(scenario, extra_rounds=120)
+        assert outcome.starved_after is not None
+        assert len(outcome.starved_after) >= 4
+
+    def test_never_moved_scenario_wanders_after_t(self) -> None:
+        """Negative control: the frozen robots of the δ=0 case do *not*
+        point at the removed edge at time t, so KeepDirection robots walk
+        the long way around — Lemma 4.1's stubborn-state hypothesis fails
+        for this state, and no starvation is implied."""
+        scenario = next(s for s in SCENARIOS if s.name == "never-moved")
+        outcome = run_lemma41_construction(scenario, extra_rounds=120)
+        assert outcome.starved_after == frozenset()
+
+
+class TestPreconditionEnforcement:
+    def test_rejects_wandering_robot(self) -> None:
+        # A robot that visits 3 nodes by time t violates the lemma's setup.
+        scenario = Lemma41Scenario(
+            name="too-far",
+            algorithm=KeepDirection(),
+            base_topology=RingTopology(8),
+            base_schedule=StaticSchedule(RingTopology(8)),
+            r1_start=0,
+            r2_start=4,
+            r1_chirality=Chirality.AGREE,
+            t=3,
+        )
+        with pytest.raises(VerificationError):
+            run_lemma41_construction(scenario)

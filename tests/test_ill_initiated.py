@@ -1,0 +1,45 @@
+"""Tests for experiment X6: the towerless assumption is load-bearing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ill_initiated import (
+    all_placements_with_towers,
+    probe_ill_initiated,
+)
+from repro.robots.algorithms import PEF3Plus
+from repro.verification.certificates import validate_certificate
+
+
+class TestPlacements:
+    def test_counts_include_towers(self) -> None:
+        placements = all_placements_with_towers(4, 3)
+        assert len(placements) == 16  # robot 0 pinned, 4*4 for the others
+        assert (0, 0, 0) in placements
+        assert all(p[0] == 0 for p in placements)
+
+
+class TestPEF3PlusNeedsTowerlessStarts:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return probe_ill_initiated(PEF3Plus(), n=4, k=3)
+
+    def test_well_initiated_explores(self, outcome) -> None:
+        assert outcome.well_initiated.explorable
+
+    def test_arbitrary_starts_trapped(self, outcome) -> None:
+        assert not outcome.arbitrary.explorable
+
+    def test_assumption_is_load_bearing(self, outcome) -> None:
+        assert outcome.assumption_is_load_bearing
+        assert "towerless starts → EXPLORES" in outcome.summary()
+        assert "arbitrary starts → TRAPPED" in outcome.summary()
+
+    def test_tower_trap_certificate_replays(self, outcome) -> None:
+        cert = outcome.tower_trap
+        assert cert is not None
+        # The trap starts from a genuinely ill-initiated configuration...
+        assert len(set(cert.seed_positions)) < len(cert.seed_positions)
+        # ...and replays cleanly through the simulator.
+        validate_certificate(cert, PEF3Plus())

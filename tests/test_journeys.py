@@ -1,0 +1,139 @@
+"""Tests for temporal journeys, including a brute-force cross-check."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import RecordedEvolvingGraph
+from repro.graph.journeys import (
+    foremost_journey,
+    journey_exists,
+    temporal_eccentricity,
+    temporal_reachability,
+)
+from repro.graph.schedules import (
+    BernoulliSchedule,
+    EventuallyMissingEdgeSchedule,
+    StaticSchedule,
+)
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.types import CCW, CW
+
+
+def brute_force_reachability(graph, source, start, deadline):
+    """Reference implementation: explicit frontier sets per time step."""
+    topology = graph.topology
+    best = {source: start}
+    for t in range(start, deadline):
+        present = graph.present_edges(t)
+        for node in [n for n, when in best.items() if when <= t]:
+            for direction in (CCW, CW):
+                edge = topology.port(node, direction)
+                if edge is None or edge not in present:
+                    continue
+                nbr = topology.neighbor(node, direction)
+                if nbr is not None and (nbr not in best or best[nbr] > t + 1):
+                    best[nbr] = t + 1
+    return best
+
+
+class TestReachability:
+    def test_static_ring_is_distance(self) -> None:
+        ring = RingTopology(6)
+        sched = StaticSchedule(ring)
+        reach = temporal_reachability(sched, source=0, start_time=0, deadline=20)
+        for node in ring.nodes:
+            assert reach[node] == ring.distance(0, node)
+
+    def test_missing_edge_forces_detour(self) -> None:
+        ring = RingTopology(6)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=0, vanish_time=0)
+        reach = temporal_reachability(sched, source=0, start_time=0, deadline=20)
+        # Edge 0 (between 0 and 1) is gone: node 1 must be reached the long way.
+        assert reach[1] == 5
+
+    def test_deadline_limits(self) -> None:
+        ring = RingTopology(8)
+        sched = StaticSchedule(ring)
+        reach = temporal_reachability(sched, source=0, start_time=0, deadline=2)
+        assert set(reach) == {0, 1, 2, 7, 6}
+
+    def test_validation(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(ScheduleError):
+            temporal_reachability(StaticSchedule(ring), 0, start_time=5, deadline=2)
+
+    @given(st.integers(min_value=0, max_value=2**16), st.integers(min_value=3, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_on_random_graphs(self, seed: int, n: int) -> None:
+        ring = RingTopology(n)
+        sched = BernoulliSchedule(ring, p=0.45, seed=seed)
+        horizon = 25
+        recording = RecordedEvolvingGraph(ring, sched.prefix(horizon))
+        fast = temporal_reachability(recording, 0, 0, horizon)
+        slow = brute_force_reachability(recording, 0, 0, horizon)
+        assert fast == slow
+
+
+class TestForemostJourney:
+    def test_trivial_journey(self) -> None:
+        ring = RingTopology(4)
+        journey = foremost_journey(StaticSchedule(ring), 2, 2, 0, 10)
+        assert journey is not None
+        assert journey.arrival_time == 0
+        assert journey.topological_length == 0
+
+    def test_journey_is_walkable_and_foremost(self) -> None:
+        ring = RingTopology(6)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=2, vanish_time=0)
+        journey = foremost_journey(sched, 2, 3, 0, 30)
+        assert journey is not None
+        # Walk it: every hop uses an edge present at departure time.
+        position = journey.source
+        clock = journey.start_time
+        for depart, edge in journey.hops:
+            assert depart >= clock
+            assert edge in sched.present_edges(depart)
+            u, v = ring.endpoints(edge)
+            assert position in (u, v)
+            position = v if position == u else u
+            clock = depart + 1
+        assert position == journey.destination
+        assert clock == journey.arrival_time
+        # Foremost: equals the reachability bound.
+        reach = temporal_reachability(sched, 2, 0, 30)
+        assert journey.arrival_time == reach[3]
+
+    def test_unreachable_returns_none(self) -> None:
+        chain = ChainTopology(4)
+        sched = StaticSchedule(chain, {0})  # only edge (0,1) ever present
+        assert foremost_journey(sched, 0, 3, 0, 50) is None
+        assert not journey_exists(sched, 0, 3, 0, 50)
+
+
+class TestEccentricity:
+    def test_static_ring(self) -> None:
+        ring = RingTopology(8)
+        assert temporal_eccentricity(StaticSchedule(ring), 0, 0, 50) == 4
+
+    def test_none_when_cut_off(self) -> None:
+        ring = RingTopology(6)
+        sched = StaticSchedule(ring, {0, 1})
+        assert temporal_eccentricity(sched, 0, 0, 50) is None
+
+    def test_waits_out_a_vanished_then_restored_edge(self) -> None:
+        ring = RingTopology(4)
+        # Edge 3 (between 3 and 0) blinks on only at t % 7 == 6.
+        from repro.graph.schedules import PeriodicSchedule
+
+        sched = PeriodicSchedule(
+            ring, {3: [False, False, False, False, False, False, True]}
+        )
+        reach = temporal_reachability(sched, 0, 0, 30)
+        assert reach[3] == min(3, 7)  # CW through 1,2 takes 3 steps
+        ecc = temporal_eccentricity(sched, 0, 0, 30)
+        assert ecc == 3

@@ -1,0 +1,135 @@
+"""Tests for streaming observers (visit tracker, tower logger, edge recorder)."""
+
+from __future__ import annotations
+
+from repro.graph.evolving import ExplicitSchedule
+from repro.graph.schedules import EventuallyMissingEdgeSchedule, StaticSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import KeepDirection, PEF3Plus
+from repro.sim.engine import run_fsync
+from repro.sim.observers import EdgeRecorder, TowerLogger, VisitTracker
+
+
+class TestVisitTracker:
+    def test_counts_against_full_trace(self) -> None:
+        ring = RingTopology(6)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=1, vanish_time=0)
+        tracker = VisitTracker()
+        result = run_fsync(
+            ring, sched, PEF3Plus(), positions=[0, 2, 4], rounds=100,
+            observers=[tracker],
+        )
+        trace = result.trace
+        assert trace is not None
+        # Recompute counts from the trace and compare.
+        expected = {node: 0 for node in ring.nodes}
+        for t in range(0, 101):
+            for node in set(trace.positions_at(t)):
+                expected[node] += 1
+        assert tracker.visit_counts == expected
+
+    def test_cover_time(self) -> None:
+        ring = RingTopology(5)
+        tracker = VisitTracker()
+        run_fsync(
+            ring,
+            StaticSchedule(ring),
+            KeepDirection(),
+            positions=[0],
+            rounds=10,
+            observers=[tracker],
+        )
+        # One robot sweeping CCW covers n nodes in n-1 moves.
+        assert tracker.cover_time == 4
+
+    def test_gap_tracking(self) -> None:
+        ring = RingTopology(4)
+        tracker = VisitTracker()
+        run_fsync(
+            ring,
+            StaticSchedule(ring),
+            KeepDirection(),
+            positions=[0],
+            rounds=8,
+            observers=[tracker],
+        )
+        # Single robot cycling a 4-ring: each node revisited every 4 steps.
+        for node in ring.nodes:
+            assert tracker.worst_gap(node) == 3
+        assert tracker.starved_nodes(window=4) == frozenset()
+        assert tracker.starved_nodes(window=3) == frozenset(ring.nodes)
+
+    def test_unvisited_node_counts_since_origin(self) -> None:
+        ring = RingTopology(4)
+        sched = StaticSchedule(ring, frozenset())  # nothing ever present
+        tracker = VisitTracker()
+        run_fsync(
+            ring, sched, KeepDirection(), positions=[0], rounds=10,
+            observers=[tracker],
+        )
+        assert tracker.cover_time is None
+        assert tracker.trailing_gap(2) == 11
+        assert tracker.worst_gap(2) == 11  # never visited at all
+        assert tracker.worst_gap(0) == 0  # the parked robot occupies it always
+
+
+class TestTowerLogger:
+    def test_tower_intervals(self) -> None:
+        ring = RingTopology(4)
+        algo = PEF3Plus()
+        # Drive two robots together: robot 1 at node 1 walks CCW into node 0
+        # while robot 0 is blocked (its CCW edge 3 missing).
+        sched = ExplicitSchedule(
+            ring,
+            [ring.all_edges - {3}],
+            suffix=frozenset(ring.all_edges - {3}),
+        )
+        logger = TowerLogger()
+        result = run_fsync(
+            ring, sched, algo, positions=[0, 1], rounds=10, observers=[logger]
+        )
+        events = logger.all_events()
+        assert events, "expected at least one tower"
+        first = events[0]
+        assert first.node == 0
+        assert first.members == (0, 1)
+        assert first.start == 1
+        assert logger.max_members == 2
+        assert result.rounds == 10
+
+    def test_no_towers_when_apart(self) -> None:
+        ring = RingTopology(6)
+        logger = TowerLogger()
+        run_fsync(
+            ring,
+            StaticSchedule(ring),
+            KeepDirection(),
+            positions=[0, 3],
+            rounds=20,
+            observers=[logger],
+        )
+        assert logger.all_events() == []
+        assert logger.max_members == 0
+
+
+class TestEdgeRecorder:
+    def test_presence_accounting(self) -> None:
+        ring = RingTopology(3)
+        steps = [{0, 1}, {1}, {1}, {0, 1, 2}, {1}]
+        sched = ExplicitSchedule(ring, steps, suffix="hold")
+        recorder = EdgeRecorder()
+        run_fsync(
+            ring,
+            sched,
+            KeepDirection(),
+            positions=[0],
+            rounds=5,
+            observers=[recorder],
+        )
+        assert recorder.presence_counts == {0: 2, 1: 5, 2: 1}
+        assert recorder.last_present == {0: 3, 1: 4, 2: 3}
+        assert recorder.open_absence(0) == 1
+        assert recorder.open_absence(1) == 0
+        assert recorder.worst_absence(2) == 3
+        assert recorder.suspected_eventually_missing(threshold=1) == {0, 2}
+        assert recorder.suspected_eventually_missing(threshold=2) == frozenset()

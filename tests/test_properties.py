@@ -1,0 +1,131 @@
+"""Tests for evolving-graph structural properties (Section 2.1 vocabulary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import RecordedEvolvingGraph
+from repro.graph.properties import (
+    absent_throughout,
+    empirical_recurrent_edges,
+    eventual_underlying_edges,
+    is_connected_edge_set,
+    is_connected_over_time,
+    one_edge,
+    present_throughout,
+    recurrent_edges,
+    underlying_edges,
+)
+from repro.graph.schedules import (
+    BernoulliSchedule,
+    EventuallyMissingEdgeSchedule,
+    StaticSchedule,
+)
+from repro.graph.topology import ChainTopology, RingTopology
+
+
+class TestUnderlying:
+    def test_static_reaches_full_footprint(self) -> None:
+        ring = RingTopology(5)
+        assert underlying_edges(StaticSchedule(ring), horizon=1) == ring.all_edges
+
+    def test_partial_union(self) -> None:
+        ring = RingTopology(4)
+        rec = RecordedEvolvingGraph(ring, [{0}, {1}, {0, 2}])
+        assert underlying_edges(rec, horizon=3) == {0, 1, 2}
+        assert underlying_edges(rec, horizon=1) == {0}
+
+    def test_random_schedule_converges(self) -> None:
+        ring = RingTopology(6)
+        sched = BernoulliSchedule(ring, p=0.5, seed=11)
+        assert underlying_edges(sched, horizon=200) == ring.all_edges
+
+
+class TestRecurrent:
+    def test_declared_missing(self) -> None:
+        ring = RingTopology(5)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=3)
+        assert eventual_underlying_edges(sched) == ring.all_edges - {3}
+        assert recurrent_edges(sched) == ring.all_edges - {3}
+
+    def test_unknown_when_undeclared(self) -> None:
+        ring = RingTopology(5)
+        rec = RecordedEvolvingGraph(ring, [ring.all_edges])
+        assert eventual_underlying_edges(rec) is None
+
+    def test_empirical_suffix(self) -> None:
+        ring = RingTopology(4)
+        rec = RecordedEvolvingGraph(ring, [{0, 1}, {2}, {2, 3}, {3}])
+        assert empirical_recurrent_edges(rec, suffix_start=2) == {2, 3}
+        assert empirical_recurrent_edges(rec, suffix_start=0) == {0, 1, 2, 3}
+        with pytest.raises(ScheduleError):
+            empirical_recurrent_edges(rec, suffix_start=9)
+
+
+class TestConnectivity:
+    def test_ring_minus_one_edge_connected(self) -> None:
+        ring = RingTopology(6)
+        assert is_connected_edge_set(ring, ring.all_edges - {3})
+        assert not is_connected_edge_set(ring, ring.all_edges - {3, 0})
+
+    def test_two_node_multigraph(self) -> None:
+        ring = RingTopology(2)
+        assert is_connected_edge_set(ring, frozenset({0}))
+        assert is_connected_edge_set(ring, frozenset({1}))
+        assert not is_connected_edge_set(ring, frozenset())
+
+    def test_chain_needs_all_edges(self) -> None:
+        chain = ChainTopology(4)
+        assert is_connected_edge_set(chain, chain.all_edges)
+        for edge in chain.edges:
+            assert not is_connected_edge_set(chain, chain.all_edges - {edge})
+
+    def test_connected_over_time_verdicts(self) -> None:
+        ring = RingTopology(5)
+        assert is_connected_over_time(StaticSchedule(ring)) is True
+        assert (
+            is_connected_over_time(EventuallyMissingEdgeSchedule(ring, edge=0))
+            is True
+        )
+        assert is_connected_over_time(StaticSchedule(ring, {0, 1})) is False
+        rec = RecordedEvolvingGraph(ring, [ring.all_edges])
+        assert is_connected_over_time(rec) is None
+
+
+class TestOneEdge:
+    def test_predicate_on_ring(self) -> None:
+        ring = RingTopology(5)
+        # Edge 0 (CW of node 0) missing forever; edge 4 (CCW of 0) present.
+        sched = EventuallyMissingEdgeSchedule(ring, edge=0, vanish_time=0)
+        assert one_edge(sched, node=0, t=0, t_end=10)
+        assert one_edge(sched, node=1, t=0, t_end=10)  # its CCW edge is 0
+        assert not one_edge(sched, node=3, t=0, t_end=10)  # both present
+
+    def test_needs_one_missing_and_one_present(self) -> None:
+        ring = RingTopology(4)
+        rec = RecordedEvolvingGraph(ring, [set(), set()])
+        assert not one_edge(rec, node=0, t=0, t_end=1)  # both missing
+
+    def test_chain_extremity(self) -> None:
+        chain = ChainTopology(3)
+        sched = StaticSchedule(chain)
+        # Node 0's CCW port never exists: continuously missing; CW present.
+        assert one_edge(sched, node=0, t=0, t_end=5)
+        assert one_edge(sched, node=2, t=0, t_end=5)
+        assert not one_edge(sched, node=1, t=0, t_end=5)
+
+    def test_interval_validation(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(ScheduleError):
+            one_edge(StaticSchedule(ring), node=0, t=5, t_end=3)
+
+
+class TestThroughout:
+    def test_absent_and_present_throughout(self) -> None:
+        ring = RingTopology(4)
+        rec = RecordedEvolvingGraph(ring, [{0}, {0}, {0, 1}])
+        assert present_throughout(rec, edge=0, t=0, t_end=2)
+        assert absent_throughout(rec, edge=2, t=0, t_end=2)
+        assert not absent_throughout(rec, edge=1, t=0, t_end=2)
+        assert not present_throughout(rec, edge=1, t=0, t_end=2)

@@ -1,0 +1,241 @@
+"""Tests for the oblivious schedule library (repro.graph.schedules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.graph.properties import is_connected_edge_set, is_connected_over_time
+from repro.graph.schedules import (
+    AtMostOneAbsentSchedule,
+    BernoulliSchedule,
+    CompositeSchedule,
+    EventuallyMissingEdgeSchedule,
+    IntermittentEdgeSchedule,
+    MarkovSchedule,
+    PeriodicSchedule,
+    StaticSchedule,
+    SwitchAfterSchedule,
+    TIntervalConnectedSchedule,
+    chain_like_schedule,
+)
+from repro.graph.topology import ChainTopology, RingTopology
+
+seeds = st.integers(min_value=0, max_value=2**20)
+times = st.integers(min_value=0, max_value=200)
+
+
+class TestStatic:
+    def test_default_all_present(self) -> None:
+        ring = RingTopology(5)
+        sched = StaticSchedule(ring)
+        assert sched.present_edges(0) == ring.all_edges
+        assert sched.eventually_missing_edges() == frozenset()
+
+    def test_partial(self) -> None:
+        ring = RingTopology(5)
+        sched = StaticSchedule(ring, {0, 2})
+        assert sched.present_edges(7) == {0, 2}
+        assert sched.eventually_missing_edges() == {1, 3, 4}
+
+
+class TestEventuallyMissing:
+    def test_vanishes_forever(self) -> None:
+        ring = RingTopology(5)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=2, vanish_time=10)
+        assert 2 in sched.present_edges(9)
+        for t in (10, 11, 500):
+            assert 2 not in sched.present_edges(t)
+            assert sched.present_edges(t) == ring.all_edges - {2}
+
+    def test_flicker_before_vanish(self) -> None:
+        ring = RingTopology(5)
+        sched = EventuallyMissingEdgeSchedule(
+            ring, edge=0, vanish_time=10, flicker_period=3
+        )
+        assert 0 not in sched.present_edges(0)
+        assert 0 in sched.present_edges(1)
+        assert 0 not in sched.present_edges(3)
+        assert 0 not in sched.present_edges(11)
+
+    def test_is_connected_over_time_on_ring(self) -> None:
+        ring = RingTopology(5)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=2)
+        assert sched.eventually_missing_edges() == {2}
+        assert is_connected_over_time(sched) is True
+
+    def test_not_connected_over_time_on_chain(self) -> None:
+        chain = ChainTopology(5)
+        sched = EventuallyMissingEdgeSchedule(chain, edge=2)
+        assert is_connected_over_time(sched) is False
+
+    def test_validation(self) -> None:
+        ring = RingTopology(5)
+        with pytest.raises(ScheduleError):
+            EventuallyMissingEdgeSchedule(ring, edge=0, vanish_time=-1)
+        with pytest.raises(ScheduleError):
+            EventuallyMissingEdgeSchedule(ring, edge=0, flicker_period=1)
+
+
+class TestIntermittentAndPeriodic:
+    def test_intermittent_duty_cycle(self) -> None:
+        ring = RingTopology(4)
+        sched = IntermittentEdgeSchedule(ring, edge=1, period=4, duty=2)
+        pattern = [1 in sched.present_edges(t) for t in range(8)]
+        assert pattern == [True, True, False, False, True, True, False, False]
+        assert sched.eventually_missing_edges() == frozenset()
+
+    def test_periodic_patterns(self) -> None:
+        ring = RingTopology(3)
+        sched = PeriodicSchedule(
+            ring, {0: [True, False], 1: [False], 2: [True, True, False]}
+        )
+        assert sched.present_edges(0) == {0, 2}
+        assert sched.present_edges(1) == {2}
+        assert sched.present_edges(2) == {0}
+        assert sched.eventually_missing_edges() == {1}
+
+    def test_periodic_empty_pattern_rejected(self) -> None:
+        ring = RingTopology(3)
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule(ring, {0: []})
+
+
+class TestBernoulli:
+    @given(seeds, times)
+    @settings(max_examples=50)
+    def test_deterministic_given_seed(self, seed: int, t: int) -> None:
+        ring = RingTopology(6)
+        a = BernoulliSchedule(ring, p=0.5, seed=seed)
+        b = BernoulliSchedule(ring, p=0.5, seed=seed)
+        assert a.present_edges(t) == b.present_edges(t)
+
+    def test_p_one_is_static(self) -> None:
+        ring = RingTopology(4)
+        sched = BernoulliSchedule(ring, p=1.0, seed=1)
+        for t in range(20):
+            assert sched.present_edges(t) == ring.all_edges
+
+    def test_per_edge_probabilities(self) -> None:
+        ring = RingTopology(4)
+        sched = BernoulliSchedule(ring, p={0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}, seed=3)
+        assert sched.present_edges(5) == ring.all_edges
+
+    def test_zero_probability_rejected(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(ScheduleError):
+            BernoulliSchedule(ring, p=0.0, seed=1)
+
+    def test_rough_frequency(self) -> None:
+        ring = RingTopology(4)
+        sched = BernoulliSchedule(ring, p=0.7, seed=42)
+        hits = sum(0 in sched.present_edges(t) for t in range(2000))
+        assert 1200 < hits < 1600  # ~1400 expected
+
+
+class TestMarkov:
+    def test_starts_all_on_and_deterministic(self) -> None:
+        ring = RingTopology(5)
+        a = MarkovSchedule(ring, p_off=0.3, p_on=0.5, seed=7)
+        b = MarkovSchedule(ring, p_off=0.3, p_on=0.5, seed=7)
+        assert a.present_edges(0) == ring.all_edges
+        for t in (3, 10, 50):
+            assert a.present_edges(t) == b.present_edges(t)
+
+    def test_out_of_order_queries_consistent(self) -> None:
+        ring = RingTopology(5)
+        a = MarkovSchedule(ring, p_off=0.3, p_on=0.5, seed=7)
+        later = a.present_edges(30)
+        earlier = a.present_edges(10)
+        b = MarkovSchedule(ring, p_off=0.3, p_on=0.5, seed=7)
+        assert b.present_edges(10) == earlier
+        assert b.present_edges(30) == later
+
+    def test_never_off_with_p_off_zero(self) -> None:
+        ring = RingTopology(5)
+        sched = MarkovSchedule(ring, p_off=0.0, p_on=1.0, seed=1)
+        for t in range(30):
+            assert sched.present_edges(t) == ring.all_edges
+
+
+class TestTIntervalConnected:
+    @given(seeds)
+    @settings(max_examples=25)
+    def test_every_snapshot_connected(self, seed: int) -> None:
+        ring = RingTopology(6)
+        sched = TIntervalConnectedSchedule(ring, T=3, seed=seed)
+        for t in range(60):
+            assert is_connected_edge_set(ring, sched.present_edges(t))
+
+    @given(seeds)
+    @settings(max_examples=25)
+    def test_stable_within_epochs(self, seed: int) -> None:
+        ring = RingTopology(6)
+        T = 4
+        sched = TIntervalConnectedSchedule(ring, T=T, seed=seed)
+        for epoch in range(10):
+            snapshots = {sched.present_edges(epoch * T + i) for i in range(T)}
+            assert len(snapshots) == 1
+
+    def test_at_most_one_absent(self) -> None:
+        ring = RingTopology(6)
+        sched = TIntervalConnectedSchedule(ring, T=2, seed=5)
+        for t in range(40):
+            assert len(ring.all_edges - sched.present_edges(t)) <= 1
+
+    def test_requires_ring(self) -> None:
+        with pytest.raises(ScheduleError):
+            TIntervalConnectedSchedule(ChainTopology(4), T=2, seed=0)  # type: ignore[arg-type]
+
+
+class TestAtMostOneAbsent:
+    @given(seeds)
+    @settings(max_examples=25)
+    def test_invariant_and_determinism(self, seed: int) -> None:
+        ring = RingTopology(5)
+        a = AtMostOneAbsentSchedule(ring, seed=seed, min_hold=1, max_hold=5)
+        b = AtMostOneAbsentSchedule(ring, seed=seed, min_hold=1, max_hold=5)
+        for t in range(80):
+            present = a.present_edges(t)
+            assert len(ring.all_edges - present) <= 1
+            assert present == b.present_edges(t)
+
+    def test_hold_bounds_validated(self) -> None:
+        ring = RingTopology(5)
+        with pytest.raises(ScheduleError):
+            AtMostOneAbsentSchedule(ring, seed=0, min_hold=3, max_hold=2)
+
+
+class TestCombinators:
+    def test_composite_intersects(self) -> None:
+        ring = RingTopology(4)
+        sched = CompositeSchedule(
+            [StaticSchedule(ring, {0, 1, 2}), StaticSchedule(ring, {1, 2, 3})]
+        )
+        assert sched.present_edges(0) == {1, 2}
+        assert sched.eventually_missing_edges() == {0, 3}
+
+    def test_composite_requires_same_footprint(self) -> None:
+        with pytest.raises(ScheduleError):
+            CompositeSchedule(
+                [StaticSchedule(RingTopology(4)), StaticSchedule(RingTopology(5))]
+            )
+
+    def test_switch_after(self) -> None:
+        ring = RingTopology(4)
+        sched = SwitchAfterSchedule(
+            3, StaticSchedule(ring), StaticSchedule(ring, {0})
+        )
+        assert sched.present_edges(2) == ring.all_edges
+        assert sched.present_edges(3) == {0}
+        assert sched.eventually_missing_edges() == {1, 2, 3}
+
+    def test_chain_like_kills_one_edge(self) -> None:
+        ring = RingTopology(5)
+        sched = chain_like_schedule(ring, dead_edge=2)
+        for t in range(10):
+            assert 2 not in sched.present_edges(t)
+        assert sched.eventually_missing_edges() == {2}
+        assert is_connected_over_time(sched) is True

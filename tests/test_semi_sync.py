@@ -1,0 +1,115 @@
+"""Tests for the SSYNC engine and activation schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.schedules import StaticSchedule
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms import KeepDirection, PEF3Plus
+from repro.sim.semi_sync import (
+    EveryRobotActivation,
+    ListActivation,
+    RoundRobinActivation,
+    run_ssync,
+)
+from repro.sim.engine import run_fsync
+
+
+class TestActivationSchedulers:
+    def test_every_robot_equals_fsync(self) -> None:
+        ring = RingTopology(6)
+        sched = StaticSchedule(ring)
+        ssync = run_ssync(
+            ring,
+            sched,
+            EveryRobotActivation(),
+            PEF3Plus(),
+            positions=[0, 2, 4],
+            rounds=30,
+        )
+        fsync = run_fsync(ring, sched, PEF3Plus(), positions=[0, 2, 4], rounds=30)
+        assert ssync.final == fsync.final
+
+    def test_round_robin_is_fair_single_activation(self) -> None:
+        ring = RingTopology(6)
+        result = run_ssync(
+            ring,
+            StaticSchedule(ring),
+            RoundRobinActivation(),
+            PEF3Plus(),
+            positions=[0, 2, 4],
+            rounds=9,
+        )
+        counts = result.activation_counts()
+        assert counts == {0: 3, 1: 3, 2: 3}
+        assert result.is_fair()
+        assert all(len(a) == 1 for a in result.activations)
+
+    def test_list_activation_repeats(self) -> None:
+        ring = RingTopology(5)
+        pattern = [[0], [1], [0, 1]]
+        result = run_ssync(
+            ring,
+            StaticSchedule(ring),
+            ListActivation(pattern),
+            KeepDirection(),
+            positions=[0, 2],
+            rounds=6,
+        )
+        assert result.activations == [
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({0, 1}),
+        ] * 2
+
+    def test_empty_pattern_rejected(self) -> None:
+        with pytest.raises(ScheduleError):
+            ListActivation([])
+
+
+class TestSsyncSemantics:
+    def test_inactive_robots_frozen(self) -> None:
+        ring = RingTopology(6)
+        result = run_ssync(
+            ring,
+            StaticSchedule(ring),
+            ListActivation([[0]]),  # only robot 0, forever
+            KeepDirection(),
+            positions=[0, 3],
+            rounds=12,
+        )
+        trace = result.trace
+        assert trace is not None
+        for t in range(13):
+            assert trace.positions_at(t)[1] == 3  # robot 1 never activated... moves
+        # Robot 0 kept sweeping.
+        assert trace.positions_at(12)[0] == (0 - 12) % 6
+
+    def test_inactive_robots_still_visible_to_multiplicity(self) -> None:
+        ring = RingTopology(4)
+        # Robot 0 walks into robot 1's node while robot 1 is inactive.
+        result = run_ssync(
+            ring,
+            StaticSchedule(ring),
+            ListActivation([[0]]),
+            KeepDirection(),
+            positions=[0, 3],
+            rounds=1,
+        )
+        trace = result.trace
+        assert trace is not None
+        assert trace.positions_at(1) == (3, 3)
+        # In the next round robot 0's view must report company.
+        result2 = run_ssync(
+            ring,
+            StaticSchedule(ring),
+            ListActivation([[0]]),
+            PEF3Plus(),
+            positions=[0, 3],
+            rounds=2,
+        )
+        trace2 = result2.trace
+        assert trace2 is not None
+        assert trace2.records[1].views[0].others_present

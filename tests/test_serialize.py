@@ -1,0 +1,118 @@
+"""Tests for JSON serialization round-trips and format hygiene."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.graph.evolving import (
+    ExplicitSchedule,
+    LassoSchedule,
+    RecordedEvolvingGraph,
+)
+from repro.graph.schedules import BernoulliSchedule, StaticSchedule
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import PEF1, PEF2
+from repro.serialize import (
+    certificate_from_dict,
+    certificate_to_dict,
+    dumps,
+    loads,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.verification.certificates import validate_certificate
+from repro.verification.game import synthesize_trap
+
+
+class TestTopologyRoundTrip:
+    @pytest.mark.parametrize("topology", [RingTopology(2), RingTopology(7), ChainTopology(4)])
+    def test_round_trip(self, topology) -> None:
+        assert loads(dumps(topology)) == topology
+
+
+class TestScheduleRoundTrip:
+    def test_lasso(self) -> None:
+        ring = RingTopology(4)
+        lasso = LassoSchedule(ring, [{0}], [{1, 2}, {3}])
+        restored = loads(dumps(lasso))
+        assert isinstance(restored, LassoSchedule)
+        for t in range(10):
+            assert restored.present_edges(t) == lasso.present_edges(t)
+        assert restored.eventually_missing_edges() == lasso.eventually_missing_edges()
+
+    def test_recording(self) -> None:
+        ring = RingTopology(5)
+        rec = RecordedEvolvingGraph(ring, [{0, 1}, set(), {2, 3, 4}])
+        restored = loads(dumps(rec))
+        assert isinstance(restored, RecordedEvolvingGraph)
+        assert restored.steps == rec.steps
+
+    def test_explicit_with_suffix(self) -> None:
+        ring = RingTopology(3)
+        sched = ExplicitSchedule(ring, [{0}, {1}], suffix=frozenset({2}))
+        restored = loads(dumps(sched))
+        assert restored.present_edges(0) == {0}
+        assert restored.present_edges(50) == {2}
+
+    def test_function_schedules_rejected(self) -> None:
+        ring = RingTopology(3)
+        with pytest.raises(ScheduleError, match="materialize"):
+            schedule_to_dict(BernoulliSchedule(ring, p=0.5, seed=1))
+
+    def test_static_rejected_with_guidance(self) -> None:
+        ring = RingTopology(3)
+        with pytest.raises(ScheduleError):
+            dumps(StaticSchedule(ring))
+
+    @given(st.integers(min_value=0, max_value=2**12))
+    @settings(max_examples=15, deadline=None)
+    def test_materialized_random_schedule_round_trips(self, seed: int) -> None:
+        ring = RingTopology(5)
+        source = BernoulliSchedule(ring, p=0.5, seed=seed)
+        rec = RecordedEvolvingGraph(ring, source.prefix(20))
+        restored = loads(dumps(rec))
+        assert isinstance(restored, RecordedEvolvingGraph)
+        for t in range(20):
+            assert restored.present_edges(t) == source.present_edges(t)
+
+
+class TestCertificateRoundTrip:
+    @pytest.fixture(scope="class")
+    def certificate(self):
+        return synthesize_trap(PEF1(), RingTopology(3), k=1)
+
+    def test_round_trip_and_revalidation(self, certificate) -> None:
+        restored = loads(dumps(certificate))
+        assert restored == certificate
+        validate_certificate(restored, PEF1())
+
+    def test_dict_round_trip(self, certificate) -> None:
+        assert certificate_from_dict(certificate_to_dict(certificate)) == certificate
+
+    def test_two_robot_certificate_round_trips(self) -> None:
+        certificate = synthesize_trap(PEF2(), RingTopology(4), k=2)
+        restored = loads(dumps(certificate))
+        assert restored == certificate
+        validate_certificate(restored, PEF2())
+
+
+class TestFormatHygiene:
+    def test_unknown_format_rejected(self) -> None:
+        with pytest.raises(ScheduleError, match="unknown serialized format"):
+            loads(json.dumps({"format": "nonsense", "version": 1}))
+
+    def test_wrong_version_rejected(self) -> None:
+        ring_json = json.loads(dumps(RingTopology(4)))
+        ring_json["version"] = 99
+        with pytest.raises(ScheduleError, match="version"):
+            loads(json.dumps(ring_json))
+
+    def test_output_is_stable_json(self) -> None:
+        text = dumps(RingTopology(4))
+        assert json.loads(text) == json.loads(dumps(RingTopology(4)))
+        assert "\n" in text  # indented, human-diffable

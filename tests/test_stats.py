@@ -1,0 +1,58 @@
+"""Tests for aggregate statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import seed_sweep, summarize
+
+
+class TestSummarize:
+    def test_single_value(self) -> None:
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_known_sample(self) -> None:
+        stats = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(2.138, abs=1e-3)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+        assert stats.ci_low < stats.mean < stats.ci_high
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=40))
+    def test_interval_brackets_mean_and_bounds_hold(self, values) -> None:
+        stats = summarize(values)
+        # Up to float summation error, mean lies within [min, max].
+        slack = 1e-9 * max(1.0, abs(stats.minimum), abs(stats.maximum))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_render(self) -> None:
+        text = summarize([1.0, 2.0, 3.0]).render("rounds")
+        assert "rounds" in text
+        assert "n=3" in text
+
+
+class TestSeedSweep:
+    def test_aggregates_and_coverage_flag(self) -> None:
+        def run_one(seed: int):
+            return (float(seed), float(seed * 2), seed != 3)
+
+        result = seed_sweep("demo", run_one, seeds=[1, 2, 3, 4])
+        assert result.cover_times.mean == pytest.approx(2.5)
+        assert result.max_gaps.maximum == 8.0
+        assert not result.all_covered
+        assert "demo" in result.render()
+
+    def test_all_covered(self) -> None:
+        result = seed_sweep("ok", lambda s: (1.0, 2.0, True), seeds=[0, 1])
+        assert result.all_covered

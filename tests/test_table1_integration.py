@@ -1,0 +1,50 @@
+"""End-to-end integration test: the Table 1 harness at small scale.
+
+This is the reproduction's headline check: all five rows of the paper's
+Table 1, reproduced and agreeing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import render_table1, reproduce_table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    """The reproduced table (computed once per test session)."""
+    return reproduce_table1(scale="small")
+
+
+class TestTable1:
+    def test_five_rows(self, rows) -> None:
+        assert [row.row_id for row in rows] == ["R1", "R2", "R3", "R4", "R5"]
+
+    def test_every_row_agrees_with_the_paper(self, rows) -> None:
+        for row in rows:
+            assert row.agrees, f"{row.row_id}: {row.reproduced_verdict}\n" + "\n".join(
+                row.evidence
+            )
+
+    def test_verdict_spelling(self, rows) -> None:
+        verdicts = [row.reproduced_verdict for row in rows]
+        assert verdicts == [
+            "possible",
+            "impossible",
+            "possible",
+            "impossible",
+            "possible",
+        ]
+
+    def test_every_row_carries_evidence(self, rows) -> None:
+        for row in rows:
+            assert len(row.evidence) >= 2
+
+    def test_render_plain_and_with_evidence(self, rows) -> None:
+        plain = render_table1(rows)
+        assert plain.count("\n") == 6  # header + separator + 5 rows
+        assert "yes" in plain and "NO" not in plain
+        rich = render_table1(rows, with_evidence=True)
+        assert "R4 evidence:" in rich
+        assert "256/256 trapped" in rich

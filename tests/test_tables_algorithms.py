@@ -1,0 +1,130 @@
+"""Tests for transition-table machines and their enumerations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError
+from repro.robots.algorithms import PEF2, KeepDirection
+from repro.robots.algorithms.tables import (
+    TableAlgorithm,
+    TableState,
+    enumerate_memoryless_single_robot_tables,
+    enumerate_memoryless_tables,
+    memoryless_table_from_bits,
+    random_table_algorithm,
+)
+from repro.robots.state import DirState
+from repro.robots.view import ALL_VIEWS
+from repro.types import LEFT, Direction
+
+
+class TestTableAlgorithm:
+    def test_entry_count_validation(self) -> None:
+        with pytest.raises(AlgorithmError):
+            TableAlgorithm(1, [0] * 15)
+        with pytest.raises(AlgorithmError):
+            TableAlgorithm(0, [])
+
+    def test_entry_range_validation(self) -> None:
+        with pytest.raises(AlgorithmError):
+            TableAlgorithm(1, [0] * 15 + [2])  # memoryless encodes 0..1
+
+    def test_initial_state(self) -> None:
+        algo = TableAlgorithm(2, [0] * 32)
+        state = algo.initial_state()
+        assert state == TableState(LEFT, 0)
+
+    def test_signature_distinguishes_tables(self) -> None:
+        a = memoryless_table_from_bits(0x0001)
+        b = memoryless_table_from_bits(0x0002)
+        assert a.signature() != b.signature()
+
+    def test_memory_transitions(self) -> None:
+        # Two memory cells; every input maps to (mem=1, RIGHT) = encoded 3.
+        algo = TableAlgorithm(2, [3] * 32)
+        state = algo.initial_state()
+        nxt = algo.compute(state, ALL_VIEWS[0])
+        assert nxt.mem == 1
+        assert nxt.dir is Direction.RIGHT
+
+
+class TestEnumerations:
+    def test_memoryless_family_size(self) -> None:
+        count = 0
+        seen_signatures = set()
+        for algo in enumerate_memoryless_tables():
+            count += 1
+            if count <= 64:
+                seen_signatures.add(algo.entries)
+            if count >= 70:
+                break
+        assert len(seen_signatures) == 64  # all distinct
+
+    def test_single_robot_family_is_256(self) -> None:
+        tables = list(enumerate_memoryless_single_robot_tables())
+        assert len(tables) == 256
+        assert len({t.entries for t in tables}) == 256
+
+    def test_single_robot_tables_ignore_multiplicity(self) -> None:
+        for algo in list(enumerate_memoryless_single_robot_tables())[:16]:
+            for view in ALL_VIEWS:
+                if view.others_present:
+                    continue
+                mirrored = type(view)(
+                    view.exists_edge_left, view.exists_edge_right, True
+                )
+                for direction in Direction:
+                    state = TableState(direction, 0)
+                    assert algo.compute(state, view) == algo.compute(state, mirrored)
+
+    def test_contains_keep_direction_equivalent(self) -> None:
+        """The memoryless family includes KeepDirection (identity on dir)."""
+        # dir bit copied for every view: bits[dir*8 + v] = dir.
+        bits = 0
+        for v in range(8):
+            bits |= 1 << (8 + v)  # dir=RIGHT rows output RIGHT; LEFT rows 0
+        table = memoryless_table_from_bits(bits)
+        reference = KeepDirection()
+        for view in ALL_VIEWS:
+            for direction in Direction:
+                got = table.compute(TableState(direction, 0), view).dir
+                want = reference.compute(DirState(direction), view).dir
+                assert got is want
+
+    def test_contains_pef2_equivalent(self) -> None:
+        """The memoryless family includes PEF_2 itself."""
+        reference = PEF2()
+        bits = 0
+        for direction_bit, direction in enumerate(Direction):
+            for view in ALL_VIEWS:
+                out = reference.compute(DirState(direction), view).dir
+                if out is Direction.RIGHT:
+                    bits |= 1 << (direction_bit * 8 + view.index())
+        table = memoryless_table_from_bits(bits)
+        for view in ALL_VIEWS:
+            for direction in Direction:
+                got = table.compute(TableState(direction, 0), view).dir
+                want = reference.compute(DirState(direction), view).dir
+                assert got is want
+
+
+class TestRandomTables:
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20)
+    def test_random_tables_are_valid(self, seed: int) -> None:
+        rng = random.Random(seed)
+        algo = random_table_algorithm(rng, memory_size=2)
+        state = algo.initial_state()
+        for view in ALL_VIEWS:
+            state = algo.compute(state, view)
+            assert 0 <= state.mem < 2
+            assert isinstance(state.dir, Direction)
+
+    def test_bits_out_of_range(self) -> None:
+        with pytest.raises(AlgorithmError):
+            memoryless_table_from_bits(1 << 16)

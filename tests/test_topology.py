@@ -1,0 +1,208 @@
+"""Unit and property tests for ring/chain footprints (repro.graph.topology)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.graph.topology import (
+    ChainTopology,
+    RingTopology,
+    canonical_placements,
+    placements_are_towerless,
+    towerless_placements,
+)
+from repro.types import CCW, CW
+
+ring_sizes = st.integers(min_value=2, max_value=12)
+chain_sizes = st.integers(min_value=2, max_value=12)
+
+
+class TestRingBasics:
+    def test_minimum_size(self) -> None:
+        with pytest.raises(TopologyError):
+            RingTopology(1)
+
+    def test_edge_count_equals_node_count(self) -> None:
+        assert RingTopology(5).edge_count == 5
+
+    def test_two_node_ring_is_multigraph(self) -> None:
+        ring = RingTopology(2)
+        assert ring.edge_count == 2
+        assert ring.endpoints(0) == (0, 1)
+        assert ring.endpoints(1) == (1, 0)
+        # Both ports of node 0 exist and are distinct edges.
+        assert ring.port(0, CW) == 0
+        assert ring.port(0, CCW) == 1
+
+    def test_ports(self) -> None:
+        ring = RingTopology(5)
+        assert ring.port(2, CW) == 2
+        assert ring.port(2, CCW) == 1
+        assert ring.port(0, CCW) == 4
+
+    def test_neighbors(self) -> None:
+        ring = RingTopology(5)
+        assert ring.neighbor(4, CW) == 0
+        assert ring.neighbor(0, CCW) == 4
+
+    def test_endpoints_wrap(self) -> None:
+        ring = RingTopology(5)
+        assert ring.endpoints(4) == (4, 0)
+
+    @given(ring_sizes)
+    def test_cw_then_ccw_is_identity(self, n: int) -> None:
+        ring = RingTopology(n)
+        for node in ring.nodes:
+            cw_nbr = ring.neighbor(node, CW)
+            assert cw_nbr is not None
+            assert ring.neighbor(cw_nbr, CCW) == node
+
+    @given(ring_sizes)
+    def test_distance_symmetric_and_bounded(self, n: int) -> None:
+        ring = RingTopology(n)
+        for u in ring.nodes:
+            for v in ring.nodes:
+                assert ring.distance(u, v) == ring.distance(v, u)
+                assert 0 <= ring.distance(u, v) <= n // 2
+
+    @given(ring_sizes)
+    def test_cw_distance_consistency(self, n: int) -> None:
+        ring = RingTopology(n)
+        for u in ring.nodes:
+            for v in ring.nodes:
+                cw = ring.cw_distance(u, v)
+                assert ring.distance(u, v) == min(cw, n - cw)
+
+    def test_bad_ids_raise(self) -> None:
+        ring = RingTopology(4)
+        with pytest.raises(TopologyError):
+            ring.check_node(4)
+        with pytest.raises(TopologyError):
+            ring.check_edge(-1)
+        with pytest.raises(TopologyError):
+            ring.check_edge_set(frozenset({9}))
+
+
+class TestRingSymmetries:
+    @given(ring_sizes, st.integers(min_value=0, max_value=30))
+    def test_rotation_preserves_incidence(self, n: int, shift: int) -> None:
+        ring = RingTopology(n)
+        for node in ring.nodes:
+            rotated = ring.rotate_node(node, shift)
+            assert ring.rotate_edge(ring.port(node, CW), shift) == ring.port(
+                rotated, CW
+            )
+            assert ring.rotate_edge(ring.port(node, CCW), shift) == ring.port(
+                rotated, CCW
+            )
+
+    @given(ring_sizes)
+    def test_reflection_swaps_ports(self, n: int) -> None:
+        ring = RingTopology(n)
+        for node in ring.nodes:
+            mirrored = ring.reflect_node(node)
+            # CW port of the mirror is the mirror of the CCW port.
+            assert ring.reflect_edge(ring.port(node, CCW)) == ring.port(mirrored, CW)
+
+    @given(ring_sizes)
+    def test_reflection_is_involution(self, n: int) -> None:
+        ring = RingTopology(n)
+        for node in ring.nodes:
+            assert ring.reflect_node(ring.reflect_node(node)) == node
+        for edge in ring.edges:
+            assert ring.reflect_edge(ring.reflect_edge(edge)) == edge
+
+    def test_arc_nodes(self) -> None:
+        ring = RingTopology(6)
+        assert ring.arc_nodes(4, CW, 3) == [4, 5, 0, 1]
+        assert ring.arc_nodes(1, CCW, 2) == [1, 0, 5]
+        with pytest.raises(TopologyError):
+            ring.arc_nodes(0, CW, -1)
+
+
+class TestChain:
+    def test_edge_count(self) -> None:
+        assert ChainTopology(5).edge_count == 4
+
+    def test_end_ports_are_none(self) -> None:
+        chain = ChainTopology(4)
+        assert chain.port(0, CCW) is None
+        assert chain.port(3, CW) is None
+        assert chain.neighbor(0, CCW) is None
+        assert chain.neighbor(3, CW) is None
+
+    def test_interior_ports(self) -> None:
+        chain = ChainTopology(4)
+        assert chain.port(1, CW) == 1
+        assert chain.port(1, CCW) == 0
+
+    @given(chain_sizes)
+    def test_distance_is_absolute_difference(self, n: int) -> None:
+        chain = ChainTopology(n)
+        for u in chain.nodes:
+            for v in chain.nodes:
+                assert chain.distance(u, v) == abs(u - v)
+
+    def test_is_ring_flags(self) -> None:
+        assert RingTopology(3).is_ring
+        assert not ChainTopology(3).is_ring
+
+    def test_degree_counts_only_present(self) -> None:
+        chain = ChainTopology(3)
+        assert chain.degree(1, frozenset({0})) == 1
+        assert chain.degree(1, frozenset({0, 1})) == 2
+        assert chain.degree(0, frozenset({1})) == 0
+
+
+class TestPlacements:
+    def test_towerless_counts(self) -> None:
+        ring = RingTopology(4)
+        placements = list(towerless_placements(ring, 2))
+        assert len(placements) == 4 * 3
+        assert all(placements_are_towerless(p) for p in placements)
+
+    def test_requires_fewer_robots_than_nodes(self) -> None:
+        ring = RingTopology(3)
+        with pytest.raises(TopologyError):
+            list(towerless_placements(ring, 3))
+        with pytest.raises(TopologyError):
+            list(towerless_placements(ring, 0))
+
+    def test_canonical_pins_robot_zero(self) -> None:
+        ring = RingTopology(5)
+        placements = list(canonical_placements(ring, 3))
+        assert all(p[0] == 0 for p in placements)
+        assert len(placements) == 4 * 3  # (n-1)(n-2) orderings of the others
+
+    @given(st.integers(min_value=3, max_value=7), st.integers(min_value=1, max_value=3))
+    def test_canonical_covers_all_up_to_rotation(self, n: int, k: int) -> None:
+        if k >= n:
+            return
+        ring = RingTopology(n)
+        canon = set(canonical_placements(ring, k))
+        for placement in towerless_placements(ring, k):
+            shift = (-placement[0]) % n
+            rotated = tuple(ring.rotate_node(p, shift) for p in placement)
+            assert rotated in canon
+
+    def test_edge_subsets_count(self) -> None:
+        ring = RingTopology(3)
+        subsets = list(ring.edge_subsets())
+        assert len(subsets) == 8
+        assert frozenset() in subsets
+        assert ring.all_edges in subsets
+
+
+class TestEquality:
+    def test_equality_and_hash(self) -> None:
+        assert RingTopology(4) == RingTopology(4)
+        assert RingTopology(4) != RingTopology(5)
+        assert RingTopology(4) != ChainTopology(4)
+        assert hash(RingTopology(4)) == hash(RingTopology(4))
+
+    def test_repr(self) -> None:
+        assert repr(RingTopology(4)) == "RingTopology(4)"
+        assert repr(ChainTopology(4)) == "ChainTopology(4)"

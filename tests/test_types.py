@@ -1,0 +1,107 @@
+"""Unit tests for the direction/chirality algebra (repro.types)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import (
+    AGREE,
+    CCW,
+    CW,
+    DISAGREE,
+    LEFT,
+    RIGHT,
+    Chirality,
+    Direction,
+    GlobalDirection,
+)
+
+directions = st.sampled_from(list(Direction))
+global_directions = st.sampled_from(list(GlobalDirection))
+chiralities = st.sampled_from(list(Chirality))
+
+
+class TestDirection:
+    def test_opposite_left_right(self) -> None:
+        assert LEFT.opposite() is RIGHT
+        assert RIGHT.opposite() is LEFT
+
+    @given(directions)
+    def test_opposite_is_involution(self, direction: Direction) -> None:
+        assert direction.opposite().opposite() is direction
+
+    @given(directions)
+    def test_opposite_differs(self, direction: Direction) -> None:
+        assert direction.opposite() is not direction
+
+
+class TestGlobalDirection:
+    def test_opposite(self) -> None:
+        assert CW.opposite() is CCW
+        assert CCW.opposite() is CW
+
+    def test_step_signs(self) -> None:
+        assert CW.step() == 1
+        assert CCW.step() == -1
+
+    @given(global_directions)
+    def test_opposite_involution(self, gd: GlobalDirection) -> None:
+        assert gd.opposite().opposite() is gd
+
+
+class TestChirality:
+    def test_agree_maps_right_to_cw(self) -> None:
+        assert AGREE.to_global(RIGHT) is CW
+        assert AGREE.to_global(LEFT) is CCW
+
+    def test_disagree_maps_right_to_ccw(self) -> None:
+        assert DISAGREE.to_global(RIGHT) is CCW
+        assert DISAGREE.to_global(LEFT) is CW
+
+    @given(chiralities, directions)
+    def test_roundtrip_local_global_local(
+        self, chirality: Chirality, direction: Direction
+    ) -> None:
+        assert chirality.to_local(chirality.to_global(direction)) is direction
+
+    @given(chiralities, global_directions)
+    def test_roundtrip_global_local_global(
+        self, chirality: Chirality, gd: GlobalDirection
+    ) -> None:
+        assert chirality.to_global(chirality.to_local(gd)) is gd
+
+    @given(chiralities, directions)
+    def test_flipped_chirality_reverses_mapping(
+        self, chirality: Chirality, direction: Direction
+    ) -> None:
+        assert (
+            chirality.flipped().to_global(direction)
+            is chirality.to_global(direction).opposite()
+        )
+
+    @given(chiralities)
+    def test_flipped_is_involution(self, chirality: Chirality) -> None:
+        assert chirality.flipped().flipped() is chirality
+
+    @given(chiralities, directions)
+    def test_opposite_commutes_with_frames(
+        self, chirality: Chirality, direction: Direction
+    ) -> None:
+        # Turning around is frame-independent.
+        assert (
+            chirality.to_global(direction.opposite())
+            is chirality.to_global(direction).opposite()
+        )
+
+
+class TestEnumIdentity:
+    @pytest.mark.parametrize("enum_cls", [Direction, GlobalDirection, Chirality])
+    def test_two_members_each(self, enum_cls: type) -> None:
+        assert len(list(enum_cls)) == 2
+
+    def test_reprs_are_informative(self) -> None:
+        assert "LEFT" in repr(LEFT)
+        assert "CW" in repr(CW)
+        assert "AGREE" in repr(AGREE)

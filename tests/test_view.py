@@ -1,0 +1,53 @@
+"""Tests for local views (Look-phase snapshots)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.robots.view import ALL_VIEWS, LocalView
+from repro.types import LEFT, RIGHT
+
+
+class TestLocalView:
+    def test_exists_edge_by_direction(self) -> None:
+        view = LocalView(exists_edge_left=True, exists_edge_right=False, others_present=False)
+        assert view.exists_edge(LEFT)
+        assert not view.exists_edge(RIGHT)
+
+    def test_isolated(self) -> None:
+        assert LocalView(False, False, False).is_isolated
+        assert not LocalView(False, False, True).is_isolated
+
+    def test_degree(self) -> None:
+        assert LocalView(False, False, False).degree == 0
+        assert LocalView(True, False, False).degree == 1
+        assert LocalView(True, True, False).degree == 2
+
+    def test_single_present_direction(self) -> None:
+        assert LocalView(True, False, False).single_present_direction is LEFT
+        assert LocalView(False, True, False).single_present_direction is RIGHT
+        assert LocalView(True, True, False).single_present_direction is None
+        assert LocalView(False, False, False).single_present_direction is None
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_index_roundtrip(self, index: int) -> None:
+        assert LocalView.from_index(index).index() == index
+
+    def test_all_views_enumerated_in_order(self) -> None:
+        assert len(ALL_VIEWS) == 8
+        assert [v.index() for v in ALL_VIEWS] == list(range(8))
+        assert len(set(ALL_VIEWS)) == 8
+
+    def test_from_index_validation(self) -> None:
+        with pytest.raises(ValueError):
+            LocalView.from_index(8)
+        with pytest.raises(ValueError):
+            LocalView.from_index(-1)
+
+    def test_views_hashable_and_frozen(self) -> None:
+        view = LocalView(True, False, True)
+        assert hash(view) == hash(LocalView(True, False, True))
+        with pytest.raises(AttributeError):
+            view.others_present = False  # type: ignore[misc]

@@ -1,0 +1,82 @@
+"""Tests for text rendering (ring snapshots, space-time diagrams, tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.schedules import EventuallyMissingEdgeSchedule, StaticSchedule
+from repro.graph.topology import ChainTopology, RingTopology
+from repro.robots.algorithms import KeepDirection, PEF3Plus
+from repro.sim.engine import make_initial_configuration, run_fsync
+from repro.viz.ascii_art import render_ring, render_space_time
+from repro.viz.tables import TextTable
+
+
+class TestRenderRing:
+    def test_nodes_edges_and_robots(self) -> None:
+        ring = RingTopology(4)
+        config = make_initial_configuration(ring, PEF3Plus(), [0, 0, 2])
+        art = render_ring(ring, ring.all_edges - {1}, config)
+        assert "(0**)" in art  # two robots on node 0
+        assert "(2*)" in art
+        assert "xx" in art  # the missing edge 1
+        assert art.count("--") == 3
+
+    def test_wrap_edge_marked(self) -> None:
+        ring = RingTopology(3)
+        art = render_ring(ring, ring.all_edges)
+        assert art.endswith(">0")
+
+    def test_chain_has_no_wrap(self) -> None:
+        chain = ChainTopology(3)
+        art = render_ring(chain, chain.all_edges)
+        assert ">0" not in art
+
+
+class TestSpaceTime:
+    def test_shape_and_content(self) -> None:
+        ring = RingTopology(5)
+        sched = EventuallyMissingEdgeSchedule(ring, edge=2, vanish_time=0)
+        result = run_fsync(ring, sched, KeepDirection(), positions=[0], rounds=10)
+        assert result.trace is not None
+        art = render_space_time(result.trace)
+        lines = art.splitlines()
+        assert len(lines) == 12  # header + t=0..10
+        assert lines[0].startswith("t")
+        # The missing edge column shows an x on every round row.
+        body = [line for line in lines[1:] if line.strip()]
+        assert all("x" in line for line in body[:-1])
+
+    def test_row_limit(self) -> None:
+        ring = RingTopology(4)
+        result = run_fsync(
+            ring, StaticSchedule(ring), KeepDirection(), positions=[0], rounds=500
+        )
+        assert result.trace is not None
+        art = render_space_time(result.trace, max_rows=50)
+        assert len(art.splitlines()) == 51
+
+
+class TestTextTable:
+    def test_alignment_and_rendering(self) -> None:
+        table = TextTable(["robots", "ring", "verdict"])
+        table.add_row([3, ">= 4", "possible"])
+        table.add_row([1, "= 2", "possible"])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("robots |")
+        assert len(lines) == 4
+        assert table.row_count == 2
+
+    def test_wrong_arity_rejected(self) -> None:
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_doctest_example(self) -> None:
+        import doctest
+
+        import repro.viz.tables as module
+
+        failures, _tried = doctest.testmod(module).failed, None
+        assert failures == 0
