@@ -7,8 +7,12 @@ Subcommands:
 * ``run --algo NAME --n N --k K [--schedule NAME] [--rounds R]`` — run an
   algorithm against a battery schedule and print the exploration report
   plus a space–time diagram;
-* ``verify --algo NAME --n N --k K`` — exact game-solver verdict (and the
-  trap certificate when one exists);
+* ``verify --algo NAME --n N --k K [--backend packed|object]`` — exact
+  game-solver verdict (and the trap certificate when one exists);
+* ``sweep --robots 1|2 --n N [--sample S | --full] [--backend B]
+  [--jobs J]`` — exhaustive/sampled algorithm-class sweep on the packed
+  kernel (or the object oracle), optionally sharded across a process
+  pool; ``--json FILE`` dumps the machine-readable result;
 * ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
   construction and print its audit;
 * ``algos`` — list registered algorithms.
@@ -76,7 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     topology = RingTopology(args.n)
     algorithm = get_algorithm(args.algo)
-    verdict = verify_exploration(algorithm, topology, k=args.k)
+    verdict = verify_exploration(algorithm, topology, k=args.k, backend=args.backend)
     print(verdict.summary())
     if verdict.certificate is not None:
         cert = verdict.certificate
@@ -92,6 +96,47 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     elif args.save is not None:
         print("  nothing to save: the instance is explorable", file=sys.stderr)
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.verification.enumeration import (
+        sweep_single_robot_memoryless,
+        sweep_two_robot_memoryless,
+    )
+
+    if args.robots == 1:
+        result = sweep_single_robot_memoryless(
+            args.n, backend=args.backend, jobs=args.jobs
+        )
+    else:
+        result = sweep_two_robot_memoryless(
+            args.n,
+            sample=None if args.full else args.sample,
+            seed=args.seed,
+            backend=args.backend,
+            jobs=args.jobs,
+        )
+    print(result.summary())
+    if args.json is not None:
+        import json
+
+        payload = {
+            "description": result.description,
+            "n": result.n,
+            "k": result.k,
+            "total": result.total,
+            "trapped": result.trapped,
+            "explorers": result.explorers,
+            "states_explored": result.states_explored,
+            "all_trapped": result.all_trapped,
+            "backend": args.backend,
+            "jobs": args.jobs,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"  result written to {args.json}")
+    return 0 if result.all_trapped else 1
 
 
 def _cmd_trap(args: argparse.Namespace) -> int:
@@ -144,7 +189,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, metavar="FILE",
         help="write the trap certificate (if any) as JSON",
     )
+    p_verify.add_argument(
+        "--backend", choices=["packed", "object"], default="packed",
+        help="verification substrate: packed int kernel (default) or "
+        "the object-path semantics oracle",
+    )
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep a whole algorithm class (Theorems 4.1/5.1)"
+    )
+    p_sweep.add_argument("--robots", type=int, choices=[1, 2], required=True)
+    p_sweep.add_argument("--n", type=int, required=True)
+    p_sweep.add_argument(
+        "--sample", type=int, default=2048,
+        help="2-robot only: number of sampled tables (default 2048)",
+    )
+    p_sweep.add_argument(
+        "--full", action="store_true",
+        help="2-robot only: sweep all 65536 tables (overrides --sample)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=20170605)
+    p_sweep.add_argument(
+        "--backend", choices=["packed", "object"], default="packed"
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="J",
+        help="worker processes (default: all cores); results are "
+        "identical for any value",
+    )
+    p_sweep.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the sweep result as JSON",
+    )
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_trap = sub.add_parser("trap", help="run an impossibility construction")
     p_trap.add_argument("--kind", choices=["fig2", "fig3"], required=True)

@@ -19,6 +19,7 @@ import abc
 from typing import Callable, Hashable, Optional
 
 from repro.errors import AlgorithmError
+from repro.robots.state import RobotState
 from repro.robots.view import LocalView
 from repro.types import Direction
 
@@ -30,7 +31,7 @@ class Algorithm(abc.ABC):
     name: str = "unnamed"
 
     @abc.abstractmethod
-    def initial_state(self) -> Hashable:
+    def initial_state(self) -> RobotState:
         """The state every robot starts with.
 
         The model fixes ``dir = LEFT`` initially (Section 2.2); concrete
@@ -38,11 +39,14 @@ class Algorithm(abc.ABC):
         """
 
     @abc.abstractmethod
-    def compute(self, state: Hashable, view: LocalView) -> Hashable:
+    def compute(self, state: RobotState, view: LocalView) -> RobotState:
         """The Compute phase: next state from current state and Look view.
 
         Must be pure (no side effects, no randomness not derived from the
-        arguments) and total over the 8 possible views.
+        arguments) and total over the 8 possible views. Returned states
+        must satisfy the :class:`~repro.robots.state.RobotState` protocol
+        (expose a ``Direction``-valued ``dir``) and be hashable — the Move
+        phase reads ``dir`` and the exhaustive verifier interns states.
         """
 
     @property

@@ -22,6 +22,7 @@ against the traps and the verifier in property-based tests.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -75,13 +76,22 @@ class TableAlgorithm(Algorithm):
                 f"got {len(entries)}"
             )
         bound = memory_size * 2
-        for index, value in enumerate(entries):
-            if not 0 <= value < bound:
-                raise AlgorithmError(
-                    f"entry {index} encodes {value}, outside 0..{bound - 1}"
-                )
+        # Fast path for the common already-normalized input (sweeps build
+        # millions of tables); anything else gets the historical int
+        # coercion so e.g. bool/float entries keep working.
+        if type(entries) is tuple and all(type(v) is int for v in entries):
+            table = entries
+        else:
+            table = tuple(int(v) for v in entries)
+        # min/max run at C speed; locate the offender only on failure.
+        if min(table) < 0 or max(table) >= bound:
+            for index, value in enumerate(table):
+                if not 0 <= value < bound:
+                    raise AlgorithmError(
+                        f"entry {index} encodes {value}, outside 0..{bound - 1}"
+                    )
         self.memory_size = memory_size
-        self._entries = tuple(int(v) for v in entries)
+        self._entries = table
         self.name = name if name is not None else f"table[m={memory_size}]:{self.signature()}"
 
     def signature(self) -> str:
@@ -110,6 +120,30 @@ class TableAlgorithm(Algorithm):
         encoded = self._entries[index]
         return TableState(_BIT_DIR[encoded % 2], encoded // 2)
 
+    def packed_tables(self) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+        """Bit-level access for the packed verification kernel.
+
+        Returns ``(state_count, transitions, dir_bits)`` where state index
+        ``s = mem * 2 + dir_bit`` (the table's own encoding, so the entry
+        values double as successor state indices), ``transitions[s * 8 +
+        view_index]`` is the successor state index, and ``dir_bits[s]`` is
+        the direction bit of state ``s``. The initial state
+        (``dir = LEFT``, ``mem = 0``) is index 0. No interpretation layer:
+        the kernel consumes the raw entries, so kernel and
+        :meth:`compute` read the very same table.
+        """
+        state_count = self.memory_size * 2
+        dir_bits = tuple(s & 1 for s in range(state_count))
+        return state_count, self._entries, dir_bits
+
+    def state_for_index(self, index: int) -> TableState:
+        """The :class:`TableState` with packed state index ``index``."""
+        if not 0 <= index < self.memory_size * 2:
+            raise AlgorithmError(
+                f"state index {index} outside 0..{self.memory_size * 2 - 1}"
+            )
+        return TableState(_BIT_DIR[index & 1], index >> 1)
+
 
 def memoryless_table_from_bits(bits: int, name: str | None = None) -> TableAlgorithm:
     """The memoryless table whose 16 direction outputs are the bits of ``bits``.
@@ -135,6 +169,37 @@ def enumerate_memoryless_tables() -> Iterator[TableAlgorithm]:
         yield memoryless_table_from_bits(bits)
 
 
+@functools.lru_cache(maxsize=256)
+def _single_robot_entries(bits: int) -> tuple[int, ...]:
+    """The 16-entry table expansion of an 8-bit single-robot pattern."""
+    entries = [0] * 16
+    for dir_bit in range(2):
+        for left in range(2):
+            for right in range(2):
+                compact = dir_bit * 4 + left * 2 + right
+                output = (bits >> compact) & 1
+                for others in range(2):
+                    view_index = left << 2 | right << 1 | others
+                    entries[dir_bit * 8 + view_index] = output
+    return tuple(entries)
+
+
+def memoryless_single_robot_table_from_bits(
+    bits: int, name: str | None = None
+) -> TableAlgorithm:
+    """The canonical single-robot memoryless table for an 8-bit pattern.
+
+    Bit ``dir_bit * 4 + left * 2 + right`` of ``bits`` is the new direction
+    for that (dir, edge-view) input; the ``others_present`` entries mirror
+    the others-clear ones (multiplicity detection never fires with k = 1).
+    """
+    if not 0 <= bits < 1 << 8:
+        raise AlgorithmError(f"bits must fit in 8 bits, got {bits}")
+    return TableAlgorithm(
+        1, _single_robot_entries(bits), name=name or f"memoryless1r:{bits:02x}"
+    )
+
+
 def enumerate_memoryless_single_robot_tables() -> Iterator[TableAlgorithm]:
     """The ``2**8`` memoryless algorithms relevant to a *single* robot.
 
@@ -145,16 +210,7 @@ def enumerate_memoryless_single_robot_tables() -> Iterator[TableAlgorithm]:
     behavioural class.
     """
     for bits in range(1 << 8):
-        entries = [0] * 16
-        for dir_bit in range(2):
-            for left in range(2):
-                for right in range(2):
-                    compact = dir_bit * 4 + left * 2 + right
-                    output = (bits >> compact) & 1
-                    for others in range(2):
-                        view_index = left << 2 | right << 1 | others
-                        entries[dir_bit * 8 + view_index] = output
-        yield TableAlgorithm(1, entries, name=f"memoryless1r:{bits:02x}")
+        yield memoryless_single_robot_table_from_bits(bits)
 
 
 def random_table_algorithm(
@@ -170,6 +226,7 @@ __all__ = [
     "TableState",
     "TableAlgorithm",
     "memoryless_table_from_bits",
+    "memoryless_single_robot_table_from_bits",
     "enumerate_memoryless_tables",
     "enumerate_memoryless_single_robot_tables",
     "random_table_algorithm",

@@ -27,7 +27,15 @@ from repro.types import Direction
 
 @runtime_checkable
 class RobotState(Protocol):
-    """Structural interface of all robot states: expose ``dir``."""
+    """Structural interface of all robot states: expose ``dir``.
+
+    This protocol is the typed contract of
+    :meth:`repro.robots.algorithms.base.Algorithm.compute`: every state
+    it returns must satisfy it — the engine's Move phase reads ``dir``
+    directly (no ``type: ignore`` needed), and the verification layers
+    additionally require hashability (checked by
+    :meth:`~repro.robots.algorithms.base.Algorithm.check_state`).
+    """
 
     @property
     def dir(self) -> Direction:  # pragma: no cover - protocol

@@ -15,11 +15,12 @@ algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Optional, cast
 
 from repro.errors import ConfigurationError
 from repro.graph.topology import Topology
+from repro.robots.state import RobotState
 from repro.types import Chirality, GlobalDirection, NodeId, RobotId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -33,6 +34,12 @@ class Configuration:
     positions: tuple[NodeId, ...]
     states: tuple[Hashable, ...]
     chiralities: tuple[Chirality, ...]
+    # Lazily computed occupancy cache; excluded from equality/hash/repr so
+    # value semantics are untouched (the class is frozen, so the cached map
+    # can never go stale).
+    _occupancy: Optional[dict[NodeId, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not (len(self.positions) == len(self.states) == len(self.chiralities)):
@@ -52,11 +59,19 @@ class Configuration:
         return range(len(self.positions))
 
     def occupancy(self) -> dict[NodeId, int]:
-        """Map node → number of robots currently there (only nodes > 0)."""
-        counts: dict[NodeId, int] = {}
-        for position in self.positions:
-            counts[position] = counts.get(position, 0) + 1
-        return counts
+        """Map node → number of robots currently there (only nodes > 0).
+
+        The map is computed once per configuration and cached (hot path of
+        the Look phase); treat the returned dict as read-only.
+        """
+        cached = self._occupancy
+        if cached is None:
+            counts: dict[NodeId, int] = {}
+            for position in self.positions:
+                counts[position] = counts.get(position, 0) + 1
+            object.__setattr__(self, "_occupancy", counts)
+            cached = counts
+        return cached
 
     def towers(self) -> dict[NodeId, tuple[RobotId, ...]]:
         """Nodes currently hosting a tower (>= 2 robots), with members.
@@ -91,8 +106,8 @@ class Configuration:
         the clockwise direction"); translates the robot's local ``dir``
         through its chirality.
         """
-        state = self.states[robot]
-        return self.chiralities[robot].to_global(state.dir)  # type: ignore[attr-defined]
+        state = cast(RobotState, self.states[robot])
+        return self.chiralities[robot].to_global(state.dir)
 
     def pointed_edge(self, robot: RobotId, topology: Topology) -> int | None:
         """The footprint edge robot ``robot`` points to (``None`` off-chain)."""

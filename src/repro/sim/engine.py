@@ -21,11 +21,12 @@ Round ``t`` (from configuration ``γ_t`` on snapshot ``G_t``):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional, Protocol, Sequence, runtime_checkable
+from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ConfigurationError, ScheduleError
 from repro.graph.topology import Topology
 from repro.robots.algorithms.base import Algorithm
+from repro.robots.state import RobotState
 from repro.robots.view import LocalView
 from repro.sim.config import Configuration, Observation, validate_initial_configuration
 from repro.sim.observers import Observer
@@ -46,6 +47,25 @@ class EdgeScheduler(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def local_ports(
+    topology: Topology, node: NodeId, chirality: Chirality
+) -> tuple[Optional[EdgeId], Optional[EdgeId]]:
+    """The (left, right) footprint ports of ``node`` in a robot's local frame.
+
+    This is the one place the global CW/CCW ports are translated through a
+    chirality into the robot-local left/right keying that
+    :class:`~repro.robots.view.LocalView` uses. Both the Look phase below
+    and the packed verification kernel's table builder
+    (:mod:`repro.verification.kernel`) share it, so the two view encodings
+    cannot drift apart.
+    """
+    cw_port = topology.port(node, GlobalDirection.CW)
+    ccw_port = topology.port(node, GlobalDirection.CCW)
+    if chirality is Chirality.AGREE:
+        return ccw_port, cw_port
+    return cw_port, ccw_port
+
+
 def look(
     topology: Topology,
     configuration: Configuration,
@@ -57,18 +77,11 @@ def look(
     for robot in configuration.robots:
         position = configuration.positions[robot]
         chirality = configuration.chiralities[robot]
-        cw_port = topology.port(position, GlobalDirection.CW)
-        ccw_port = topology.port(position, GlobalDirection.CCW)
-        exists_cw = cw_port is not None and cw_port in present
-        exists_ccw = ccw_port is not None and ccw_port in present
-        if chirality is Chirality.AGREE:
-            exists_right, exists_left = exists_cw, exists_ccw
-        else:
-            exists_right, exists_left = exists_ccw, exists_cw
+        left_port, right_port = local_ports(topology, position, chirality)
         views.append(
             LocalView(
-                exists_edge_left=exists_left,
-                exists_edge_right=exists_right,
+                exists_edge_left=left_port is not None and left_port in present,
+                exists_edge_right=right_port is not None and right_port in present,
                 others_present=occupancy[position] >= 2,
             )
         )
@@ -87,7 +100,7 @@ def step_fsync(
     exhaustive verifier explores.
     """
     views = look(topology, configuration, present)
-    new_states = tuple(
+    new_states: tuple[RobotState, ...] = tuple(
         algorithm.compute(configuration.states[robot], views[robot])
         for robot in configuration.robots
     )
@@ -96,7 +109,7 @@ def step_fsync(
     for robot in configuration.robots:
         position = configuration.positions[robot]
         chirality = configuration.chiralities[robot]
-        global_dir = chirality.to_global(new_states[robot].dir)  # type: ignore[attr-defined]
+        global_dir = chirality.to_global(new_states[robot].dir)
         port = topology.port(position, global_dir)
         if port is not None and port in present:
             landing = topology.neighbor(position, global_dir)
@@ -244,6 +257,7 @@ def run_fsync(
 
 __all__ = [
     "EdgeScheduler",
+    "local_ports",
     "look",
     "step_fsync",
     "RunResult",

@@ -38,7 +38,7 @@ class RoundRecord:
     moved: tuple[bool, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionTrace:
     """The full record of a finite run.
 

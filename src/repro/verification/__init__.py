@@ -5,20 +5,27 @@ algorithm…", "…any connected-over-time ring"). For a *fixed* finite-state
 algorithm on a *fixed* ring size, perpetual exploration against the
 strongest adversary is decidable — the interaction is a game on the finite
 product of robot positions, robot states and adversarial edge choices.
-This subpackage decides it:
+This subpackage decides it, through three mutually-checking layers:
 
-* :mod:`repro.verification.product` — the product transition system,
-  driven by the very same :func:`repro.sim.engine.step_fsync` the
-  simulator uses;
+* :mod:`repro.verification.product` — the object-level product transition
+  system, driven by the very same :func:`repro.sim.engine.step_fsync` the
+  simulator uses (the semantics oracle);
+* :mod:`repro.verification.kernel` — the packed-state kernel: product
+  states as single ints, adversary moves as edge bitmasks, the whole
+  Look–Compute logic folded into flat integer tables. The default, fast
+  substrate; differentially tested against the other two layers;
 * :mod:`repro.verification.game` — the solver: the adversary wins iff,
   from some well-initiated configuration, some reachable SCC of the
   target-node-avoiding subgraph leaves at most one ring edge never
   present (see the soundness/completeness argument in the module
-  docstring). Emits replayable lasso certificates on wins;
+  docstring). Emits replayable lasso certificates on wins; runs on
+  either backend (``backend="packed" | "object"``);
 * :mod:`repro.verification.certificates` — certificate datatypes and the
   *independent* replay validator (simulator-checked, period-exact);
 * :mod:`repro.verification.enumeration` — exhaustive sweeps over whole
-  algorithm classes (e.g. all 256 memoryless single-robot algorithms).
+  algorithm classes (e.g. all 256 memoryless single-robot algorithms);
+* :mod:`repro.verification.sweeps` — the parallel sweep engine: shards a
+  table class across a process pool with deterministic chunk merging.
 """
 
 from repro.verification.certificates import (
@@ -27,14 +34,18 @@ from repro.verification.certificates import (
     validate_certificate,
 )
 from repro.verification.game import ExplorationVerdict, synthesize_trap, verify_exploration
-from repro.verification.product import ProductSystem, SysState
+from repro.verification.kernel import PackedKernel
+from repro.verification.product import BACKENDS, ProductSystem, SysState
 from repro.verification.enumeration import (
     SweepResult,
     sweep_single_robot_memoryless,
     sweep_two_robot_memoryless,
 )
+from repro.verification.sweeps import run_table_sweep
 
 __all__ = [
+    "BACKENDS",
+    "PackedKernel",
     "ProductSystem",
     "SysState",
     "ExplorationVerdict",
@@ -46,4 +57,5 @@ __all__ = [
     "SweepResult",
     "sweep_single_robot_memoryless",
     "sweep_two_robot_memoryless",
+    "run_table_sweep",
 ]

@@ -15,6 +15,14 @@ can discharge it by brute force:
   the all-AGREE chirality vector is checked first and mixed vectors only
   as a fallback. Theorem 4.1 predicts: all fail.
 
+Both sweeps run on the parallel engine of
+:mod:`repro.verification.sweeps`: pass ``backend`` to pick the packed
+kernel (default) or the object-path oracle, and ``jobs`` to shard the
+table class across a process pool (``None`` = all cores). The result is
+identical — bit for bit, explorer order included — for every
+(backend, jobs) combination; the full 65,536-table Theorem 4.1 sweep is
+a routine operation on the packed backend.
+
 A sweep's value is the *shape* of its result: ``trapped == total`` is an
 exhaustive finite-domain confirmation of the paper's universally
 quantified claim, something no sampling of schedules could give.
@@ -23,50 +31,24 @@ quantified claim, something no sampling of schedules could give.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.errors import VerificationError
 from repro.graph.topology import RingTopology
-from repro.robots.algorithms.tables import (
-    TableAlgorithm,
-    enumerate_memoryless_single_robot_tables,
-    memoryless_table_from_bits,
+from repro.robots.algorithms.tables import TableAlgorithm
+from repro.verification.sweeps import (
+    SweepResult,
+    check_algorithm_class,
+    family_plan,
+    run_table_sweep,
 )
-from repro.types import Chirality
-from repro.verification.game import verify_exploration
-
-
-@dataclass
-class SweepResult:
-    """Aggregate outcome of an algorithm-class sweep."""
-
-    description: str
-    n: int
-    k: int
-    total: int
-    trapped: int
-    explorers: list[str] = field(default_factory=list)
-    states_explored: int = 0
-
-    @property
-    def all_trapped(self) -> bool:
-        """Whether every member of the class failed (the theorems' claim)."""
-        return self.trapped == self.total and not self.explorers
-
-    def summary(self) -> str:
-        """One-line human summary for reports."""
-        status = "ALL TRAPPED" if self.all_trapped else (
-            f"{len(self.explorers)} UNEXPECTED EXPLORERS: {self.explorers[:5]}"
-        )
-        return (
-            f"{self.description} (n={self.n}, k={self.k}): "
-            f"{self.trapped}/{self.total} trapped — {status}"
-        )
 
 
 def sweep_single_robot_memoryless(
-    n: int, validate_certificates: bool = False
+    n: int,
+    validate_certificates: bool = False,
+    backend: str = "packed",
+    jobs: Optional[int] = 1,
 ) -> SweepResult:
     """Check all 256 memoryless single-robot algorithms on the ``n``-ring.
 
@@ -76,25 +58,17 @@ def sweep_single_robot_memoryless(
         raise VerificationError(
             f"Theorem 5.1 concerns rings of size >= 3, got n={n}"
         )
-    topology = RingTopology(n)
     result = SweepResult(
         description="all memoryless 1-robot algorithms", n=n, k=1, total=0, trapped=0
     )
-    for algorithm in enumerate_memoryless_single_robot_tables():
-        verdict = verify_exploration(
-            algorithm,
-            topology,
-            k=1,
-            chirality_vectors=[(Chirality.AGREE,)],
-            validate=validate_certificates,
-        )
-        result.total += 1
-        result.states_explored += verdict.states_explored
-        if verdict.explorable:
-            result.explorers.append(algorithm.name)
-        else:
-            result.trapped += 1
-    return result
+    return run_table_sweep(
+        result,
+        family="single",
+        bit_patterns=range(1 << 8),
+        backend=backend,
+        validate=validate_certificates,
+        jobs=jobs,
+    )
 
 
 def sweep_two_robot_memoryless(
@@ -103,12 +77,15 @@ def sweep_two_robot_memoryless(
     seed: int = 20170605,
     validate_certificates: bool = False,
     extra_tables: Iterable[TableAlgorithm] = (),
+    backend: str = "packed",
+    jobs: Optional[int] = 1,
 ) -> SweepResult:
     """Check memoryless two-robot algorithms on the ``n``-ring.
 
-    ``sample=None`` sweeps all 65536 tables (minutes); an integer draws
-    that many distinct tables uniformly (plus any ``extra_tables``, e.g.
-    the structured baselines). Theorem 4.1 says every member must be
+    ``sample=None`` sweeps all 65536 tables (seconds on the packed
+    backend, minutes on the object path); an integer draws that many
+    distinct tables uniformly (plus any ``extra_tables``, e.g. the
+    structured baselines). Theorem 4.1 says every member must be
     trappable for ``n >= 4``.
 
     For each table the all-AGREE chirality vector is tried first; only if
@@ -120,9 +97,8 @@ def sweep_two_robot_memoryless(
         raise VerificationError(
             f"Theorem 4.1 concerns rings of size >= 4, got n={n}"
         )
-    topology = RingTopology(n)
     if sample is None:
-        bit_patterns: Iterable[int] = range(1 << 16)
+        bit_patterns: list[int] = list(range(1 << 16))
         total_hint = 1 << 16
     else:
         if not 1 <= sample <= 1 << 16:
@@ -136,32 +112,33 @@ def sweep_two_robot_memoryless(
         else f"{total_hint} sampled memoryless 2-robot algorithms"
     )
     result = SweepResult(description=description, n=n, k=2, total=0, trapped=0)
+    run_table_sweep(
+        result,
+        family="two",
+        bit_patterns=bit_patterns,
+        backend=backend,
+        validate=validate_certificates,
+        jobs=jobs,
+    )
 
-    agree_first = [
-        [(Chirality.AGREE, Chirality.AGREE)],
-        [(Chirality.AGREE, Chirality.DISAGREE)],
-    ]
-
-    def check(algorithm: TableAlgorithm) -> None:
-        result.total += 1
-        for vectors in agree_first:
-            verdict = verify_exploration(
-                algorithm,
-                topology,
-                k=2,
-                chirality_vectors=vectors,
-                validate=validate_certificates,
-            )
-            result.states_explored += verdict.states_explored
-            if not verdict.explorable:
-                result.trapped += 1
-                return
-        result.explorers.append(algorithm.name)
-
-    for bits in bit_patterns:
-        check(memoryless_table_from_bits(bits))
+    # Structured extras (a handful at most) are checked in-process, after
+    # the table family, preserving the historical result ordering.
+    topology = RingTopology(n)
     for algorithm in extra_tables:
-        check(algorithm)
+        trapped, states = check_algorithm_class(
+            algorithm,
+            topology,
+            k=2,
+            vector_plan=family_plan("two"),
+            backend=backend,
+            validate=validate_certificates,
+        )
+        result.total += 1
+        result.states_explored += states
+        if trapped:
+            result.trapped += 1
+        else:
+            result.explorers.append(algorithm.name)
     return result
 
 

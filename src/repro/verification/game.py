@@ -53,9 +53,11 @@ from repro.graph.topology import Topology
 from repro.robots.algorithms.base import Algorithm
 from repro.types import Chirality, EdgeId, NodeId
 from repro.verification.certificates import TrapCertificate, validate_certificate
-from repro.verification.product import ProductSystem, SysState
+from repro.verification.kernel import PackedKernel, PackedState, PackedTransition
+from repro.verification.product import ProductSystem, SysState, check_backend
 
 _InternalTransition = tuple[SysState, frozenset[EdgeId], SysState]
+_PackedInternal = tuple[PackedState, int, PackedState]
 
 
 def default_chirality_vectors(k: int) -> tuple[tuple[Chirality, ...], ...]:
@@ -116,18 +118,30 @@ def verify_exploration(
     max_states: int = 2_000_000,
     validate: bool = True,
     placements: Optional[Sequence[Sequence[NodeId]]] = None,
+    backend: str = "packed",
+    certificates: bool = True,
 ) -> ExplorationVerdict:
     """Decide perpetual exploration for a finite-state algorithm instance.
 
     Returns an :class:`ExplorationVerdict`; when the adversary wins, the
     verdict carries a simulator-validated :class:`TrapCertificate` (set
-    ``validate=False`` to skip the replay, e.g. inside huge sweeps).
+    ``validate=False`` to skip the replay, e.g. inside huge sweeps, or
+    ``certificates=False`` to skip building the lasso altogether when
+    only the verdict matters — sweeps counting verdicts do this).
 
     ``placements`` overrides the initial configurations to quantify over
     (default: every towerless placement, rotation-reduced on rings — the
     paper's well-initiated starts). Passing placements that contain
     towers asks the *ill-initiated* question instead — see experiment X6.
+
+    ``backend`` picks the exploration substrate: ``"packed"`` (default)
+    runs entirely on the integer kernel — same verdict, same state and
+    transition counts, ~an order of magnitude faster; ``"object"`` is the
+    original ``step_fsync``-driven path, kept as the semantics oracle.
+    Certificates from either backend satisfy the same replay validation,
+    though the particular lasso exhibited may differ.
     """
+    check_backend(backend)
     if chirality_vectors is None:
         vectors = default_chirality_vectors(k)
     else:
@@ -137,10 +151,17 @@ def verify_exploration(
                 raise VerificationError(
                     f"chirality vector {vector} has length {len(vector)}, want {k}"
                 )
+    if backend == "packed":
+        return _verify_packed(
+            algorithm, topology, k, vectors, max_states, validate, placements,
+            certificates,
+        )
     total_states = 0
     total_transitions = 0
     for vector in vectors:
-        system = ProductSystem(topology, algorithm, vector, max_states=max_states)
+        system = ProductSystem(
+            topology, algorithm, vector, max_states=max_states, backend="object"
+        )
         seeds = system.initial_states(placements)
         graph = system.reachable(seeds)
         total_states += len(graph)
@@ -150,11 +171,84 @@ def verify_exploration(
             if win is None:
                 continue
             scc_states, internal = win
-            certificate = _extract_certificate(
-                topology, algorithm, vector, graph, seeds, target, scc_states, internal
+            if not certificates:
+                certificate = None
+            else:
+                certificate = _extract_certificate(
+                    topology, algorithm, vector, graph, seeds, target,
+                    scc_states, internal,
+                )
+                if validate:
+                    validate_certificate(certificate, algorithm)
+            return ExplorationVerdict(
+                algorithm_name=algorithm.name,
+                topology=topology,
+                k=k,
+                explorable=False,
+                certificate=certificate,
+                states_explored=total_states,
+                transitions_explored=total_transitions,
+                chirality_vectors=vectors,
             )
-            if validate:
-                validate_certificate(certificate, algorithm)
+    return ExplorationVerdict(
+        algorithm_name=algorithm.name,
+        topology=topology,
+        k=k,
+        explorable=True,
+        certificate=None,
+        states_explored=total_states,
+        transitions_explored=total_transitions,
+        chirality_vectors=vectors,
+    )
+
+
+def _verify_packed(
+    algorithm: Algorithm,
+    topology: Topology,
+    k: int,
+    vectors: tuple[tuple[Chirality, ...], ...],
+    max_states: int,
+    validate: bool,
+    placements: Optional[Sequence[Sequence[NodeId]]],
+    certificates: bool,
+) -> ExplorationVerdict:
+    """The packed-backend body of :func:`verify_exploration`.
+
+    Exploration, SCC analysis and lasso extraction all run on packed ints
+    and edge bitmasks; objects are materialized only for the final
+    certificate. Verdicts and state/transition counts are identical to
+    the object path by construction (same seeds, same normalized moves,
+    same decision criterion).
+    """
+    total_states = 0
+    total_transitions = 0
+    for vector in vectors:
+        kernel = PackedKernel(topology, algorithm, vector, max_states=max_states)
+        seeds = kernel.initial_states(placements)
+        occupied: dict[PackedState, int] = {}
+        graph = kernel.reachable(seeds, occupied_out=occupied)
+        total_states += len(graph)
+        total_transitions += sum(len(out) for out in graph.values())
+        # Deduplicated successor lists, shared by every target's SCC pass.
+        successors = {
+            state: tuple({succ for _mask, succ in out})
+            for state, out in graph.items()
+        }
+        for target in topology.nodes:
+            win = _winning_scc_packed(
+                topology, kernel.full_mask, graph, successors, occupied, target
+            )
+            if win is None:
+                continue
+            scc_states, internal = win
+            if not certificates:
+                certificate = None
+            else:
+                certificate = _extract_certificate_packed(
+                    kernel, vector, graph, seeds, target, scc_states, internal
+                )
+                if validate:
+                    validate_certificate(certificate, algorithm)
             return ExplorationVerdict(
                 algorithm_name=algorithm.name,
                 topology=topology,
@@ -183,6 +277,7 @@ def synthesize_trap(
     k: int,
     chirality_vectors: Optional[Sequence[Sequence[Chirality]]] = None,
     max_states: int = 2_000_000,
+    backend: str = "packed",
 ) -> TrapCertificate:
     """Produce a validated trap for an instance known to be non-explorable.
 
@@ -190,7 +285,8 @@ def synthesize_trap(
     explorable (no trap exists).
     """
     verdict = verify_exploration(
-        algorithm, topology, k, chirality_vectors, max_states, validate=True
+        algorithm, topology, k, chirality_vectors, max_states, validate=True,
+        backend=backend,
     )
     if verdict.explorable or verdict.certificate is None:
         raise VerificationError(
@@ -291,6 +387,211 @@ def _tarjan_sccs(
                     if member == node:
                         break
                 yield component
+
+
+def _winning_scc_packed(
+    topology: Topology,
+    full_mask: int,
+    graph: dict[PackedState, list[PackedTransition]],
+    successors: dict[PackedState, tuple[PackedState, ...]],
+    occupied: dict[PackedState, int],
+    target: NodeId,
+) -> Optional[tuple[set[PackedState], list[_PackedInternal]]]:
+    """Packed twin of :func:`_winning_scc`.
+
+    Labels are bitmasks, so the recurrent-edge union is a running OR and
+    the budget check a popcount. Tarjan runs inline over the shared
+    deduplicated ``successors`` lists, filtering to the target-avoiding
+    subgraph on the fly, and each emitted SCC is checked immediately —
+    the same components in the same emission order as the generic
+    :func:`_tarjan_sccs` walk the object path uses.
+    """
+    budget = 1 if topology.is_ring else 0
+    target_bit = 1 << target
+    avoiding = {state for state in graph if not occupied[state] & target_bit}
+    if not avoiding:
+        return None
+
+    index: dict[PackedState, int] = {}
+    low: dict[PackedState, int] = {}
+    on_stack: set[PackedState] = set()
+    stack: list[PackedState] = []
+    counter = 0
+    for root in avoiding:
+        if root in index:
+            continue
+        work = [(root, iter(successors[root]))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, child_iter = work[-1]
+            advanced = False
+            for child in child_iter:
+                if child not in avoiding:
+                    continue
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors[child])))
+                    advanced = True
+                    break
+                if child in on_stack and index[child] < low[node]:
+                    low[node] = index[child]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+            if low[node] != index[node]:
+                continue
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            component_set = set(component)
+            internal: list[_PackedInternal] = []
+            union = 0
+            for state in component:
+                for mask, succ in graph[state]:
+                    if succ in component_set:
+                        internal.append((state, mask, succ))
+                        union |= mask
+            if internal and (full_mask & ~union).bit_count() <= budget:
+                return component_set, internal
+    return None
+
+
+def _extract_certificate_packed(
+    kernel: PackedKernel,
+    chiralities: tuple[Chirality, ...],
+    graph: dict[PackedState, list[PackedTransition]],
+    seeds: Sequence[PackedState],
+    target: NodeId,
+    scc_states: set[PackedState],
+    internal: list[_PackedInternal],
+) -> TrapCertificate:
+    """Packed twin of :func:`_extract_certificate`.
+
+    The lasso (BFS prefix into the SCC, greedy cover of the recurrent
+    edge union, connecting internal walks) is built entirely on ints;
+    only the final prefix/cycle masks and the seed state are decoded.
+    """
+    # --- prefix: BFS from the seeds (full graph) into the SCC -----------
+    parent: dict[PackedState, Optional[tuple[PackedState, int]]] = {}
+    queue: deque[PackedState] = deque()
+    entry: Optional[PackedState] = None
+    for seed in seeds:
+        if seed in parent:
+            continue
+        parent[seed] = None
+        queue.append(seed)
+        if seed in scc_states:
+            entry = seed
+            break
+    while queue and entry is None:
+        state = queue.popleft()
+        for mask, succ in graph[state]:
+            if succ in parent:
+                continue
+            parent[succ] = (state, mask)
+            if succ in scc_states:
+                entry = succ
+                break
+            queue.append(succ)
+    if entry is None:  # pragma: no cover - SCC is reachable by construction
+        raise VerificationError("winning SCC unreachable from seeds")
+
+    prefix_masks: list[int] = []
+    cursor = entry
+    while parent[cursor] is not None:
+        prev, mask = parent[cursor]  # type: ignore[misc]
+        prefix_masks.append(mask)
+        cursor = prev
+    prefix_masks.reverse()
+    seed_state = cursor
+
+    # --- cycle: closed walk covering the SCC's recurrent edge union -----
+    union = 0
+    for _state, mask, _succ in internal:
+        union |= mask
+    remaining = union
+    cover: list[_PackedInternal] = []
+    while remaining:
+        best = max(internal, key=lambda tr: (tr[1] & remaining).bit_count())
+        gain = best[1] & remaining
+        if not gain:  # pragma: no cover - remaining ⊆ union by construction
+            raise VerificationError("cover construction stalled")
+        cover.append(best)
+        remaining &= ~gain
+    if not cover:
+        cover = [internal[0]]
+
+    adjacency: dict[PackedState, list[PackedTransition]] = {}
+    for state, mask, succ in internal:
+        adjacency.setdefault(state, []).append((mask, succ))
+
+    def internal_path(src: PackedState, dst: PackedState) -> list[int]:
+        """Masks of a shortest internal walk src → dst within the SCC."""
+        if src == dst:
+            return []
+        back: dict[PackedState, tuple[PackedState, int]] = {}
+        bfs: deque[PackedState] = deque([src])
+        seen = {src}
+        while bfs:
+            node = bfs.popleft()
+            for mask, succ in adjacency.get(node, ()):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                back[succ] = (node, mask)
+                if succ == dst:
+                    bfs.clear()
+                    break
+                bfs.append(succ)
+        if dst not in back:  # pragma: no cover - SCC is strongly connected
+            raise VerificationError("SCC internal path missing")
+        masks: list[int] = []
+        node = dst
+        while node != src:
+            prev, mask = back[node]
+            masks.append(mask)
+            node = prev
+        masks.reverse()
+        return masks
+
+    cycle_masks: list[int] = []
+    cursor = entry
+    for state, mask, succ in cover:
+        cycle_masks.extend(internal_path(cursor, state))
+        cycle_masks.append(mask)
+        cursor = succ
+    cycle_masks.extend(internal_path(cursor, entry))
+
+    realized_union = 0
+    for mask in cycle_masks:
+        realized_union |= mask
+    missing_mask = kernel.full_mask & ~realized_union
+    seed_positions, _seed_states = kernel.decode(seed_state)
+
+    return TrapCertificate(
+        algorithm_name=kernel.algorithm.name,
+        topology=kernel.topology,
+        chiralities=chiralities,
+        seed_positions=seed_positions,
+        prefix=tuple(kernel.mask_to_edges(mask) for mask in prefix_masks),
+        cycle=tuple(kernel.mask_to_edges(mask) for mask in cycle_masks),
+        starved_node=target,
+        eventually_missing=kernel.mask_to_edges(missing_mask),
+    )
 
 
 def _extract_certificate(

@@ -6,6 +6,13 @@ at a state is a present-edge set; the robots' deterministic response is
 computed by :func:`repro.sim.engine.step_fsync`, the same function the
 simulator runs, so solver and simulator can never disagree on semantics.
 
+Two interchangeable backends compute :meth:`ProductSystem.reachable`: the
+``object`` path steps ``step_fsync`` per transition (the semantics
+oracle), while the default ``packed`` path runs the allocation-free
+integer kernel of :mod:`repro.verification.kernel` and decodes its graph.
+Both yield the identical labeled transition graph; differential tests
+hold them together.
+
 Adversary-move reduction (soundness argument): only edges adjacent to an
 *occupied* node can influence any robot's view or movement. Presenting a
 non-adjacent edge never changes the successor state and only enlarges the
@@ -32,6 +39,19 @@ from repro.robots.algorithms.base import Algorithm
 from repro.sim.config import Configuration
 from repro.sim.engine import step_fsync
 from repro.types import Chirality, EdgeId, NodeId
+from repro.verification.kernel import PackedKernel
+
+BACKENDS = ("packed", "object")
+"""Known verification backends, fastest first."""
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name (shared by product, game and sweeps)."""
+    if backend not in BACKENDS:
+        raise VerificationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
 
 SysState = tuple[tuple[NodeId, ...], tuple[Hashable, ...]]
 """A product state: (robot positions, robot algorithm states)."""
@@ -55,6 +75,13 @@ class ProductSystem:
         Safety valve: exploration aborts (``VerificationError``) if the
         reachable set exceeds this bound, rather than consuming the
         machine.
+    backend:
+        ``"packed"`` (default) explores reachability on the int-packed
+        kernel (:mod:`repro.verification.kernel`) and decodes the result;
+        ``"object"`` steps :func:`repro.sim.engine.step_fsync` per
+        transition. Both produce the *identical* graph — the object path
+        is kept as the semantics oracle. :meth:`step` always uses the
+        engine, whatever the backend.
     """
 
     def __init__(
@@ -63,6 +90,7 @@ class ProductSystem:
         algorithm: Algorithm,
         chiralities: Sequence[Chirality],
         max_states: int = 2_000_000,
+        backend: str = "packed",
     ) -> None:
         if not algorithm.is_finite_state:
             raise VerificationError(
@@ -75,7 +103,17 @@ class ProductSystem:
         if self.k < 1:
             raise VerificationError("need at least one robot")
         self.max_states = max_states
+        self.backend = check_backend(backend)
+        self._kernel: Optional[PackedKernel] = None
         self._moves_cache: dict[frozenset[NodeId], tuple[frozenset[EdgeId], ...]] = {}
+
+    def kernel(self) -> PackedKernel:
+        """The (lazily built) packed kernel for this instance."""
+        if self._kernel is None:
+            self._kernel = PackedKernel(
+                self.topology, self.algorithm, self.chiralities, self.max_states
+            )
+        return self._kernel
 
     # ------------------------------------------------------------------
     # Adversary moves
@@ -158,8 +196,16 @@ class ProductSystem:
 
         Returns a dict mapping every reachable state to its outgoing
         (move, successor) list. Raises :class:`VerificationError` when the
-        state count exceeds :attr:`max_states`.
+        state count exceeds :attr:`max_states`. With the ``packed``
+        backend the graph is computed on the int kernel and decoded —
+        identical result, no per-transition allocation.
         """
+        if self.backend == "packed":
+            kernel = self.kernel()
+            packed_seeds = (
+                None if seeds is None else [kernel.encode(seed) for seed in seeds]
+            )
+            return kernel.decode_graph(kernel.reachable(packed_seeds))
         if seeds is None:
             seeds = self.initial_states()
         graph: dict[SysState, list[Transition]] = {}
@@ -184,4 +230,4 @@ class ProductSystem:
         return graph
 
 
-__all__ = ["SysState", "Transition", "ProductSystem"]
+__all__ = ["SysState", "Transition", "ProductSystem", "BACKENDS", "check_backend"]

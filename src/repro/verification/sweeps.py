@@ -1,0 +1,225 @@
+"""The parallel sweep engine: sharded algorithm-class verification.
+
+A sweep discharges a universally quantified impossibility claim by
+verifying every member of a finite algorithm class. Members are
+independent, so the work shards perfectly: this module splits a sequence
+of table bit-patterns into contiguous chunks, verifies each chunk in a
+worker (in-process for ``jobs=1``, a ``multiprocessing`` pool otherwise)
+and merges the per-chunk tallies *in chunk order* — so the resulting
+:class:`SweepResult` (totals, explorer names and their order, state
+counts) is byte-identical for any worker count, and for either
+verification backend. ``jobs=None`` uses every available core.
+
+Workers rebuild their :class:`~repro.robots.algorithms.tables
+.TableAlgorithm` from the bit pattern (a chunk pickles as a tuple of
+ints), verify with the requested backend, and apply the same
+chirality-fallback plan as the serial path: cheap vectors first, the
+expensive mixed vectors only for tables that survive.
+
+The public entry points remain in :mod:`repro.verification.enumeration`;
+this module is the engine underneath them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import VerificationError
+from repro.graph.topology import RingTopology
+from repro.robots.algorithms.base import Algorithm
+from repro.robots.algorithms.tables import (
+    memoryless_single_robot_table_from_bits,
+    memoryless_table_from_bits,
+)
+from repro.types import Chirality
+from repro.verification.game import verify_exploration
+from repro.verification.product import check_backend
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of an algorithm-class sweep."""
+
+    description: str
+    n: int
+    k: int
+    total: int
+    trapped: int
+    explorers: list[str] = field(default_factory=list)
+    states_explored: int = 0
+
+    @property
+    def all_trapped(self) -> bool:
+        """Whether every member of the class failed (the theorems' claim)."""
+        return self.trapped == self.total and not self.explorers
+
+    def summary(self) -> str:
+        """One-line human summary for reports."""
+        status = "ALL TRAPPED" if self.all_trapped else (
+            f"{len(self.explorers)} UNEXPECTED EXPLORERS: {self.explorers[:5]}"
+        )
+        return (
+            f"{self.description} (n={self.n}, k={self.k}): "
+            f"{self.trapped}/{self.total} trapped — {status}"
+        )
+
+
+#: Table family name → (k, table constructor, chirality fallback plan).
+#: The plan is a sequence of chirality-vector lists tried in order; a
+#: table counts as trapped as soon as any stage returns non-explorable.
+_FAMILIES: dict[str, tuple[int, object, tuple]] = {
+    "single": (
+        1,
+        memoryless_single_robot_table_from_bits,
+        (((Chirality.AGREE,),),),
+    ),
+    "two": (
+        2,
+        memoryless_table_from_bits,
+        (
+            ((Chirality.AGREE, Chirality.AGREE),),
+            ((Chirality.AGREE, Chirality.DISAGREE),),
+        ),
+    ),
+}
+
+_ChunkOutcome = tuple[int, int, list[str], int]
+"""(total, trapped, explorer names in input order, states explored)."""
+
+
+def family_plan(family: str) -> tuple:
+    """The chirality fallback plan of a table family (for extra tables)."""
+    if family not in _FAMILIES:
+        raise VerificationError(
+            f"unknown table family {family!r}; choose from {sorted(_FAMILIES)}"
+        )
+    return _FAMILIES[family][2]
+
+
+def check_algorithm_class(
+    algorithm: Algorithm,
+    topology: RingTopology,
+    k: int,
+    vector_plan: Sequence[Sequence[Sequence[Chirality]]],
+    backend: str,
+    validate: bool,
+) -> tuple[bool, int]:
+    """Verify one table under a chirality fallback plan.
+
+    Returns ``(trapped, states_explored)``; the table fails the spec as
+    soon as any stage of the plan finds a trap.
+    """
+    states = 0
+    for vectors in vector_plan:
+        # A sweep only tallies verdicts: lasso extraction is skipped
+        # entirely unless certificate replay validation was requested.
+        verdict = verify_exploration(
+            algorithm,
+            topology,
+            k=k,
+            chirality_vectors=vectors,
+            validate=validate,
+            backend=backend,
+            certificates=validate,
+        )
+        states += verdict.states_explored
+        if not verdict.explorable:
+            return True, states
+    return False, states
+
+
+def _sweep_chunk(
+    payload: tuple[str, int, tuple[int, ...], str, bool]
+) -> _ChunkOutcome:
+    """Verify one contiguous chunk of table bit-patterns (worker body).
+
+    Top-level by necessity: chunks are shipped to ``multiprocessing``
+    workers, so both the function and its payload must pickle.
+    """
+    family, n, bits_chunk, backend, validate = payload
+    k, maker, plan = _FAMILIES[family]
+    topology = RingTopology(n)
+    total = trapped = states = 0
+    explorers: list[str] = []
+    for bits in bits_chunk:
+        algorithm = maker(bits)
+        hit, explored = check_algorithm_class(
+            algorithm, topology, k, plan, backend, validate
+        )
+        total += 1
+        states += explored
+        if hit:
+            trapped += 1
+        else:
+            explorers.append(algorithm.name)
+    return total, trapped, explorers, states
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request (``None`` → all cores; floor 1)."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise VerificationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _chunked(patterns: Sequence[int], jobs: int) -> list[tuple[int, ...]]:
+    """Split into contiguous chunks (~4 per worker for load balance).
+
+    Contiguity plus in-order merging is what makes the sweep outcome
+    independent of both the chunk size and the pool's scheduling.
+    """
+    if not patterns:
+        return []
+    pieces = max(1, min(len(patterns), jobs * 4))
+    size = -(-len(patterns) // pieces)
+    return [tuple(patterns[i : i + size]) for i in range(0, len(patterns), size)]
+
+
+def run_table_sweep(
+    result: SweepResult,
+    family: str,
+    bit_patterns: Sequence[int],
+    backend: str = "packed",
+    validate: bool = False,
+    jobs: Optional[int] = 1,
+) -> SweepResult:
+    """Verify every bit pattern and fold the tallies into ``result``.
+
+    Deterministic by construction: ``pool.map`` preserves chunk order and
+    chunks are contiguous, so explorers arrive in input order whatever
+    ``jobs`` is.
+    """
+    if family not in _FAMILIES:
+        raise VerificationError(
+            f"unknown table family {family!r}; choose from {sorted(_FAMILIES)}"
+        )
+    check_backend(backend)
+    jobs = resolve_jobs(jobs)
+    payloads = [
+        (family, result.n, chunk, backend, validate)
+        for chunk in _chunked(bit_patterns, jobs)
+    ]
+    if jobs <= 1 or len(payloads) <= 1:
+        outcomes = [_sweep_chunk(payload) for payload in payloads]
+    else:
+        with multiprocessing.get_context().Pool(processes=jobs) as pool:
+            outcomes = pool.map(_sweep_chunk, payloads)
+    for total, trapped, explorers, states in outcomes:
+        result.total += total
+        result.trapped += trapped
+        result.explorers.extend(explorers)
+        result.states_explored += states
+    return result
+
+
+__all__ = [
+    "SweepResult",
+    "check_algorithm_class",
+    "resolve_jobs",
+    "run_table_sweep",
+]

@@ -102,6 +102,43 @@ class TestVerify:
         assert not target.exists()
 
 
+class TestSweep:
+    def test_single_robot_sweep_smoke(self, capsys) -> None:
+        code = main(
+            ["sweep", "--robots", "1", "--n", "3", "--backend", "packed",
+             "--jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "256/256 trapped" in out
+        assert "ALL TRAPPED" in out
+
+    def test_two_robot_sampled_sweep_with_json(self, tmp_path, capsys) -> None:
+        target = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--robots", "2", "--n", "4", "--sample", "8",
+             "--jobs", "2", "--json", str(target)]
+        )
+        assert code == 0
+        assert "written to" in capsys.readouterr().out
+
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["total"] == 8
+        assert payload["trapped"] == 8
+        assert payload["all_trapped"] is True
+        assert payload["backend"] == "packed"
+
+    def test_object_backend_selectable(self, capsys) -> None:
+        code = main(
+            ["sweep", "--robots", "2", "--n", "4", "--sample", "2",
+             "--backend", "object", "--jobs", "1"]
+        )
+        assert code == 0
+        assert "2/2 trapped" in capsys.readouterr().out
+
+
 class TestTrap:
     def test_fig3(self, capsys) -> None:
         code = main(
