@@ -12,6 +12,13 @@
   counts and a ≥10× packed speedup, and snapshots the numbers to
   ``benchmarks/results/BENCH_sweeps.json`` so future PRs can track the
   trajectory.
+* ``test_campaign_smallest_family`` — the campaign-runner smoke: runs the
+  smallest registry scenario end to end through the persistent store and
+  asserts a repeat run is a pure cache hit.
+
+Sweep workloads are read from the scenario registry
+(:mod:`repro.scenarios`) rather than hand-rolled, so the benchmarks and
+the campaign CLI name identical work.
 """
 
 from __future__ import annotations
@@ -21,6 +28,12 @@ import os
 import time
 from pathlib import Path
 
+from repro.scenarios import (
+    CampaignRunner,
+    ResultStore,
+    get_scenario,
+    smallest_scenario,
+)
 from repro.verification.enumeration import (
     sweep_single_robot_memoryless,
     sweep_two_robot_memoryless,
@@ -28,11 +41,12 @@ from repro.verification.enumeration import (
 
 
 def test_single_robot_exhaustive(benchmark, save_artifact) -> None:
+    spec = get_scenario("thm51-single-n3")
     result = benchmark.pedantic(
-        sweep_single_robot_memoryless, args=(3,), rounds=1, iterations=1
+        sweep_single_robot_memoryless, args=(spec.n,), rounds=1, iterations=1
     )
     assert result.all_trapped
-    assert result.total == 256
+    assert result.total == spec.table_count == 256
     save_artifact("enumeration_1robot", result.summary())
 
 
@@ -45,15 +59,36 @@ def test_single_robot_exhaustive_ring4(benchmark, save_artifact) -> None:
 
 
 def test_two_robot_sweep(benchmark, save_artifact) -> None:
+    spec = get_scenario("thm41-two-n4")
     full = os.environ.get("REPRO_FULL_SWEEP") == "1"
     sample = None if full else 4096
 
     def run():
-        return sweep_two_robot_memoryless(4, sample=sample)
+        return sweep_two_robot_memoryless(spec.n, sample=sample)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.all_trapped
     save_artifact("enumeration_2robot", result.summary())
+
+
+def test_campaign_smallest_family(benchmark, tmp_path, save_artifact) -> None:
+    """Campaign-runner smoke over the smallest registered scenario."""
+    spec = smallest_scenario()
+    runner = CampaignRunner(ResultStore(tmp_path / "campaigns"), jobs=1)
+    outcome = benchmark.pedantic(
+        lambda: runner.run(spec), rounds=1, iterations=1
+    )
+    assert outcome.status.complete
+    assert outcome.status.all_trapped
+    # Dedup contract: a repeat campaign re-verifies nothing and re-emits
+    # the identical report bytes.
+    rerun = runner.run(spec)
+    assert rerun.chunks_run == 0
+    assert rerun.chunks_cached == outcome.status.chunks_total
+    assert rerun.report_path is not None
+    # status.summary() (not outcome.summary()): the artifact must be
+    # machine-independent, and the outcome line embeds the tmp store path.
+    save_artifact("campaign_smoke", outcome.status.summary())
 
 
 def _timed_sweep(fn, repeats: int = 3):

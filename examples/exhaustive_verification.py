@@ -8,15 +8,18 @@ checking every reachable SCC's recurrence budget. Negative verdicts come
 with simulator-validated lasso certificates.
 
 The finale is the finite-domain discharge of Theorem 5.1's universal
-quantifier over the memoryless class: all 256 memoryless single-robot
-algorithms, each individually trapped on the 3-ring.
+quantifier over the memoryless class — executed as the registered
+``thm51-single-n3`` campaign scenario, checkpointed to a throwaway result
+store exactly as ``repro-rings campaign run`` would.
 
 Run:  python examples/exhaustive_verification.py
 """
 
+import tempfile
+
 from repro import PEF1, PEF2, PEF3Plus, RingTopology, verify_exploration
 from repro.graph.topology import ChainTopology
-from repro.verification import sweep_single_robot_memoryless
+from repro.scenarios import CampaignRunner, ResultStore, get_scenario
 from repro.viz import TextTable
 
 
@@ -65,12 +68,19 @@ def main() -> None:
     )
 
     print("\n=== exhaustive class sweep (Theorem 5.1, memoryless class) ===\n")
-    sweep = sweep_single_robot_memoryless(3)
-    print(sweep.summary())
+    spec = get_scenario("thm51-single-n3")
+    print(spec.summary())
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = CampaignRunner(ResultStore(tmp), jobs=1)
+        outcome = runner.run(spec)
+        print(outcome.summary())
+        rerun = runner.run(spec)
+        assert rerun.chunks_run == 0, "a repeat campaign must be a cache hit"
     print(
         "\nEvery deterministic single-robot algorithm whose whole memory is "
         "its direction\nvariable is individually defeated on the 3-ring — "
-        "256 algorithms, 256 traps."
+        "256 algorithms, 256 traps,\ncheckpointed chunk by chunk and "
+        "deduplicated on re-run."
     )
 
 

@@ -21,7 +21,9 @@ The library provides, as importable building blocks:
   instances and synthesizing replayable trap certificates
   (:mod:`repro.verification`);
 * analysis, text visualization and the paper's experiment harnesses
-  (:mod:`repro.analysis`, :mod:`repro.viz`, :mod:`repro.experiments`).
+  (:mod:`repro.analysis`, :mod:`repro.viz`, :mod:`repro.experiments`);
+* a scenario registry and a persistent, resumable campaign runner over
+  the verification kernel (:mod:`repro.scenarios`).
 
 Quickstart::
 
@@ -86,8 +88,16 @@ from repro.verification import (
     verify_exploration,
 )
 from repro.analysis import exploration_report, recurrence_report, tower_report
+from repro.scenarios import (
+    CampaignRunner,
+    ResultStore,
+    RobotClassSpec,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -143,4 +153,11 @@ __all__ = [
     "exploration_report",
     "tower_report",
     "recurrence_report",
+    # scenarios / campaigns
+    "ScenarioSpec",
+    "RobotClassSpec",
+    "get_scenario",
+    "scenario_names",
+    "ResultStore",
+    "CampaignRunner",
 ]

@@ -9,10 +9,17 @@ Subcommands:
   plus a space–time diagram;
 * ``verify --algo NAME --n N --k K [--backend packed|object]`` — exact
   game-solver verdict (and the trap certificate when one exists);
-* ``sweep --robots 1|2 --n N [--sample S | --full] [--backend B]
-  [--jobs J]`` — exhaustive/sampled algorithm-class sweep on the packed
-  kernel (or the object oracle), optionally sharded across a process
-  pool; ``--json FILE`` dumps the machine-readable result;
+* ``sweep --robots 1|2 --n N [--sample S | --full] [--memory 1|2]
+  [--rng-seed S] [--backend B] [--jobs J]`` — exhaustive/sampled
+  algorithm-class sweep on the packed kernel (or the object oracle),
+  optionally sharded across a process pool; ``--memory 2`` samples the
+  ``2**64`` memory-2 two-robot class deterministically; ``--json FILE``
+  dumps the machine-readable result;
+* ``campaign list|run|status|report`` — the scenario registry and the
+  persistent campaign runner: named sweep workloads executed against an
+  append-only result store with chunk checkpointing, resume and dedup
+  (``campaign run NAME`` picks up exactly where an interrupted run
+  stopped and emits a byte-identical final report);
 * ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
   construction and print its audit;
 * ``algos`` — list registered algorithms.
@@ -101,10 +108,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.verification.enumeration import (
         sweep_single_robot_memoryless,
+        sweep_two_robot_memory2,
         sweep_two_robot_memoryless,
     )
 
-    if args.robots == 1:
+    seed = args.rng_seed if args.rng_seed is not None else args.seed
+    if args.memory == 2:
+        if args.robots != 2:
+            print("--memory 2 requires --robots 2", file=sys.stderr)
+            return 2
+        if args.full:
+            print(
+                "--memory 2 cannot be exhausted (2**64 tables); "
+                "use --sample K --rng-seed S",
+                file=sys.stderr,
+            )
+            return 2
+        result = sweep_two_robot_memory2(
+            args.n,
+            sample=args.sample,
+            seed=seed,
+            backend=args.backend,
+            jobs=args.jobs,
+        )
+    elif args.robots == 1:
         result = sweep_single_robot_memoryless(
             args.n, backend=args.backend, jobs=args.jobs
         )
@@ -112,7 +139,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         result = sweep_two_robot_memoryless(
             args.n,
             sample=None if args.full else args.sample,
-            seed=args.seed,
+            seed=seed,
             backend=args.backend,
             jobs=args.jobs,
         )
@@ -131,12 +158,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "all_trapped": result.all_trapped,
             "backend": args.backend,
             "jobs": args.jobs,
+            "memory": args.memory,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"  result written to {args.json}")
     return 0 if result.all_trapped else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import CampaignIncompleteError, ScenarioError
+    from repro.scenarios import (
+        CampaignRunner,
+        ResultStore,
+        get_scenario,
+        iter_scenarios,
+    )
+
+    if args.action == "list":
+        for spec in iter_scenarios():
+            print(spec.summary())
+        return 0
+    try:
+        spec = get_scenario(args.name)
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    runner = CampaignRunner(
+        ResultStore(args.store), backend=args.backend, jobs=args.jobs
+    )
+    if args.action == "run":
+        try:
+            outcome = runner.run(spec, max_chunks=args.max_chunks)
+        except ScenarioError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(outcome.summary())
+        return 0 if outcome.status.complete else 1
+    if args.action == "status":
+        try:
+            print(runner.status(spec).summary())
+        except ScenarioError as exc:  # corrupt store: operator intervention
+            print(exc, file=sys.stderr)
+            return 2
+        return 0
+    try:
+        text = runner.report_text(spec)
+    except CampaignIncompleteError as exc:  # expected: keep running
+        print(exc, file=sys.stderr)
+        return 1
+    except ScenarioError as exc:  # corrupt store: operator intervention
+        print(exc, file=sys.stderr)
+        return 2
+    print(text, end="")
+    return 0
 
 
 def _cmd_trap(args: argparse.Namespace) -> int:
@@ -211,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--seed", type=int, default=20170605)
     p_sweep.add_argument(
+        "--memory", type=int, choices=[1, 2], default=1,
+        help="table memory size; 2 samples the 2**64 memory-2 two-robot "
+        "class (requires --robots 2 and --sample)",
+    )
+    p_sweep.add_argument(
+        "--rng-seed", type=int, default=None, metavar="S",
+        help="deterministic sampling seed (defaults to --seed)",
+    )
+    p_sweep.add_argument(
         "--backend", choices=["packed", "object"], default="packed"
     )
     p_sweep.add_argument(
@@ -223,6 +308,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the sweep result as JSON",
     )
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="scenario registry + persistent, resumable campaign runner",
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="action", required=True)
+    c_list = campaign_sub.add_parser("list", help="list registered scenarios")
+    c_list.set_defaults(fn=_cmd_campaign)
+    for action, description in (
+        ("run", "verify every pending chunk of a scenario (resumable)"),
+        ("status", "show checkpointed progress of a scenario"),
+        ("report", "print the final merged report (requires completion)"),
+    ):
+        c_action = campaign_sub.add_parser(action, help=description)
+        c_action.add_argument("name", help="registered scenario name")
+        c_action.add_argument(
+            "--store", default="campaigns", metavar="DIR",
+            help="result-store root directory (default: ./campaigns)",
+        )
+        c_action.add_argument(
+            "--backend", choices=["packed", "object"], default="packed"
+        )
+        c_action.add_argument(
+            "--jobs", type=int, default=None, metavar="J",
+            help="worker processes (default: all available cores)",
+        )
+        if action == "run":
+            c_action.add_argument(
+                "--max-chunks", type=int, default=None, metavar="N",
+                help="verify at most N pending chunks this invocation",
+            )
+        c_action.set_defaults(fn=_cmd_campaign)
 
     p_trap = sub.add_parser("trap", help="run an impossibility construction")
     p_trap.add_argument("--kind", choices=["fig2", "fig3"], required=True)

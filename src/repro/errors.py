@@ -59,6 +59,26 @@ class VerificationError(ReproError):
     """
 
 
+class ScenarioError(ReproError):
+    """A scenario spec, result store or campaign is inconsistent.
+
+    Examples: an unknown dynamics/scheduler/property name in a scenario
+    spec, a result store whose checkpoint records disagree with the
+    scenario they claim to belong to, or a campaign report requested
+    before every chunk has been verified.
+    """
+
+
+class CampaignIncompleteError(ScenarioError):
+    """A campaign report was requested before every chunk verified.
+
+    The one *expected* mid-campaign failure: callers distinguishing
+    "keep running" from genuine store corruption catch this subclass and
+    the :class:`ScenarioError` base separately (the CLI maps them to
+    exit codes 1 and 2).
+    """
+
+
 class CertificateError(ReproError):
     """A trap certificate failed independent replay validation.
 

@@ -9,7 +9,10 @@
 * :mod:`repro.experiments.figure1` — the Lemma 4.1 / Figure 1 symmetric
   8-node construction with machine-checked proof claims;
 * :mod:`repro.experiments.cover_time` — quantitative cover-time and
-  revisit-gap sweeps (extension X1).
+  revisit-gap sweeps (extension X1);
+* :mod:`repro.experiments.ill_initiated` — the towerless-assumption probe
+  (X6); its arbitrary-start quantifier is shared with the scenario
+  registry's ill-initiated campaign families (:mod:`repro.scenarios`).
 """
 
 from repro.experiments.battery import BatteryOutcome, run_battery, schedule_battery
@@ -27,6 +30,11 @@ from repro.experiments.figure1 import (
     run_lemma41_construction,
 )
 from repro.experiments.cover_time import CoverTimePoint, cover_time_sweep
+from repro.experiments.ill_initiated import (
+    IllInitiatedOutcome,
+    all_placements_with_towers,
+    probe_ill_initiated,
+)
 
 __all__ = [
     "schedule_battery",
@@ -45,4 +53,7 @@ __all__ = [
     "run_lemma41_construction",
     "CoverTimePoint",
     "cover_time_sweep",
+    "IllInitiatedOutcome",
+    "all_placements_with_towers",
+    "probe_ill_initiated",
 ]

@@ -22,11 +22,10 @@ algorithm for arbitrary initial configurations.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.graph.topology import RingTopology
+from repro.graph.topology import RingTopology, arbitrary_placements
 from repro.robots.algorithms.base import Algorithm
 from repro.verification.certificates import TrapCertificate
 from repro.verification.game import ExplorationVerdict, verify_exploration
@@ -66,15 +65,12 @@ class IllInitiatedOutcome:
 def all_placements_with_towers(n: int, k: int) -> list[tuple[NodeId, ...]]:
     """Every ordered placement (towers allowed), rotation-reduced.
 
-    Robot 0 is pinned to node 0, which is sound for the same reason as
-    :func:`repro.graph.topology.canonical_placements`: the footprint and
-    the algorithm are rotation-invariant.
+    Thin ring wrapper around
+    :func:`repro.graph.topology.arbitrary_placements` — the same
+    quantifier the scenario registry's ``starts="arbitrary"`` (ill-
+    initiated / self-stabilizing) campaigns sweep under.
     """
-    return [
-        placement
-        for placement in itertools.product(range(n), repeat=k)
-        if placement[0] == 0
-    ]
+    return arbitrary_placements(RingTopology(n), k)
 
 
 def probe_ill_initiated(

@@ -449,7 +449,24 @@ def chain_like_schedule(
     return CompositeSchedule([base, mask])
 
 
+#: Named oblivious schedule families, for declarative scenario specs
+#: (:mod:`repro.scenarios`): a scenario's ``dynamics`` field is either
+#: ``"highly-dynamic"`` (the unrestricted connected-over-time adversary
+#: the game solver plays) or one of these keys.
+SCHEDULE_FAMILIES: Mapping[str, type] = {
+    "static": StaticSchedule,
+    "eventually-missing": EventuallyMissingEdgeSchedule,
+    "intermittent": IntermittentEdgeSchedule,
+    "periodic": PeriodicSchedule,
+    "bernoulli": BernoulliSchedule,
+    "markov": MarkovSchedule,
+    "t-interval": TIntervalConnectedSchedule,
+    "at-most-one-absent": AtMostOneAbsentSchedule,
+}
+
+
 __all__ = [
+    "SCHEDULE_FAMILIES",
     "StaticSchedule",
     "EventuallyMissingEdgeSchedule",
     "IntermittentEdgeSchedule",

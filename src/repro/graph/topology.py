@@ -27,6 +27,7 @@ uses the integer labels.
 from __future__ import annotations
 
 import abc
+import itertools
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import TopologyError
@@ -307,6 +308,26 @@ def canonical_placements(topology: RingTopology, k: int) -> Iterator[tuple[NodeI
             yield placement
 
 
+def arbitrary_placements(topology: Topology, k: int) -> list[tuple[NodeId, ...]]:
+    """Every ordered placement of ``k`` robots, towers allowed.
+
+    This is the quantifier of the *ill-initiated* (self-stabilizing)
+    question: initial configurations where robots may share a node. On
+    rings the family is rotation-reduced by pinning robot 0 to node 0,
+    which is sound for the same reason as :func:`canonical_placements`
+    (footprint and algorithm are rotation-invariant); chains have no such
+    symmetry, so the full product is returned.
+    """
+    if k < 1:
+        raise TopologyError(f"need at least one robot, got k={k}")
+    if topology.is_ring:
+        return [
+            (0,) + rest
+            for rest in itertools.product(topology.nodes, repeat=k - 1)
+        ]
+    return list(itertools.product(topology.nodes, repeat=k))
+
+
 def placements_are_towerless(placement: Sequence[NodeId]) -> bool:
     """Whether no two robots of ``placement`` share a node."""
     return len(set(placement)) == len(placement)
@@ -318,5 +339,6 @@ __all__ = [
     "ChainTopology",
     "towerless_placements",
     "canonical_placements",
+    "arbitrary_placements",
     "placements_are_towerless",
 ]

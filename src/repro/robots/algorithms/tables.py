@@ -213,6 +213,58 @@ def enumerate_memoryless_single_robot_tables() -> Iterator[TableAlgorithm]:
         yield memoryless_single_robot_table_from_bits(bits)
 
 
+def table_space_size(memory_size: int) -> int:
+    """Number of distinct memory-``M`` tables: ``(2M) ** (M * 16)``.
+
+    This is the size of the integer domain accepted by
+    :func:`table_from_bits` — e.g. ``2**16`` for the memoryless class and
+    ``2**64`` for the memory-2 class (where exhaustive sweeps give way to
+    deterministic sampling).
+    """
+    if memory_size < 1:
+        raise AlgorithmError(f"memory_size must be >= 1, got {memory_size}")
+    return (memory_size * 2) ** (memory_size * 2 * 8)
+
+
+def table_from_bits(
+    bits: int, memory_size: int, name: str | None = None
+) -> TableAlgorithm:
+    """The memory-``M`` table whose entries are the base-``2M`` digits of ``bits``.
+
+    Digit ``i`` (least significant first) is the encoded output
+    ``new_mem * 2 + new_dir_bit`` for the input with flat index ``i``
+    (``(mem * 2 + dir_bit) * 8 + view_index``). For ``memory_size=1``
+    this coincides with :func:`memoryless_table_from_bits` (base 2 =
+    bits), making the integer encoding one uniform address space across
+    memory sizes.
+    """
+    space = table_space_size(memory_size)
+    if not 0 <= bits < space:
+        raise AlgorithmError(
+            f"bits must be in 0..{space - 1} for memory_size={memory_size}, "
+            f"got {bits}"
+        )
+    bound = memory_size * 2
+    entries = []
+    value = bits
+    for _ in range(memory_size * 2 * 8):
+        value, digit = divmod(value, bound)
+        entries.append(digit)
+    return TableAlgorithm(
+        memory_size, entries, name=name or f"table-m{memory_size}:{bits:x}"
+    )
+
+
+def memory2_table_from_bits(bits: int, name: str | None = None) -> TableAlgorithm:
+    """The memory-2 table for a 64-bit pattern (sampling substrate).
+
+    The memory-2 two-robot class has ``4**32 = 2**64`` members — far past
+    exhaustion, which is why the sweep layer samples this family with a
+    seeded RNG instead of enumerating it.
+    """
+    return table_from_bits(bits, 2, name=name)
+
+
 def random_table_algorithm(
     rng: random.Random, memory_size: int = 1
 ) -> TableAlgorithm:
@@ -227,6 +279,9 @@ __all__ = [
     "TableAlgorithm",
     "memoryless_table_from_bits",
     "memoryless_single_robot_table_from_bits",
+    "table_space_size",
+    "table_from_bits",
+    "memory2_table_from_bits",
     "enumerate_memoryless_tables",
     "enumerate_memoryless_single_robot_tables",
     "random_table_algorithm",

@@ -1,0 +1,58 @@
+"""Scenario registry and persistent campaign runner.
+
+This subpackage turns the fast verification kernel into a *service*: a
+workload is a declarative, content-hashed :class:`ScenarioSpec`
+(:mod:`~repro.scenarios.spec`); named workload families live in a
+registry (:mod:`~repro.scenarios.registry`); and a campaign executes a
+scenario chunk-by-chunk against an append-only result store with
+checkpointing, resume and dedup (:mod:`~repro.scenarios.store`,
+:mod:`~repro.scenarios.campaign`).
+
+The CLI surface is ``repro-rings campaign list|run|status|report``; the
+same machinery is importable::
+
+    from repro.scenarios import CampaignRunner, ResultStore, get_scenario
+
+    runner = CampaignRunner(ResultStore("campaigns"))
+    outcome = runner.run(get_scenario("thm51-single-n3"))
+    assert outcome.status.all_trapped
+"""
+
+from repro.scenarios.spec import (
+    DYNAMICS_FAMILIES,
+    EXHAUSTIVE_LIMIT,
+    SCENARIO_FORMAT_VERSION,
+    RobotClassSpec,
+    ScenarioSpec,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+    smallest_scenario,
+)
+from repro.scenarios.store import ResultStore, chunk_digest
+from repro.scenarios.campaign import (
+    CampaignRunner,
+    CampaignRunOutcome,
+    CampaignStatus,
+)
+
+__all__ = [
+    "DYNAMICS_FAMILIES",
+    "EXHAUSTIVE_LIMIT",
+    "SCENARIO_FORMAT_VERSION",
+    "RobotClassSpec",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "smallest_scenario",
+    "ResultStore",
+    "chunk_digest",
+    "CampaignRunner",
+    "CampaignRunOutcome",
+    "CampaignStatus",
+]

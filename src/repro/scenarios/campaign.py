@@ -1,0 +1,316 @@
+"""The persistent campaign runner: resumable sweeps over scenario specs.
+
+A *campaign* is one scenario executed to completion, checkpointed chunk by
+chunk in a :class:`~repro.scenarios.store.ResultStore`. The contract:
+
+* **Deterministic work units.** The scenario expands to a fixed pattern
+  stream cut into fixed-size chunks (never dependent on worker count), and
+  :func:`~repro.verification.sweeps.sweep_chunk` tallies each chunk
+  identically on any backend, worker or host.
+* **Interrupt safety.** A chunk checkpoints only once fully verified;
+  killing a campaign loses at most the chunks in flight. Resuming verifies
+  exactly the missing chunks and produces a final report *byte-identical*
+  to an uninterrupted run's — the report is a pure function of the spec
+  and the per-chunk tallies, merged in chunk order.
+* **Dedup.** Re-running a completed campaign is a cache hit: zero chunks
+  re-verified, the same report bytes re-emitted.
+
+The runner parallelizes *across* chunks with a process pool (``jobs``),
+writing each record as its chunk lands; record order on disk is
+scheduling-dependent, merged order never is.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.errors import CampaignIncompleteError, ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import ResultStore, chunk_digest
+from repro.verification.product import check_backend
+from repro.verification.sweeps import resolve_jobs, sweep_chunk
+
+CAMPAIGN_REPORT_VERSION = 1
+
+_Payload = tuple[int, str, int, tuple[int, ...], str, bool, str, str]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress and partial tallies of one campaign."""
+
+    name: str
+    scenario_id: str
+    chunks_total: int
+    chunks_done: int
+    total: int
+    trapped: int
+    explorers: tuple[str, ...]
+    states_explored: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every chunk has checkpointed."""
+        return self.chunks_done == self.chunks_total
+
+    @property
+    def all_trapped(self) -> bool:
+        """Whether the campaign *completed* with every member trapped.
+
+        Deliberately false for partial campaigns, however unanimous the
+        tallies so far: the theorems' claim is about the whole class, and
+        a sliced or interrupted run must not read as a discharge.
+        """
+        return self.complete and self.trapped == self.total and not self.explorers
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        state = "complete" if self.complete else "in progress"
+        return (
+            f"{self.name} [{self.scenario_id}] {state}: "
+            f"{self.chunks_done}/{self.chunks_total} chunks, "
+            f"{self.trapped}/{self.total} trapped"
+            + (f", {len(self.explorers)} explorers" if self.explorers else "")
+        )
+
+
+@dataclass(frozen=True)
+class CampaignRunOutcome:
+    """What one :meth:`CampaignRunner.run` call did."""
+
+    status: CampaignStatus
+    chunks_run: int
+    chunks_cached: int
+    report_path: Optional[Path]
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        line = (
+            f"{self.status.summary()} — ran {self.chunks_run} chunks, "
+            f"{self.chunks_cached} cached"
+        )
+        if self.report_path is not None:
+            line += f"; report: {self.report_path}"
+        return line
+
+
+def _campaign_chunk(payload: _Payload) -> tuple[int, tuple]:
+    """Verify one indexed chunk (worker body; top-level to pickle)."""
+    index, family, n, chunk, backend, validate, starts, prop = payload
+    return index, sweep_chunk(family, n, chunk, backend, validate, starts, prop)
+
+
+class CampaignRunner:
+    """Runs scenarios against a result store, resumably."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        backend: str = "packed",
+        jobs: Optional[int] = None,
+        validate: bool = False,
+    ) -> None:
+        self.store = store
+        self.backend = check_backend(backend)
+        self.jobs = resolve_jobs(jobs)
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def _checked_records(
+        self, spec: ScenarioSpec, chunks: list[tuple[int, ...]]
+    ) -> dict[int, dict[str, Any]]:
+        """Stored records, cross-checked against the spec's own chunking."""
+        records = self.store.load_records(spec)
+        for index, record in records.items():
+            if not 0 <= index < len(chunks):
+                raise ScenarioError(
+                    f"store corruption: scenario {spec.scenario_id} has a "
+                    f"record for chunk {index}, but the spec cuts "
+                    f"{len(chunks)} chunks"
+                )
+            if record["digest"] != chunk_digest(chunks[index]):
+                raise ScenarioError(
+                    f"store corruption: chunk {index} of scenario "
+                    f"{spec.scenario_id} was checkpointed for different "
+                    "bit patterns than the spec expands to"
+                )
+        return records
+
+    def _merged_status(
+        self,
+        spec: ScenarioSpec,
+        chunks: list[tuple[int, ...]],
+        records: dict[int, dict[str, Any]],
+    ) -> CampaignStatus:
+        """Fold records in chunk order into a status (the report's core)."""
+        total = trapped = states = 0
+        explorers: list[str] = []
+        for index in sorted(records):
+            record = records[index]
+            total += record["total"]
+            trapped += record["trapped"]
+            states += record["states"]
+            explorers.extend(record["explorers"])
+        return CampaignStatus(
+            name=spec.name,
+            scenario_id=spec.scenario_id,
+            chunks_total=len(chunks),
+            chunks_done=len(records),
+            total=total,
+            trapped=trapped,
+            explorers=tuple(explorers),
+            states_explored=states,
+        )
+
+    def status(self, spec: ScenarioSpec) -> CampaignStatus:
+        """Current progress of a scenario's campaign in this store."""
+        chunks = spec.chunks()
+        return self._merged_status(spec, chunks, self._checked_records(spec, chunks))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, spec: ScenarioSpec, max_chunks: Optional[int] = None
+    ) -> CampaignRunOutcome:
+        """Verify every not-yet-checkpointed chunk; report on completion.
+
+        ``max_chunks`` bounds how many pending chunks this call verifies
+        (operational lever: sliced runs, and the test harness's simulated
+        interrupts). Completed chunks are never re-verified.
+        """
+        spec.require_runnable()
+        self.store.prepare(spec)
+        chunks = spec.chunks()
+        records = self._checked_records(spec, chunks)
+        pending = [
+            (index, chunk)
+            for index, chunk in enumerate(chunks)
+            if index not in records
+        ]
+        cached = len(chunks) - len(pending)
+        if max_chunks is not None:
+            if max_chunks < 0:
+                raise ScenarioError(f"max_chunks must be >= 0, got {max_chunks}")
+            pending = pending[:max_chunks]
+        payloads: list[_Payload] = [
+            (
+                index,
+                spec.robots.family,
+                spec.n,
+                chunk,
+                self.backend,
+                self.validate,
+                spec.starts,
+                spec.prop,
+            )
+            for index, chunk in pending
+        ]
+        for index, outcome in self._execute(payloads):
+            total, trapped, explorers, states = outcome
+            records[index] = record = {
+                "chunk": index,
+                "digest": chunk_digest(chunks[index]),
+                "total": total,
+                "trapped": trapped,
+                "explorers": explorers,
+                "states": states,
+            }
+            self.store.append_record(spec, record)
+        status = self._merged_status(spec, chunks, records)
+        report_path = None
+        if status.complete:
+            report_path = self.store.report_path(spec)
+            # Cache-hit reruns stay write-free: only (re)publish the
+            # report when this call verified something or none exists.
+            if payloads or not report_path.exists():
+                report_path = self.store.write_report(
+                    spec, self._report_text(spec, status)
+                )
+        return CampaignRunOutcome(
+            status=status,
+            chunks_run=len(payloads),
+            chunks_cached=cached,
+            report_path=report_path,
+        )
+
+    def _execute(
+        self, payloads: list[_Payload]
+    ) -> Iterable[tuple[int, tuple]]:
+        """Run chunk payloads, in-process or on a pool.
+
+        ``imap_unordered`` on purpose: every result is checkpointed the
+        moment it lands, so an interrupt preserves the fastest chunks
+        regardless of their index; merged results never depend on arrival
+        order.
+        """
+        if self.jobs <= 1 or len(payloads) <= 1:
+            for payload in payloads:
+                yield _campaign_chunk(payload)
+            return
+        with multiprocessing.get_context().Pool(processes=self.jobs) as pool:
+            yield from pool.imap_unordered(_campaign_chunk, payloads)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def report_dict(self, spec: ScenarioSpec) -> dict[str, Any]:
+        """The final report as a dict; raises until the campaign completes."""
+        return self._report_dict(spec, self._complete_status(spec))
+
+    def report_text(self, spec: ScenarioSpec) -> str:
+        """The final report's exact bytes (as text); raises if incomplete."""
+        return self._report_text(spec, self._complete_status(spec))
+
+    def _complete_status(self, spec: ScenarioSpec) -> CampaignStatus:
+        """Status of a campaign required to be complete (reporting gate)."""
+        status = self.status(spec)
+        if not status.complete:
+            raise CampaignIncompleteError(
+                f"campaign {spec.name!r} is incomplete "
+                f"({status.chunks_done}/{status.chunks_total} chunks); "
+                "run it to completion before reporting"
+            )
+        return status
+
+    def _report_dict(
+        self, spec: ScenarioSpec, status: CampaignStatus
+    ) -> dict[str, Any]:
+        """Report content: spec + merged tallies, nothing run-dependent.
+
+        No timestamps, worker counts or backend names — the report must be
+        a pure function of (spec, verified tallies) so interrupted-and-
+        resumed and uninterrupted campaigns emit identical bytes.
+        """
+        return {
+            "format": "campaign-report",
+            "version": CAMPAIGN_REPORT_VERSION,
+            "scenario_id": spec.scenario_id,
+            "scenario": spec.to_dict(),
+            "chunks": status.chunks_total,
+            "total": status.total,
+            "trapped": status.trapped,
+            "explorers": list(status.explorers),
+            "states_explored": status.states_explored,
+            "all_trapped": status.all_trapped,
+        }
+
+    def _report_text(self, spec: ScenarioSpec, status: CampaignStatus) -> str:
+        return (
+            json.dumps(self._report_dict(spec, status), indent=2, sort_keys=True)
+            + "\n"
+        )
+
+
+__all__ = [
+    "CAMPAIGN_REPORT_VERSION",
+    "CampaignRunner",
+    "CampaignRunOutcome",
+    "CampaignStatus",
+]

@@ -1,0 +1,169 @@
+"""The scenario registry: named workload families.
+
+A registry entry is a frozen :class:`~repro.scenarios.spec.ScenarioSpec`
+under a stable name, so experiments, benchmarks, the campaign runner and
+the CLI all mean the same thing by e.g. ``"thm41-two-n5"``. The built-in
+families cover the reproduction's standing sweep workloads:
+
+* the Theorem 5.1 single-robot class (the smallest family — also the CI
+  smoke campaign);
+* the Theorem 4.1 two-robot class, exhaustively at n=4 and sampled at
+  n=5 and n=6 (the ROADMAP's "bigger instances on the packed kernel");
+* the self-stabilizing *ill-initiated* variant (arbitrary starts, towers
+  allowed — Bournat–Datta–Dubois 2017);
+* the *live exploration* property family (at-least-once visits — Di Luna
+  et al.);
+* a deterministic sample of the memory-2 two-robot class (finite-memory
+  sweeps over a ``2**64`` table space).
+
+``register_scenario`` is open: downstream code can add its own families;
+names are unique and registration of a changed spec under a taken name is
+an error rather than a silent replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import RobotClassSpec, ScenarioSpec
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a scenario under its name; returns the spec for chaining.
+
+    Re-registering the identical spec is a no-op; registering a
+    *different* spec under a taken name raises :class:`ScenarioError`.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if existing == spec:
+            return spec
+        raise ScenarioError(
+            f"scenario name {spec.name!r} is already registered "
+            f"(id {existing.scenario_id}); pick a new name instead of "
+            "mutating a published workload"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_scenarios() -> Iterator[ScenarioSpec]:
+    """Registered scenarios in name order."""
+    for name in scenario_names():
+        yield _REGISTRY[name]
+
+
+def smallest_scenario() -> ScenarioSpec:
+    """The registered scenario with the fewest tables (CI smoke target)."""
+    return min(iter_scenarios(), key=lambda spec: (spec.table_count, spec.name))
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="thm51-single-n3",
+        description="Theorem 5.1 discharge: all 256 memoryless single-robot "
+        "algorithms are trappable on the 3-ring",
+        robots=RobotClassSpec(family="single"),
+        n=3,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="thm41-two-n4",
+        description="Theorem 4.1 discharge: all 65536 memoryless two-robot "
+        "algorithms are trappable on the 4-ring",
+        robots=RobotClassSpec(family="two"),
+        n=4,
+        chunk_size=1024,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="thm41-two-n5",
+        description="Theorem 4.1 at n=5: a 2048-table deterministic sample "
+        "of the memoryless two-robot class on the 5-ring",
+        robots=RobotClassSpec(family="two", sample=2048),
+        n=5,
+        chunk_size=256,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="thm41-two-n6",
+        description="Theorem 4.1 at n=6: a 512-table deterministic sample "
+        "of the memoryless two-robot class on the 6-ring",
+        robots=RobotClassSpec(family="two", sample=512),
+        n=6,
+        chunk_size=64,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="selfstab-ill-two-n4",
+        description="Self-stabilizing variant (Bournat-Datta-Dubois 2017): "
+        "two-robot sample on the 4-ring quantifying over ill-initiated "
+        "starts, towers allowed",
+        robots=RobotClassSpec(family="two", sample=1024),
+        n=4,
+        starts="arbitrary",
+        chunk_size=128,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="live-two-n4",
+        description="Live exploration (Di Luna et al.): two-robot sample on "
+        "the 4-ring under the at-least-once visit property",
+        robots=RobotClassSpec(family="two", sample=1024),
+        n=4,
+        prop="live",
+        chunk_size=128,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="m2-two-n4",
+        description="Finite-memory sweep: 512 deterministically sampled "
+        "memory-2 two-robot tables (of 2**64) on the 4-ring",
+        robots=RobotClassSpec(family="two-m2", sample=512),
+        n=4,
+        chunk_size=64,
+    )
+)
+
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "smallest_scenario",
+]

@@ -1,0 +1,348 @@
+"""Declarative scenario specs: a verification workload as frozen data.
+
+A :class:`ScenarioSpec` names everything that determines a sweep's outcome
+and nothing that doesn't:
+
+* a **dynamics family** — ``"highly-dynamic"`` (the unrestricted
+  connected-over-time adversary the game solver plays) or one of the
+  oblivious schedule families of
+  :data:`repro.graph.schedules.SCHEDULE_FAMILIES` for simulation-style
+  workloads;
+* a **scheduler** — ``"fsync"`` or ``"ssync"``
+  (:data:`repro.sim.SCHEDULERS`); the exact solver currently executes
+  FSYNC only (the SSYNC packed kernel is an open ROADMAP item), so SSYNC
+  scenarios are declarative until that lands;
+* a **robot class** — a table family (:data:`repro.verification.sweeps
+  .TABLE_FAMILIES`: memoryless single/two-robot, memory-2 two-robot),
+  either exhausted or sampled with a seeded RNG;
+* a **start policy** — the paper's well-initiated towerless starts or the
+  self-stabilizing quantifier over arbitrary (ill-initiated, towers
+  allowed) placements;
+* a **property** — perpetual exploration (the paper's spec) or the
+  at-least-once live exploration of Di Luna et al.
+
+Specs are frozen dataclasses with a canonical JSON form
+(:meth:`ScenarioSpec.to_dict`, round-tripped by :mod:`repro.serialize`)
+and a stable content-hash identity (:attr:`ScenarioSpec.scenario_id`)
+computed over the *semantic* payload only — renaming or re-describing a
+scenario does not orphan its stored results, changing what it verifies
+does. The chunking of the pattern stream (``chunk_size``) is part of the
+payload because it defines the checkpoint boundaries a resumed campaign
+must agree on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ScenarioError
+from repro.graph.schedules import SCHEDULE_FAMILIES
+from repro.sim import SCHEDULERS
+from repro.verification.enumeration import sample_table_patterns
+from repro.verification.game import PROPERTIES
+from repro.verification.sweeps import (
+    START_POLICIES,
+    TABLE_FAMILIES,
+    family_k,
+    family_space,
+)
+
+SCENARIO_FORMAT_VERSION = 1
+
+#: Dynamics family names a scenario may declare. ``"highly-dynamic"`` is
+#: the adversarial family of the paper's theorems — the only one the
+#: exact solver quantifies over; the schedule families are oblivious
+#: workloads for simulation-style scenarios.
+DYNAMICS_FAMILIES = ("highly-dynamic",) + tuple(sorted(SCHEDULE_FAMILIES))
+
+#: The largest family a scenario may enumerate exhaustively; bigger
+#: families (e.g. the 2**64 memory-2 class) must declare a sample.
+EXHAUSTIVE_LIMIT = 1 << 16
+
+#: Default sampling seed (the paper's submission date, as elsewhere).
+DEFAULT_RNG_SEED = 20170605
+
+
+@dataclass(frozen=True)
+class RobotClassSpec:
+    """The robot-class axis of a scenario: which tables, and how many.
+
+    ``family`` picks the table class (and with it the robot count, the
+    memory size and the chirality fallback plan); ``sample`` is ``None``
+    for exhaustive enumeration or the number of distinct tables to draw
+    deterministically with ``rng_seed``.
+    """
+
+    family: str
+    sample: int | None = None
+    rng_seed: int = DEFAULT_RNG_SEED
+
+    def __post_init__(self) -> None:
+        if self.sample is None:
+            # The seed is meaningless without sampling: normalize it away
+            # so it cannot perturb spec equality or the scenario content
+            # hash (an exhaustive campaign must never be orphaned by a
+            # seed nobody used).
+            object.__setattr__(self, "rng_seed", DEFAULT_RNG_SEED)
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` on any inconsistency."""
+        if self.family not in TABLE_FAMILIES:
+            raise ScenarioError(
+                f"unknown table family {self.family!r}; "
+                f"choose from {TABLE_FAMILIES}"
+            )
+        space = family_space(self.family)
+        if self.sample is None:
+            if space > EXHAUSTIVE_LIMIT:
+                raise ScenarioError(
+                    f"family {self.family!r} has {space} members; "
+                    f"exhaustive scenarios are capped at {EXHAUSTIVE_LIMIT} — "
+                    "declare a sample"
+                )
+        elif not 1 <= self.sample <= space:
+            # A sample's cost scales with the sample, not the space, so
+            # only the space itself bounds it (10^6-table memory-2
+            # campaigns are a ROADMAP item, not a mistake).
+            raise ScenarioError(
+                f"sample must be in 1..{space} "
+                f"for family {self.family!r}, got {self.sample}"
+            )
+
+    @property
+    def k(self) -> int:
+        """Robot count of the table family."""
+        return family_k(self.family)
+
+    @property
+    def table_count(self) -> int:
+        """Number of tables this class expands to."""
+        if self.sample is None:
+            return family_space(self.family)
+        return self.sample
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (embedded in the scenario encoding)."""
+        return {
+            "family": self.family,
+            "sample": self.sample,
+            "rng_seed": self.rng_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RobotClassSpec":
+        """Decode the :meth:`to_dict` form."""
+        sample = data["sample"]
+        return cls(
+            family=str(data["family"]),
+            sample=None if sample is None else int(sample),
+            rng_seed=int(data["rng_seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named verification workload, fully determined by its fields."""
+
+    name: str
+    description: str
+    robots: RobotClassSpec
+    n: int
+    topology: str = "ring"
+    dynamics: str = "highly-dynamic"
+    scheduler: str = "fsync"
+    starts: str = "well"
+    prop: str = "perpetual"
+    chunk_size: int = 256
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` on any inconsistency."""
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if self.topology != "ring":
+            raise ScenarioError(
+                f"scenario topology must be 'ring' (sweeps run on rings), "
+                f"got {self.topology!r}"
+            )
+        if self.dynamics not in DYNAMICS_FAMILIES:
+            raise ScenarioError(
+                f"unknown dynamics family {self.dynamics!r}; "
+                f"choose from {DYNAMICS_FAMILIES}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ScenarioError(
+                f"unknown scheduler {self.scheduler!r}; choose from {SCHEDULERS}"
+            )
+        if self.starts not in START_POLICIES:
+            raise ScenarioError(
+                f"unknown start policy {self.starts!r}; "
+                f"choose from {START_POLICIES}"
+            )
+        if self.prop not in PROPERTIES:
+            raise ScenarioError(
+                f"unknown property {self.prop!r}; choose from {PROPERTIES}"
+            )
+        if self.chunk_size < 1:
+            raise ScenarioError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        self.robots.validate()
+        if self.n < 3:
+            raise ScenarioError(f"scenario rings need n >= 3, got n={self.n}")
+        if self.starts == "well" and self.robots.k >= self.n:
+            raise ScenarioError(
+                f"well-initiated starts need k < n, got k={self.robots.k}, "
+                f"n={self.n}"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity and encoding
+    # ------------------------------------------------------------------
+    def payload_dict(self) -> dict[str, Any]:
+        """The semantic payload: every field that affects results.
+
+        ``name`` and ``description`` are presentation metadata and are
+        deliberately excluded — the scenario hash identifies the
+        *workload*, so stored results survive renames.
+        """
+        return {
+            "version": SCENARIO_FORMAT_VERSION,
+            "topology": self.topology,
+            "n": self.n,
+            "dynamics": self.dynamics,
+            "scheduler": self.scheduler,
+            "robots": self.robots.to_dict(),
+            "starts": self.starts,
+            "property": self.prop,
+            "chunk_size": self.chunk_size,
+        }
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable content-hash identity (16 hex chars).
+
+        SHA-256 over the canonical JSON of :meth:`payload_dict` (sorted
+        keys, minimal separators) — the same spec hashes identically on
+        every machine and Python version.
+        """
+        canonical = json.dumps(
+            self.payload_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON-ready encoding (see :mod:`repro.serialize`)."""
+        data: dict[str, Any] = {
+            "format": "scenario",
+            "name": self.name,
+            "description": self.description,
+        }
+        data.update(self.payload_dict())
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        """Decode (and re-validate) the :meth:`to_dict` form."""
+        if data.get("format") != "scenario":
+            raise ScenarioError(
+                f"expected format 'scenario', got {data.get('format')!r}"
+            )
+        if data.get("version") != SCENARIO_FORMAT_VERSION:
+            raise ScenarioError(
+                f"unsupported scenario version {data.get('version')!r} "
+                f"(this library reads version {SCENARIO_FORMAT_VERSION})"
+            )
+        return cls(
+            name=str(data["name"]),
+            description=str(data["description"]),
+            robots=RobotClassSpec.from_dict(data["robots"]),
+            n=int(data["n"]),
+            topology=str(data["topology"]),
+            dynamics=str(data["dynamics"]),
+            scheduler=str(data["scheduler"]),
+            starts=str(data["starts"]),
+            prop=str(data["property"]),
+            chunk_size=int(data["chunk_size"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Expansion into a sweep plan
+    # ------------------------------------------------------------------
+    @property
+    def table_count(self) -> int:
+        """Number of tables the scenario verifies."""
+        return self.robots.table_count
+
+    def expand_patterns(self) -> list[int]:
+        """The full, deterministic table bit-pattern stream."""
+        if self.robots.sample is None:
+            return list(range(family_space(self.robots.family)))
+        return sample_table_patterns(
+            family_space(self.robots.family),
+            self.robots.sample,
+            self.robots.rng_seed,
+        )
+
+    def chunks(self) -> list[tuple[int, ...]]:
+        """The pattern stream cut into fixed-size checkpoint chunks.
+
+        The cut depends only on the spec (never on worker count), so chunk
+        index ``i`` names the same work in every run — the invariant that
+        makes campaign checkpoints portable across interrupts and hosts.
+        """
+        patterns = self.expand_patterns()
+        size = self.chunk_size
+        return [
+            tuple(patterns[i : i + size]) for i in range(0, len(patterns), size)
+        ]
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of checkpoint chunks."""
+        return -(-self.table_count // self.chunk_size)
+
+    def is_runnable(self) -> bool:
+        """Whether the exact solver can execute this scenario today."""
+        return self.dynamics == "highly-dynamic" and self.scheduler == "fsync"
+
+    def require_runnable(self) -> None:
+        """Raise :class:`ScenarioError` when the solver cannot execute this."""
+        if self.dynamics != "highly-dynamic":
+            raise ScenarioError(
+                f"scenario {self.name!r} declares dynamics {self.dynamics!r}; "
+                "the exact solver executes the 'highly-dynamic' adversary "
+                "(schedule-family scenarios are declarative workloads for "
+                "the simulation harnesses)"
+            )
+        if self.scheduler != "fsync":
+            raise ScenarioError(
+                f"scenario {self.name!r} declares the {self.scheduler!r} "
+                "scheduler; campaign execution currently supports 'fsync' "
+                "(the SSYNC packed kernel is an open ROADMAP item)"
+            )
+
+    def summary(self) -> str:
+        """One-line human summary for listings."""
+        size = (
+            f"all {self.table_count}"
+            if self.robots.sample is None
+            else f"{self.table_count} sampled"
+        )
+        return (
+            f"{self.name} [{self.scenario_id}]: {size} {self.robots.family!r} "
+            f"tables, n={self.n}, k={self.robots.k}, starts={self.starts}, "
+            f"property={self.prop} — {self.description}"
+        )
+
+
+__all__ = [
+    "DYNAMICS_FAMILIES",
+    "EXHAUSTIVE_LIMIT",
+    "SCENARIO_FORMAT_VERSION",
+    "RobotClassSpec",
+    "ScenarioSpec",
+]

@@ -1,0 +1,233 @@
+"""Append-only campaign result store: chunk checkpoints that survive kills.
+
+Layout, one directory per scenario content-hash under the store root::
+
+    <root>/
+      <scenario_id>/
+        spec.json      # the full spec (with name/description), written once
+        chunks.jsonl   # one canonical-JSON line per *completed* chunk
+        report.json    # the final merged report, written when complete
+
+``chunks.jsonl`` is the checkpoint log. A record is appended (and flushed
+to disk) only after its chunk verified completely, and carries the chunk
+index, a digest of the chunk's bit patterns, and the chunk's tallies::
+
+    {"chunk":3,"digest":"…","explorers":[],"states":12345,"total":256,"trapped":256}
+
+Keys are sorted and separators minimal, so a record's byte form is a pure
+function of its content. Because every record names its chunk, the log
+tolerates out-of-order appends (parallel workers finish in any order),
+duplicate records (identical re-verification is a no-op; *conflicting*
+duplicates mean a corrupt store and raise), and a torn final line from a
+kill mid-write (ignored — that chunk simply re-verifies on resume).
+Records are keyed by scenario hash + pattern digest, so a resumed or
+re-run campaign skips exactly the work that is already proven.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+_RECORD_KEYS = frozenset({"chunk", "digest", "total", "trapped", "explorers", "states"})
+
+
+def chunk_digest(patterns: Sequence[int]) -> str:
+    """Content digest of one chunk's bit patterns (16 hex chars)."""
+    canonical = json.dumps(list(patterns), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_line(record: dict[str, Any]) -> str:
+    """A record's canonical single-line JSON form (sorted, minimal)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Filesystem-backed store of campaign checkpoints and reports."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def scenario_dir(self, spec: ScenarioSpec) -> Path:
+        """The scenario's directory (``<root>/<scenario_id>``)."""
+        return self.root / spec.scenario_id
+
+    def spec_path(self, spec: ScenarioSpec) -> Path:
+        """Path of the stored spec."""
+        return self.scenario_dir(spec) / "spec.json"
+
+    def chunks_path(self, spec: ScenarioSpec) -> Path:
+        """Path of the append-only checkpoint log."""
+        return self.scenario_dir(spec) / "chunks.jsonl"
+
+    def report_path(self, spec: ScenarioSpec) -> Path:
+        """Path of the final report."""
+        return self.scenario_dir(spec) / "report.json"
+
+    # ------------------------------------------------------------------
+    # Spec persistence
+    # ------------------------------------------------------------------
+    def prepare(self, spec: ScenarioSpec) -> None:
+        """Create the scenario directory and persist (or cross-check) the spec.
+
+        An existing ``spec.json`` must decode to the same semantic payload
+        (same scenario hash) — anything else means two different workloads
+        collided on one directory, which is a corrupt store. A *torn*
+        ``spec.json`` (kill mid-write) is simply rewritten: the directory
+        is keyed by the spec's own content hash, so the file is
+        reconstructible from the spec in hand.
+        """
+        directory = self.scenario_dir(spec)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self.spec_path(spec)
+        if path.exists():
+            try:
+                stored = ScenarioSpec.from_dict(
+                    json.loads(path.read_text("utf-8"))
+                )
+            except json.JSONDecodeError:
+                stored = None
+            if stored is not None:
+                if stored.scenario_id != spec.scenario_id:
+                    raise ScenarioError(
+                        f"store corruption: {path} holds scenario "
+                        f"{stored.scenario_id}, expected {spec.scenario_id}"
+                    )
+                return
+        # Atomic publish (write-then-rename) so the file is never observed
+        # half-written, even by a concurrent runner.
+        tmp_path = path.with_suffix(".json.tmp")
+        tmp_path.write_text(
+            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n", "utf-8"
+        )
+        os.replace(tmp_path, path)
+
+    # ------------------------------------------------------------------
+    # Checkpoint log
+    # ------------------------------------------------------------------
+    def load_records(self, spec: ScenarioSpec) -> dict[int, dict[str, Any]]:
+        """Completed-chunk records, keyed by chunk index.
+
+        Tolerates a torn (partially written) *final* line; any other
+        malformed line, a malformed record, or two conflicting records
+        for one chunk raises :class:`ScenarioError`.
+        """
+        path = self.chunks_path(spec)
+        if not path.exists():
+            return {}
+        records: dict[int, dict[str, Any]] = {}
+        lines = path.read_text("utf-8").splitlines()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # Torn tail from an interrupt mid-append: the chunk
+                    # never checkpointed, so resuming re-verifies it.
+                    continue
+                raise ScenarioError(
+                    f"corrupt checkpoint log {path}: undecodable line "
+                    f"{lineno + 1}"
+                )
+            if (
+                not isinstance(record, dict)
+                or set(record) != _RECORD_KEYS
+                or not isinstance(record["chunk"], int)
+            ):
+                raise ScenarioError(
+                    f"corrupt checkpoint log {path}: malformed record on "
+                    f"line {lineno + 1}"
+                )
+            index = record["chunk"]
+            previous = records.get(index)
+            if previous is not None and previous != record:
+                raise ScenarioError(
+                    f"corrupt checkpoint log {path}: conflicting records "
+                    f"for chunk {index}"
+                )
+            records[index] = record
+        return records
+
+    def append_record(self, spec: ScenarioSpec, record: dict[str, Any]) -> None:
+        """Append one completed-chunk record, flushed and fsynced.
+
+        Durability before throughput: a record either lands whole or (on
+        a kill mid-write) becomes the torn tail :meth:`load_records`
+        ignores — the store never claims work it cannot prove. A torn
+        tail left by an earlier kill is repaired (truncated) before the
+        append; writing after it directly would weld the fragment and the
+        new record into one permanently undecodable line.
+        """
+        path = self.chunks_path(spec)
+        self._repair_torn_tail(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(canonical_line(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @staticmethod
+    def _repair_torn_tail(path: Path) -> None:
+        """Make the log end on a record boundary before appending.
+
+        A final line without a trailing newline is either a torn fragment
+        from a kill mid-append (truncated away — :meth:`load_records`
+        never counted it) or, from a hand edit, a *valid* record merely
+        missing its newline (completed in place rather than discarded).
+        """
+        if not path.exists():
+            return
+        raw = path.read_bytes()
+        if not raw or raw.endswith(b"\n"):
+            return
+        cut = raw.rfind(b"\n") + 1
+        tail = raw[cut:]
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            with open(path, "rb+") as handle:
+                handle.truncate(cut)
+        else:
+            with open(path, "ab") as handle:
+                handle.write(b"\n")
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def write_report(self, spec: ScenarioSpec, text: str) -> Path:
+        """Write the final report bytes atomically; returns the path.
+
+        Write-then-rename (as :meth:`prepare` does for the spec) so a
+        kill mid-write can never leave a half-written ``report.json``
+        for consumers to read.
+        """
+        path = self.report_path(spec)
+        tmp_path = path.with_suffix(".json.tmp")
+        tmp_path.write_text(text, "utf-8")
+        os.replace(tmp_path, path)
+        return path
+
+    def read_report(self, spec: ScenarioSpec) -> Optional[str]:
+        """The stored report text, or ``None`` if not written yet."""
+        path = self.report_path(spec)
+        if not path.exists():
+            return None
+        return path.read_text("utf-8")
+
+
+__all__ = [
+    "ResultStore",
+    "canonical_line",
+    "chunk_digest",
+]

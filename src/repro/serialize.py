@@ -11,7 +11,9 @@ stable, versioned JSON encoding for:
   :class:`~repro.graph.evolving.LassoSchedule`,
   :class:`~repro.graph.evolving.RecordedEvolvingGraph`);
 * :class:`~repro.verification.certificates.TrapCertificate` objects —
-  round-trippable and re-validatable after a load.
+  round-trippable and re-validatable after a load;
+* :class:`~repro.scenarios.spec.ScenarioSpec` objects — declarative
+  campaign workloads whose content-hash identity survives the round trip.
 
 The format is deliberately boring: plain dicts, sorted edge lists,
 explicit ``"format"``/``"version"`` headers. Loading rejects unknown
@@ -31,6 +33,7 @@ from repro.graph.evolving import (
     RecordedEvolvingGraph,
 )
 from repro.graph.topology import ChainTopology, RingTopology, Topology
+from repro.scenarios.spec import ScenarioSpec
 from repro.types import Chirality
 from repro.verification.certificates import TrapCertificate
 
@@ -155,9 +158,31 @@ def certificate_from_dict(data: dict[str, Any]) -> TrapCertificate:
 
 
 # ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def scenario_to_dict(spec: ScenarioSpec) -> dict[str, Any]:
+    """Encode a campaign scenario spec (delegates to the spec itself).
+
+    The scenario format carries its own ``version`` field
+    (:data:`repro.scenarios.spec.SCENARIO_FORMAT_VERSION`) because the
+    content hash of a spec is computed over it: bumping the scenario
+    format retires stored campaign results by design.
+    """
+    return spec.to_dict()
+
+
+def scenario_from_dict(data: dict[str, Any]) -> ScenarioSpec:
+    """Decode (and re-validate) a scenario spec."""
+    return ScenarioSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
 # JSON entry points
 # ----------------------------------------------------------------------
-def dumps(obj: Topology | EvolvingGraph | TrapCertificate, indent: int = 2) -> str:
+def dumps(
+    obj: Topology | EvolvingGraph | TrapCertificate | ScenarioSpec,
+    indent: int = 2,
+) -> str:
     """Serialize any supported object to a JSON string."""
     if isinstance(obj, Topology):
         data = topology_to_dict(obj)
@@ -165,12 +190,14 @@ def dumps(obj: Topology | EvolvingGraph | TrapCertificate, indent: int = 2) -> s
         data = schedule_to_dict(obj)
     elif isinstance(obj, TrapCertificate):
         data = certificate_to_dict(obj)
+    elif isinstance(obj, ScenarioSpec):
+        data = scenario_to_dict(obj)
     else:
         raise ScheduleError(f"cannot serialize object of type {type(obj)!r}")
     return json.dumps(data, indent=indent, sort_keys=True)
 
 
-def loads(text: str) -> Topology | EvolvingGraph | TrapCertificate:
+def loads(text: str) -> Topology | EvolvingGraph | TrapCertificate | ScenarioSpec:
     """Deserialize a JSON string produced by :func:`dumps`."""
     data = json.loads(text)
     fmt = data.get("format")
@@ -180,6 +207,8 @@ def loads(text: str) -> Topology | EvolvingGraph | TrapCertificate:
         return schedule_from_dict(data)
     if fmt == "trap-certificate":
         return certificate_from_dict(data)
+    if fmt == "scenario":
+        return scenario_from_dict(data)
     raise ScheduleError(f"unknown serialized format {fmt!r}")
 
 
@@ -203,6 +232,8 @@ __all__ = [
     "schedule_from_dict",
     "certificate_to_dict",
     "certificate_from_dict",
+    "scenario_to_dict",
+    "scenario_from_dict",
     "dumps",
     "loads",
 ]

@@ -6,6 +6,13 @@ towers, and traces matching the vocabulary of the proofs.
 """
 
 from repro.sim.config import Configuration, Observation
+
+SCHEDULERS = ("fsync", "ssync")
+"""Execution scheduler names: fully synchronous (every robot activated
+every round, :func:`run_fsync`) and semi-synchronous (adversarial fair
+activation subsets, :func:`run_ssync`). Scenario specs
+(:mod:`repro.scenarios`) name their scheduler with one of these."""
+
 from repro.sim.trace import ExecutionTrace, RoundRecord
 from repro.sim.engine import RunResult, run_fsync
 from repro.sim.observers import (
@@ -38,4 +45,5 @@ __all__ = [
     "RoundRobinActivation",
     "ListActivation",
     "run_ssync",
+    "SCHEDULERS",
 ]

@@ -33,29 +33,51 @@ from repro.verification.certificates import (
     certificate_schedule,
     validate_certificate,
 )
-from repro.verification.game import ExplorationVerdict, synthesize_trap, verify_exploration
+from repro.verification.game import (
+    PROPERTIES,
+    ExplorationVerdict,
+    check_property,
+    synthesize_trap,
+    verify_exploration,
+)
 from repro.verification.kernel import PackedKernel
 from repro.verification.product import BACKENDS, ProductSystem, SysState
 from repro.verification.enumeration import (
     SweepResult,
+    sample_table_patterns,
     sweep_single_robot_memoryless,
+    sweep_two_robot_memory2,
     sweep_two_robot_memoryless,
 )
-from repro.verification.sweeps import run_table_sweep
+from repro.verification.sweeps import (
+    START_POLICIES,
+    TABLE_FAMILIES,
+    available_cpus,
+    run_table_sweep,
+    sweep_chunk,
+)
 
 __all__ = [
     "BACKENDS",
+    "PROPERTIES",
+    "START_POLICIES",
+    "TABLE_FAMILIES",
     "PackedKernel",
     "ProductSystem",
     "SysState",
     "ExplorationVerdict",
+    "check_property",
     "verify_exploration",
     "synthesize_trap",
     "TrapCertificate",
     "certificate_schedule",
     "validate_certificate",
     "SweepResult",
+    "available_cpus",
+    "sample_table_patterns",
     "sweep_single_robot_memoryless",
     "sweep_two_robot_memoryless",
+    "sweep_two_robot_memory2",
     "run_table_sweep",
+    "sweep_chunk",
 ]

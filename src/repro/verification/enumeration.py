@@ -35,13 +35,43 @@ from typing import Iterable, Optional
 
 from repro.errors import VerificationError
 from repro.graph.topology import RingTopology
-from repro.robots.algorithms.tables import TableAlgorithm
+from repro.robots.algorithms.tables import TableAlgorithm, table_space_size
 from repro.verification.sweeps import (
     SweepResult,
     check_algorithm_class,
     family_plan,
     run_table_sweep,
 )
+
+
+def sample_table_patterns(space: int, sample: int, seed: int) -> list[int]:
+    """``sample`` distinct table patterns drawn uniformly from ``0..space-1``.
+
+    Deterministic for a fixed ``(space, sample, seed)`` triple — the same
+    draw on every machine, worker count and Python ≥ 3.11 build — which is
+    what lets sampled campaigns checkpoint and resume. Works on spaces far
+    past enumeration (``random.sample`` indexes the range lazily), e.g.
+    the ``2**64`` memory-2 two-robot class.
+    """
+    if not 1 <= sample <= space:
+        raise VerificationError(
+            f"sample must be in 1..{space}, got {sample}"
+        )
+    rng = random.Random(seed)
+    if space <= (1 << 63) - 1:
+        # The historical draw (kept bit-for-bit for existing artifacts).
+        return rng.sample(range(space), sample)
+    # ``random.sample`` needs len(population) to fit a C ssize_t; past
+    # that, rejection-sample distinct values. At sane sample sizes the
+    # collision probability is ~sample²/space, so retries are vanishing.
+    seen: set[int] = set()
+    draws: list[int] = []
+    while len(draws) < sample:
+        value = rng.randrange(space)
+        if value not in seen:
+            seen.add(value)
+            draws.append(value)
+    return draws
 
 
 def sweep_single_robot_memoryless(
@@ -103,8 +133,7 @@ def sweep_two_robot_memoryless(
     else:
         if not 1 <= sample <= 1 << 16:
             raise VerificationError(f"sample must be in 1..65536, got {sample}")
-        rng = random.Random(seed)
-        bit_patterns = rng.sample(range(1 << 16), sample)
+        bit_patterns = sample_table_patterns(1 << 16, sample, seed)
         total_hint = sample
     description = (
         "all memoryless 2-robot algorithms"
@@ -142,8 +171,49 @@ def sweep_two_robot_memoryless(
     return result
 
 
+def sweep_two_robot_memory2(
+    n: int,
+    sample: int = 256,
+    seed: int = 20170605,
+    validate_certificates: bool = False,
+    backend: str = "packed",
+    jobs: Optional[int] = 1,
+) -> SweepResult:
+    """Check a deterministic sample of memory-2 two-robot algorithms.
+
+    The memory-2 class has ``4**32 = 2**64`` members — far past
+    exhaustion — so this sweep draws ``sample`` distinct tables with a
+    seeded RNG (:func:`sample_table_patterns`: same tables for the same
+    seed on any machine or worker count). Theorem 4.1 quantifies over
+    *all* deterministic algorithms, bounded memory included, so it
+    predicts every sampled member is trappable for ``n >= 4``.
+    """
+    if n < 4:
+        raise VerificationError(
+            f"Theorem 4.1 concerns rings of size >= 4, got n={n}"
+        )
+    bit_patterns = sample_table_patterns(table_space_size(2), sample, seed)
+    result = SweepResult(
+        description=f"{sample} sampled memory-2 2-robot algorithms",
+        n=n,
+        k=2,
+        total=0,
+        trapped=0,
+    )
+    return run_table_sweep(
+        result,
+        family="two-m2",
+        bit_patterns=bit_patterns,
+        backend=backend,
+        validate=validate_certificates,
+        jobs=jobs,
+    )
+
+
 __all__ = [
     "SweepResult",
+    "sample_table_patterns",
     "sweep_single_robot_memoryless",
     "sweep_two_robot_memoryless",
+    "sweep_two_robot_memory2",
 ]

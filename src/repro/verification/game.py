@@ -59,6 +59,27 @@ from repro.verification.product import ProductSystem, SysState, check_backend
 _InternalTransition = tuple[SysState, frozenset[EdgeId], SysState]
 _PackedInternal = tuple[PackedState, int, PackedState]
 
+PROPERTIES = ("perpetual", "live")
+"""Checkable exploration properties.
+
+``"perpetual"`` is the paper's specification: every node is visited
+infinitely often; the adversary wins iff some node is visited only
+finitely often. ``"live"`` is the weaker one-shot specification of
+Di Luna et al.'s live exploration: every node is visited at least once;
+the adversary wins iff it can keep some node unvisited *from round 0*.
+Every live trap is a perpetual trap (zero visits are finitely many), so
+per-class trap tallies satisfy ``trapped_live <= trapped_perpetual``.
+"""
+
+
+def check_property(prop: str) -> str:
+    """Validate an exploration-property name (shared with sweeps)."""
+    if prop not in PROPERTIES:
+        raise VerificationError(
+            f"unknown exploration property {prop!r}; choose from {PROPERTIES}"
+        )
+    return prop
+
 
 def default_chirality_vectors(k: int) -> tuple[tuple[Chirality, ...], ...]:
     """Chirality vectors to check, reduced by symmetry.
@@ -120,8 +141,9 @@ def verify_exploration(
     placements: Optional[Sequence[Sequence[NodeId]]] = None,
     backend: str = "packed",
     certificates: bool = True,
+    prop: str = "perpetual",
 ) -> ExplorationVerdict:
-    """Decide perpetual exploration for a finite-state algorithm instance.
+    """Decide an exploration property for a finite-state algorithm instance.
 
     Returns an :class:`ExplorationVerdict`; when the adversary wins, the
     verdict carries a simulator-validated :class:`TrapCertificate` (set
@@ -134,6 +156,13 @@ def verify_exploration(
     paper's well-initiated starts). Passing placements that contain
     towers asks the *ill-initiated* question instead — see experiment X6.
 
+    ``prop`` selects the specification: ``"perpetual"`` (default, the
+    paper's infinitely-often property) or ``"live"`` (at-least-once; see
+    :data:`PROPERTIES`). For ``"live"`` the winning-SCC search runs on the
+    subgraph reachable from target-avoiding seeds *through* target-avoiding
+    states, so the exhibited lasso never visits the starved node at all —
+    its certificate passes the same replay validation.
+
     ``backend`` picks the exploration substrate: ``"packed"`` (default)
     runs entirely on the integer kernel — same verdict, same state and
     transition counts, ~an order of magnitude faster; ``"object"`` is the
@@ -142,6 +171,7 @@ def verify_exploration(
     though the particular lasso exhibited may differ.
     """
     check_backend(backend)
+    check_property(prop)
     if chirality_vectors is None:
         vectors = default_chirality_vectors(k)
     else:
@@ -154,7 +184,7 @@ def verify_exploration(
     if backend == "packed":
         return _verify_packed(
             algorithm, topology, k, vectors, max_states, validate, placements,
-            certificates,
+            certificates, prop,
         )
     total_states = 0
     total_transitions = 0
@@ -167,7 +197,13 @@ def verify_exploration(
         total_states += len(graph)
         total_transitions += sum(len(out) for out in graph.values())
         for target in topology.nodes:
-            win = _winning_scc(topology, graph, target)
+            if prop == "live":
+                allowed = _avoid_reachable(graph, seeds, target)
+                if not allowed:
+                    continue
+            else:
+                allowed = None
+            win = _winning_scc(topology, graph, target, allowed)
             if win is None:
                 continue
             scc_states, internal = win
@@ -176,7 +212,7 @@ def verify_exploration(
             else:
                 certificate = _extract_certificate(
                     topology, algorithm, vector, graph, seeds, target,
-                    scc_states, internal,
+                    scc_states, internal, allowed,
                 )
                 if validate:
                     validate_certificate(certificate, algorithm)
@@ -211,6 +247,7 @@ def _verify_packed(
     validate: bool,
     placements: Optional[Sequence[Sequence[NodeId]]],
     certificates: bool,
+    prop: str,
 ) -> ExplorationVerdict:
     """The packed-backend body of :func:`verify_exploration`.
 
@@ -235,8 +272,17 @@ def _verify_packed(
             for state, out in graph.items()
         }
         for target in topology.nodes:
+            if prop == "live":
+                allowed = _avoid_reachable_packed(
+                    graph, seeds, occupied, 1 << target
+                )
+                if not allowed:
+                    continue
+            else:
+                allowed = None
             win = _winning_scc_packed(
-                topology, kernel.full_mask, graph, successors, occupied, target
+                topology, kernel.full_mask, graph, successors, occupied, target,
+                allowed,
             )
             if win is None:
                 continue
@@ -245,7 +291,8 @@ def _verify_packed(
                 certificate = None
             else:
                 certificate = _extract_certificate_packed(
-                    kernel, vector, graph, seeds, target, scc_states, internal
+                    kernel, vector, graph, seeds, target, scc_states, internal,
+                    allowed,
                 )
                 if validate:
                     validate_certificate(certificate, algorithm)
@@ -278,6 +325,7 @@ def synthesize_trap(
     chirality_vectors: Optional[Sequence[Sequence[Chirality]]] = None,
     max_states: int = 2_000_000,
     backend: str = "packed",
+    prop: str = "perpetual",
 ) -> TrapCertificate:
     """Produce a validated trap for an instance known to be non-explorable.
 
@@ -286,7 +334,7 @@ def synthesize_trap(
     """
     verdict = verify_exploration(
         algorithm, topology, k, chirality_vectors, max_states, validate=True,
-        backend=backend,
+        backend=backend, prop=prop,
     )
     if verdict.explorable or verdict.certificate is None:
         raise VerificationError(
@@ -298,14 +346,61 @@ def synthesize_trap(
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
+def _avoid_reachable(
+    graph: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]],
+    seeds: Sequence[SysState],
+    target: NodeId,
+) -> set[SysState]:
+    """States reachable from target-avoiding seeds via target-avoiding states.
+
+    This is the live-exploration arena: any play confined to it keeps the
+    target unvisited from round 0 onwards.
+    """
+    allowed = {seed for seed in seeds if target not in seed[0]}
+    stack = list(allowed)
+    while stack:
+        state = stack.pop()
+        for _label, succ in graph[state]:
+            if succ not in allowed and target not in succ[0]:
+                allowed.add(succ)
+                stack.append(succ)
+    return allowed
+
+
+def _avoid_reachable_packed(
+    graph: dict[PackedState, list[PackedTransition]],
+    seeds: Sequence[PackedState],
+    occupied: dict[PackedState, int],
+    target_bit: int,
+) -> set[PackedState]:
+    """Packed twin of :func:`_avoid_reachable`."""
+    allowed = {seed for seed in seeds if not occupied[seed] & target_bit}
+    stack = list(allowed)
+    while stack:
+        state = stack.pop()
+        for _mask, succ in graph[state]:
+            if succ not in allowed and not occupied[succ] & target_bit:
+                allowed.add(succ)
+                stack.append(succ)
+    return allowed
+
+
 def _winning_scc(
     topology: Topology,
     graph: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]],
     target: NodeId,
+    allowed: Optional[set[SysState]] = None,
 ) -> Optional[tuple[set[SysState], list[_InternalTransition]]]:
-    """Find an SCC of the target-avoiding subgraph within recurrence budget."""
+    """Find an SCC of the target-avoiding subgraph within recurrence budget.
+
+    ``allowed`` (live property) further restricts the arena to the states
+    reachable while avoiding the target from round 0.
+    """
     budget = 1 if topology.is_ring else 0
-    avoiding = {state for state in graph if target not in state[0]}
+    if allowed is not None:
+        avoiding = allowed
+    else:
+        avoiding = {state for state in graph if target not in state[0]}
     if not avoiding:
         return None
 
@@ -396,6 +491,7 @@ def _winning_scc_packed(
     successors: dict[PackedState, tuple[PackedState, ...]],
     occupied: dict[PackedState, int],
     target: NodeId,
+    allowed: Optional[set[PackedState]] = None,
 ) -> Optional[tuple[set[PackedState], list[_PackedInternal]]]:
     """Packed twin of :func:`_winning_scc`.
 
@@ -408,7 +504,10 @@ def _winning_scc_packed(
     """
     budget = 1 if topology.is_ring else 0
     target_bit = 1 << target
-    avoiding = {state for state in graph if not occupied[state] & target_bit}
+    if allowed is not None:
+        avoiding = allowed
+    else:
+        avoiding = {state for state in graph if not occupied[state] & target_bit}
     if not avoiding:
         return None
 
@@ -478,6 +577,7 @@ def _extract_certificate_packed(
     target: NodeId,
     scc_states: set[PackedState],
     internal: list[_PackedInternal],
+    restrict: Optional[set[PackedState]] = None,
 ) -> TrapCertificate:
     """Packed twin of :func:`_extract_certificate`.
 
@@ -485,12 +585,13 @@ def _extract_certificate_packed(
     edge union, connecting internal walks) is built entirely on ints;
     only the final prefix/cycle masks and the seed state are decoded.
     """
-    # --- prefix: BFS from the seeds (full graph) into the SCC -----------
+    # --- prefix: BFS from the seeds into the SCC (within ``restrict``,
+    # the target-avoiding arena, when the property demands it) -----------
     parent: dict[PackedState, Optional[tuple[PackedState, int]]] = {}
     queue: deque[PackedState] = deque()
     entry: Optional[PackedState] = None
     for seed in seeds:
-        if seed in parent:
+        if seed in parent or (restrict is not None and seed not in restrict):
             continue
         parent[seed] = None
         queue.append(seed)
@@ -501,6 +602,8 @@ def _extract_certificate_packed(
         state = queue.popleft()
         for mask, succ in graph[state]:
             if succ in parent:
+                continue
+            if restrict is not None and succ not in restrict:
                 continue
             parent[succ] = (state, mask)
             if succ in scc_states:
@@ -603,14 +706,16 @@ def _extract_certificate(
     target: NodeId,
     scc_states: set[SysState],
     internal: list[_InternalTransition],
+    restrict: Optional[set[SysState]] = None,
 ) -> TrapCertificate:
     """Build the lasso certificate for a winning SCC."""
-    # --- prefix: BFS from the seeds (full graph) into the SCC -----------
+    # --- prefix: BFS from the seeds into the SCC (within ``restrict``,
+    # the target-avoiding arena, when the property demands it) -----------
     parent: dict[SysState, Optional[tuple[SysState, frozenset[EdgeId]]]] = {}
     queue: deque[SysState] = deque()
     entry: Optional[SysState] = None
     for seed in seeds:
-        if seed in parent:
+        if seed in parent or (restrict is not None and seed not in restrict):
             continue
         parent[seed] = None
         queue.append(seed)
@@ -621,6 +726,8 @@ def _extract_certificate(
         state = queue.popleft()
         for label, succ in graph[state]:
             if succ in parent:
+                continue
+            if restrict is not None and succ not in restrict:
                 continue
             parent[succ] = (state, label)
             if succ in scc_states:
@@ -715,6 +822,8 @@ def _extract_certificate(
 
 
 __all__ = [
+    "PROPERTIES",
+    "check_property",
     "default_chirality_vectors",
     "ExplorationVerdict",
     "verify_exploration",

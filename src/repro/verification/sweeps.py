@@ -28,14 +28,16 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import VerificationError
-from repro.graph.topology import RingTopology
+from repro.graph.topology import RingTopology, arbitrary_placements
 from repro.robots.algorithms.base import Algorithm
 from repro.robots.algorithms.tables import (
+    memory2_table_from_bits,
     memoryless_single_robot_table_from_bits,
     memoryless_table_from_bits,
+    table_space_size,
 )
-from repro.types import Chirality
-from repro.verification.game import verify_exploration
+from repro.types import Chirality, NodeId
+from repro.verification.game import check_property, verify_exploration
 from repro.verification.product import check_backend
 
 
@@ -70,33 +72,96 @@ class SweepResult:
 #: Table family name → (k, table constructor, chirality fallback plan).
 #: The plan is a sequence of chirality-vector lists tried in order; a
 #: table counts as trapped as soon as any stage returns non-explorable.
-_FAMILIES: dict[str, tuple[int, object, tuple]] = {
+_TWO_ROBOT_PLAN = (
+    ((Chirality.AGREE, Chirality.AGREE),),
+    ((Chirality.AGREE, Chirality.DISAGREE),),
+)
+_FAMILIES: dict[str, tuple[int, object, tuple, int]] = {
     "single": (
         1,
         memoryless_single_robot_table_from_bits,
         (((Chirality.AGREE,),),),
+        1 << 8,
     ),
     "two": (
         2,
         memoryless_table_from_bits,
-        (
-            ((Chirality.AGREE, Chirality.AGREE),),
-            ((Chirality.AGREE, Chirality.DISAGREE),),
-        ),
+        _TWO_ROBOT_PLAN,
+        1 << 16,
+    ),
+    "two-m2": (
+        2,
+        memory2_table_from_bits,
+        _TWO_ROBOT_PLAN,
+        table_space_size(2),
     ),
 }
+
+TABLE_FAMILIES = tuple(sorted(_FAMILIES))
+"""Registered table-family names (the robot-class axis of a scenario)."""
+
+START_POLICIES = ("well", "arbitrary")
+"""Initial-placement policies: the paper's well-initiated towerless starts
+vs the self-stabilizing quantifier over every placement, towers included
+(Bournat–Datta–Dubois 2017)."""
 
 _ChunkOutcome = tuple[int, int, list[str], int]
 """(total, trapped, explorer names in input order, states explored)."""
 
 
+def family_k(family: str) -> int:
+    """Robot count of a table family."""
+    _check_family(family)
+    return _FAMILIES[family][0]
+
+
 def family_plan(family: str) -> tuple:
     """The chirality fallback plan of a table family (for extra tables)."""
+    _check_family(family)
+    return _FAMILIES[family][2]
+
+
+def family_maker(family: str):
+    """The bits → :class:`TableAlgorithm` constructor of a table family."""
+    _check_family(family)
+    return _FAMILIES[family][1]
+
+
+def family_space(family: str) -> int:
+    """Number of distinct tables in a family (its bit-pattern domain)."""
+    _check_family(family)
+    return _FAMILIES[family][3]
+
+
+def _check_family(family: str) -> None:
     if family not in _FAMILIES:
         raise VerificationError(
             f"unknown table family {family!r}; choose from {sorted(_FAMILIES)}"
         )
-    return _FAMILIES[family][2]
+
+
+def check_start_policy(starts: str) -> str:
+    """Validate a start-policy name."""
+    if starts not in START_POLICIES:
+        raise VerificationError(
+            f"unknown start policy {starts!r}; choose from {START_POLICIES}"
+        )
+    return starts
+
+
+def start_placements(
+    starts: str, topology: RingTopology, k: int
+) -> Optional[list[tuple[NodeId, ...]]]:
+    """The verifier seed placements of a start policy.
+
+    ``None`` means the verifier default (well-initiated towerless starts,
+    rotation-reduced); the ``"arbitrary"`` policy quantifies over every
+    placement, towers included.
+    """
+    check_start_policy(starts)
+    if starts == "well":
+        return None
+    return arbitrary_placements(topology, k)
 
 
 def check_algorithm_class(
@@ -106,11 +171,15 @@ def check_algorithm_class(
     vector_plan: Sequence[Sequence[Sequence[Chirality]]],
     backend: str,
     validate: bool,
+    placements: Optional[Sequence[Sequence[NodeId]]] = None,
+    prop: str = "perpetual",
 ) -> tuple[bool, int]:
     """Verify one table under a chirality fallback plan.
 
     Returns ``(trapped, states_explored)``; the table fails the spec as
-    soon as any stage of the plan finds a trap.
+    soon as any stage of the plan finds a trap. ``placements`` and
+    ``prop`` select the start policy and the exploration property, as in
+    :func:`~repro.verification.game.verify_exploration`.
     """
     states = 0
     for vectors in vector_plan:
@@ -124,6 +193,8 @@ def check_algorithm_class(
             validate=validate,
             backend=backend,
             certificates=validate,
+            placements=placements,
+            prop=prop,
         )
         states += verdict.states_explored
         if not verdict.explorable:
@@ -131,23 +202,33 @@ def check_algorithm_class(
     return False, states
 
 
-def _sweep_chunk(
-    payload: tuple[str, int, tuple[int, ...], str, bool]
+def sweep_chunk(
+    family: str,
+    n: int,
+    bits_chunk: Sequence[int],
+    backend: str = "packed",
+    validate: bool = False,
+    starts: str = "well",
+    prop: str = "perpetual",
 ) -> _ChunkOutcome:
-    """Verify one contiguous chunk of table bit-patterns (worker body).
+    """Verify one chunk of table bit-patterns, in-process.
 
-    Top-level by necessity: chunks are shipped to ``multiprocessing``
-    workers, so both the function and its payload must pickle.
+    The unit of work of both the parallel sweep engine and the campaign
+    runner's checkpointing: deterministic for a fixed argument tuple, so a
+    chunk can be re-run anywhere (another worker, another process, another
+    machine) and tally identically.
     """
-    family, n, bits_chunk, backend, validate = payload
-    k, maker, plan = _FAMILIES[family]
+    _check_family(family)
+    k, maker, plan, _space = _FAMILIES[family]
     topology = RingTopology(n)
+    placements = start_placements(starts, topology, k)
     total = trapped = states = 0
     explorers: list[str] = []
     for bits in bits_chunk:
         algorithm = maker(bits)
         hit, explored = check_algorithm_class(
-            algorithm, topology, k, plan, backend, validate
+            algorithm, topology, k, plan, backend, validate,
+            placements=placements, prop=prop,
         )
         total += 1
         states += explored
@@ -158,10 +239,43 @@ def _sweep_chunk(
     return total, trapped, explorers, states
 
 
+def _sweep_chunk(
+    payload: tuple[str, int, tuple[int, ...], str, bool, str, str]
+) -> _ChunkOutcome:
+    """Tuple-payload wrapper of :func:`sweep_chunk` (worker body).
+
+    Top-level by necessity: chunks are shipped to ``multiprocessing``
+    workers, so both the function and its payload must pickle.
+    """
+    family, n, bits_chunk, backend, validate, starts, prop = payload
+    return sweep_chunk(family, n, bits_chunk, backend, validate, starts, prop)
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    Respects CPU affinity and cgroup-style restrictions where the
+    platform exposes them (``os.process_cpu_count`` on Python ≥ 3.13,
+    ``os.sched_getaffinity`` elsewhere on Linux), falling back to the
+    raw ``os.cpu_count``. Sizing pools by the raw count oversubscribes
+    pinned/containerized runs.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        return process_cpu_count() or 1
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            return len(sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platform
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a jobs request (``None`` → all cores; floor 1)."""
+    """Normalize a jobs request (``None`` → all *available* cores; floor 1)."""
     if jobs is None:
-        return os.cpu_count() or 1
+        return available_cpus()
     if jobs < 1:
         raise VerificationError(f"jobs must be >= 1, got {jobs}")
     return jobs
@@ -187,21 +301,23 @@ def run_table_sweep(
     backend: str = "packed",
     validate: bool = False,
     jobs: Optional[int] = 1,
+    starts: str = "well",
+    prop: str = "perpetual",
 ) -> SweepResult:
     """Verify every bit pattern and fold the tallies into ``result``.
 
     Deterministic by construction: ``pool.map`` preserves chunk order and
     chunks are contiguous, so explorers arrive in input order whatever
-    ``jobs`` is.
+    ``jobs`` is. ``starts`` and ``prop`` select the start policy and the
+    exploration property for every member.
     """
-    if family not in _FAMILIES:
-        raise VerificationError(
-            f"unknown table family {family!r}; choose from {sorted(_FAMILIES)}"
-        )
+    _check_family(family)
     check_backend(backend)
+    check_start_policy(starts)
+    check_property(prop)
     jobs = resolve_jobs(jobs)
     payloads = [
-        (family, result.n, chunk, backend, validate)
+        (family, result.n, chunk, backend, validate, starts, prop)
         for chunk in _chunked(bit_patterns, jobs)
     ]
     if jobs <= 1 or len(payloads) <= 1:
@@ -218,8 +334,18 @@ def run_table_sweep(
 
 
 __all__ = [
+    "START_POLICIES",
+    "TABLE_FAMILIES",
     "SweepResult",
+    "available_cpus",
     "check_algorithm_class",
+    "check_start_policy",
+    "family_k",
+    "family_maker",
+    "family_plan",
+    "family_space",
     "resolve_jobs",
     "run_table_sweep",
+    "start_placements",
+    "sweep_chunk",
 ]

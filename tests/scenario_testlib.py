@@ -1,0 +1,27 @@
+"""Shared scenario-building helpers for the spec and campaign suites.
+
+A plain module (not a conftest: both ``tests/`` and ``benchmarks/`` have
+a ``conftest.py`` on ``sys.path``, so the name would be ambiguous).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import RobotClassSpec, ScenarioSpec
+
+
+def make_tiny_scenario(**overrides) -> ScenarioSpec:
+    """A small valid campaign scenario, overridable per test.
+
+    Shared by the scenario-spec and campaign-runner suites so their
+    baseline workload (24 sampled single-robot tables on the 3-ring, 4
+    chunks of 7) can never drift apart.
+    """
+    fields = dict(
+        name="tiny",
+        description="a tiny test scenario",
+        robots=RobotClassSpec(family="single", sample=24),
+        n=3,
+        chunk_size=7,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)

@@ -1,0 +1,274 @@
+"""Tests for the persistent campaign runner and its result store.
+
+The acceptance contract under test: interrupting a campaign mid-run and
+resuming yields a final report *byte-identical* to an uninterrupted
+run's, and re-running a completed campaign is a cache hit (zero chunks
+re-verified). Plus the store's failure modes: torn tail lines are
+forgiven, conflicting or mismatched checkpoints are refused.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from scenario_testlib import make_tiny_scenario as tiny_spec
+from repro.errors import ScenarioError
+from repro.scenarios import CampaignRunner, ResultStore, RobotClassSpec
+from repro.verification.sweeps import sweep_chunk
+
+
+def runner_for(tmp_path: Path, label: str, **kwargs) -> CampaignRunner:
+    kwargs.setdefault("jobs", 1)
+    return CampaignRunner(ResultStore(tmp_path / label), **kwargs)
+
+
+class TestCampaignLifecycle:
+    def test_full_run_completes_and_reports(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        assert outcome.status.all_trapped
+        assert outcome.chunks_run == spec.chunk_count == 4
+        assert outcome.chunks_cached == 0
+        assert outcome.report_path is not None and outcome.report_path.exists()
+        report = json.loads(runner.report_text(spec))
+        assert report["format"] == "campaign-report"
+        assert report["total"] == report["trapped"] == 24
+        assert report["scenario"]["name"] == "tiny"
+        assert report["scenario_id"] == spec.scenario_id
+
+    def test_status_before_any_run(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        status = runner_for(tmp_path, "a").status(spec)
+        assert status.chunks_done == 0
+        assert status.chunks_total == 4
+        assert not status.complete
+
+    def test_interrupt_resume_report_is_byte_identical(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        uninterrupted = runner_for(tmp_path, "a")
+        uninterrupted.run(spec)
+        reference = uninterrupted.store.report_path(spec).read_bytes()
+
+        interrupted = runner_for(tmp_path, "b")
+        partial = interrupted.run(spec, max_chunks=2)
+        assert not partial.status.complete
+        assert partial.report_path is None
+        assert interrupted.store.read_report(spec) is None
+        resumed = interrupted.run(spec)
+        assert resumed.status.complete
+        assert resumed.chunks_run == 2  # only the missing chunks
+        assert resumed.chunks_cached == 2  # the checkpointed ones
+        assert interrupted.store.report_path(spec).read_bytes() == reference
+
+    def test_rerun_is_cache_hit(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        first = runner.run(spec)
+        stat_before = runner.store.report_path(spec).stat()
+        again = runner.run(spec)
+        assert again.chunks_run == 0
+        assert again.chunks_cached == 4
+        assert again.status == first.status
+        assert runner.store.report_path(spec).read_bytes() == (
+            first.report_path.read_bytes()
+        )
+        # Write-free: a cache-hit rerun must not even touch report.json.
+        stat_after = runner.store.report_path(spec).stat()
+        assert (stat_before.st_mtime_ns, stat_before.st_ino) == (
+            stat_after.st_mtime_ns, stat_after.st_ino,
+        )
+
+    def test_parallel_run_matches_serial_bytes(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        serial = runner_for(tmp_path, "serial", jobs=1)
+        serial.run(spec)
+        parallel = runner_for(tmp_path, "parallel", jobs=2)
+        parallel.run(spec)
+        assert parallel.store.report_path(spec).read_bytes() == (
+            serial.store.report_path(spec).read_bytes()
+        )
+
+    def test_chunk_tallies_match_direct_sweep(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        status = runner.run(spec).status
+        total, trapped, explorers, states = sweep_chunk(
+            "single", spec.n, spec.expand_patterns()
+        )
+        assert (status.total, status.trapped, list(status.explorers)) == (
+            total, trapped, explorers,
+        )
+        assert status.states_explored == states
+
+    def test_partial_campaign_never_reads_as_discharged(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        partial = runner.run(spec, max_chunks=2)
+        # Unanimous partial tallies must not claim the whole-class result.
+        assert partial.status.trapped == partial.status.total > 0
+        assert not partial.status.all_trapped
+        assert runner.run(spec).status.all_trapped
+
+    def test_report_before_completion_raises(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        with pytest.raises(ScenarioError):
+            runner.report_text(spec)
+        with pytest.raises(ScenarioError):
+            runner.report_dict(spec)
+
+
+class TestScenarioDimensions:
+    def test_ill_initiated_campaign_runs(self, tmp_path: Path) -> None:
+        spec = tiny_spec(
+            name="tiny-ill",
+            robots=RobotClassSpec(family="two", sample=6),
+            n=4,
+            starts="arbitrary",
+            chunk_size=3,
+        )
+        outcome = runner_for(tmp_path, "a").run(spec)
+        assert outcome.status.complete
+        assert outcome.status.total == 6
+
+    def test_live_property_campaign_runs(self, tmp_path: Path) -> None:
+        spec = tiny_spec(
+            name="tiny-live",
+            robots=RobotClassSpec(family="two", sample=6),
+            n=4,
+            prop="live",
+            chunk_size=3,
+        )
+        outcome = runner_for(tmp_path, "a").run(spec)
+        assert outcome.status.complete
+        assert outcome.status.total == 6
+
+    def test_memory2_campaign_runs(self, tmp_path: Path) -> None:
+        spec = tiny_spec(
+            name="tiny-m2",
+            robots=RobotClassSpec(family="two-m2", sample=4),
+            n=4,
+            chunk_size=2,
+        )
+        outcome = runner_for(tmp_path, "a").run(spec)
+        assert outcome.status.complete
+        assert outcome.status.total == 4
+
+    def test_unrunnable_scenarios_refused(self, tmp_path: Path) -> None:
+        runner = runner_for(tmp_path, "a")
+        with pytest.raises(ScenarioError):
+            runner.run(tiny_spec(scheduler="ssync"))
+        with pytest.raises(ScenarioError):
+            runner.run(tiny_spec(dynamics="bernoulli"))
+
+
+class TestStoreRobustness:
+    def test_torn_tail_line_is_forgiven(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        reference = runner_for(tmp_path, "ref")
+        reference.run(spec)
+        expected = reference.store.report_path(spec).read_bytes()
+
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=2)
+        log = runner.store.chunks_path(spec)
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"chunk":3,"digest":"dead')  # kill mid-append
+        resumed = runner.run(spec)
+        assert resumed.status.complete
+        assert resumed.chunks_run == 2
+        assert runner.store.report_path(spec).read_bytes() == expected
+        # The repaired log must stay readable after the resume appended
+        # past the torn fragment — re-reads and re-runs keep working.
+        assert runner.status(spec).complete
+        assert runner.run(spec).chunks_run == 0
+
+    def test_newline_less_valid_tail_record_is_kept(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        log = runner.store.chunks_path(spec)
+        raw = log.read_bytes()
+        log.write_bytes(raw.rstrip(b"\n"))  # hand edit: newline lost
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        assert outcome.chunks_cached == 1  # the record survived the repair
+
+    def test_torn_middle_line_is_corruption(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        log = runner.store.chunks_path(spec)
+        record = log.read_text("utf-8")
+        log.write_text('{"chunk":0,"dig\n' + record, "utf-8")
+        with pytest.raises(ScenarioError):
+            runner.run(spec)
+
+    def test_conflicting_duplicate_records_refused(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        log = runner.store.chunks_path(spec)
+        record = json.loads(log.read_text("utf-8").splitlines()[0])
+        record["trapped"] = 0
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with pytest.raises(ScenarioError):
+            runner.run(spec)
+
+    def test_identical_duplicate_records_are_deduped(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        log = runner.store.chunks_path(spec)
+        line = log.read_text("utf-8").splitlines()[0]
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        assert outcome.chunks_cached == 1
+
+    def test_digest_mismatch_refused(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        log = runner.store.chunks_path(spec)
+        record = json.loads(log.read_text("utf-8"))
+        record["digest"] = "0" * 16
+        log.write_text(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n",
+            "utf-8",
+        )
+        with pytest.raises(ScenarioError):
+            runner.run(spec)
+
+    def test_torn_spec_file_is_rewritten(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        spec_path = runner.store.spec_path(spec)
+        spec_path.write_text('{"format": "scen', "utf-8")  # kill mid-write
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        assert json.loads(spec_path.read_text("utf-8")) == spec.to_dict()
+
+    def test_spec_collision_refused(self, tmp_path: Path) -> None:
+        spec = tiny_spec()
+        runner = runner_for(tmp_path, "a")
+        runner.run(spec, max_chunks=1)
+        other = tiny_spec(n=4)
+        runner.store.spec_path(spec).write_text(
+            json.dumps(other.to_dict(), indent=2, sort_keys=True) + "\n", "utf-8"
+        )
+        with pytest.raises(ScenarioError):
+            runner.run(spec)
+
+    def test_max_chunks_validation(self, tmp_path: Path) -> None:
+        with pytest.raises(ScenarioError):
+            runner_for(tmp_path, "a").run(tiny_spec(), max_chunks=-1)

@@ -138,6 +138,96 @@ class TestSweep:
         assert code == 0
         assert "2/2 trapped" in capsys.readouterr().out
 
+    def test_memory2_sampling_mode(self, capsys) -> None:
+        code = main(
+            ["sweep", "--robots", "2", "--n", "4", "--memory", "2",
+             "--sample", "6", "--rng-seed", "99", "--jobs", "1"]
+        )
+        assert code == 0
+        assert "memory-2" in capsys.readouterr().out
+
+    def test_memory2_requires_two_robots(self, capsys) -> None:
+        code = main(
+            ["sweep", "--robots", "1", "--n", "3", "--memory", "2",
+             "--sample", "4", "--jobs", "1"]
+        )
+        assert code == 2
+        assert "--robots 2" in capsys.readouterr().err
+
+    def test_memory2_refuses_full(self, capsys) -> None:
+        code = main(
+            ["sweep", "--robots", "2", "--n", "4", "--memory", "2",
+             "--full", "--jobs", "1"]
+        )
+        assert code == 2
+        assert "cannot be exhausted" in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_list_names_registered_scenarios(self, capsys) -> None:
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("thm51-single-n3", "thm41-two-n5", "selfstab-ill-two-n4",
+                     "live-two-n4"):
+            assert name in out
+
+    def test_run_status_report_cycle(self, tmp_path, capsys) -> None:
+        store = str(tmp_path / "campaigns")
+        args = ["--store", store, "--jobs", "1"]
+        code = main(["campaign", "run", "thm51-single-n3", *args])
+        assert code == 0
+        assert "256/256 trapped" in capsys.readouterr().out
+
+        assert main(["campaign", "status", "thm51-single-n3", *args]) == 0
+        assert "complete" in capsys.readouterr().out
+
+        assert main(["campaign", "report", "thm51-single-n3", *args]) == 0
+
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["all_trapped"] is True
+        assert report["total"] == 256
+
+        # A repeat run is a cache hit: zero chunks re-verified.
+        assert main(["campaign", "run", "thm51-single-n3", *args]) == 0
+        assert "ran 0 chunks, 8 cached" in capsys.readouterr().out
+
+    def test_sliced_run_reports_progress(self, tmp_path, capsys) -> None:
+        store = str(tmp_path / "campaigns")
+        args = ["--store", store, "--jobs", "1"]
+        code = main(
+            ["campaign", "run", "thm51-single-n3", "--max-chunks", "3", *args]
+        )
+        assert code == 1  # incomplete campaigns exit non-zero
+        assert "3/8 chunks" in capsys.readouterr().out
+        code = main(["campaign", "report", "thm51-single-n3", *args])
+        assert code == 1
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path, capsys) -> None:
+        code = main(
+            ["campaign", "run", "thm0-nope", "--store", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_status_on_corrupt_store_fails_cleanly(self, tmp_path, capsys) -> None:
+        store = str(tmp_path / "campaigns")
+        args = ["--store", store, "--jobs", "1"]
+        assert main(
+            ["campaign", "run", "thm51-single-n3", "--max-chunks", "2", *args]
+        ) == 1
+        capsys.readouterr()
+        from repro.scenarios import ResultStore, get_scenario
+
+        log = ResultStore(store).chunks_path(get_scenario("thm51-single-n3"))
+        lines = log.read_text().splitlines()
+        log.write_text('{"torn\n' + "\n".join(lines) + "\n")
+        code = main(["campaign", "status", "thm51-single-n3", *args])
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err
+
 
 class TestTrap:
     def test_fig3(self, capsys) -> None:

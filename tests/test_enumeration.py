@@ -7,14 +7,19 @@ quantifier over the memoryless class.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.errors import VerificationError
-from repro.robots.algorithms.tables import TableAlgorithm
+from repro.robots.algorithms.tables import TableAlgorithm, table_space_size
 from repro.verification.enumeration import (
+    sample_table_patterns,
     sweep_single_robot_memoryless,
+    sweep_two_robot_memory2,
     sweep_two_robot_memoryless,
 )
+from repro.verification.sweeps import available_cpus, resolve_jobs
 
 
 class TestSingleRobotSweep:
@@ -57,3 +62,67 @@ class TestTwoRobotSweep:
         a = sweep_two_robot_memoryless(4, sample=16, seed=3)
         b = sweep_two_robot_memoryless(4, sample=16, seed=3)
         assert a.trapped == b.trapped == 16
+
+
+class TestMemory2Sweep:
+    def test_sampled_memory2_sweep_all_trapped(self) -> None:
+        result = sweep_two_robot_memory2(4, sample=24, seed=11)
+        assert result.total == 24
+        assert result.all_trapped
+        assert "memory-2" in result.description
+
+    def test_deterministic_given_seed(self) -> None:
+        a = sweep_two_robot_memory2(4, sample=12, seed=5)
+        b = sweep_two_robot_memory2(4, sample=12, seed=5)
+        assert (a.total, a.trapped, a.explorers, a.states_explored) == (
+            b.total, b.trapped, b.explorers, b.states_explored,
+        )
+
+    def test_rejects_small_rings(self) -> None:
+        with pytest.raises(VerificationError):
+            sweep_two_robot_memory2(3, sample=4)
+
+
+class TestSampleTablePatterns:
+    def test_small_space_matches_historical_draw(self) -> None:
+        import random
+
+        assert sample_table_patterns(1 << 16, 10, 20170605) == (
+            random.Random(20170605).sample(range(1 << 16), 10)
+        )
+
+    def test_huge_space_draws_are_distinct_and_stable(self) -> None:
+        space = table_space_size(2)
+        assert space == 1 << 64
+        draws = sample_table_patterns(space, 50, 42)
+        assert len(set(draws)) == 50
+        assert all(0 <= value < space for value in draws)
+        assert draws == sample_table_patterns(space, 50, 42)
+        assert draws != sample_table_patterns(space, 50, 43)
+
+    def test_bounds_validated(self) -> None:
+        with pytest.raises(VerificationError):
+            sample_table_patterns(16, 0, 1)
+        with pytest.raises(VerificationError):
+            sample_table_patterns(16, 17, 1)
+
+
+class TestJobsResolution:
+    def test_available_cpus_respects_affinity(self) -> None:
+        count = available_cpus()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            # The whole point of the helper: a pinned/containerized
+            # process must size pools by its affinity mask, not by the
+            # machine's raw core count.
+            assert count <= len(os.sched_getaffinity(0))
+        if hasattr(os, "cpu_count") and os.cpu_count():
+            assert count <= os.cpu_count()
+
+    def test_resolve_jobs_defaults_to_available(self) -> None:
+        assert resolve_jobs(None) == available_cpus()
+        assert resolve_jobs(3) == 3
+
+    def test_resolve_jobs_floor(self) -> None:
+        with pytest.raises(VerificationError):
+            resolve_jobs(0)

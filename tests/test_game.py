@@ -22,6 +22,8 @@ from repro.robots.algorithms import (
 )
 from repro.types import AGREE, DISAGREE, Chirality
 from repro.verification.game import (
+    PROPERTIES,
+    check_property,
     default_chirality_vectors,
     synthesize_trap,
     verify_exploration,
@@ -144,6 +146,61 @@ class TestSynthesizeTrap:
             verify_exploration(
                 PEF2(), RingTopology(3), k=2, chirality_vectors=[(AGREE,)]
             )
+
+
+class TestLiveProperty:
+    """The at-least-once (live exploration) property, both backends."""
+
+    def test_property_names_validated(self) -> None:
+        assert check_property("live") == "live"
+        assert "perpetual" in PROPERTIES
+        with pytest.raises(VerificationError):
+            verify_exploration(PEF1(), RingTopology(3), k=1, prop="bounded")
+
+    def test_single_robot_live_trap_has_unvisited_node(self) -> None:
+        verdict = verify_exploration(PEF1(), RingTopology(3), k=1, prop="live")
+        assert not verdict.explorable
+        cert = verdict.certificate
+        assert cert is not None
+        # A live trap keeps the starved node unvisited from round 0: it
+        # must not even be a seed position.
+        assert cert.starved_node not in cert.seed_positions
+
+    def test_explorer_explores_live_too(self) -> None:
+        # Perpetual exploration implies live exploration (infinitely often
+        # implies at least once).
+        perpetual = verify_exploration(PEF2(), RingTopology(3), k=2)
+        live = verify_exploration(PEF2(), RingTopology(3), k=2, prop="live")
+        assert perpetual.explorable
+        assert live.explorable
+
+    def test_backends_agree_on_live_verdicts(self) -> None:
+        from repro.robots.algorithms.tables import memoryless_table_from_bits
+
+        for bits in (0x0000, 0x5A5A, 0xFFFF, 0x1234, 0xBEEF):
+            table = memoryless_table_from_bits(bits)
+            packed = verify_exploration(
+                table, RingTopology(4), k=2, prop="live", backend="packed"
+            )
+            object_path = verify_exploration(
+                table, RingTopology(4), k=2, prop="live", backend="object"
+            )
+            assert packed.explorable == object_path.explorable
+            assert packed.states_explored == object_path.states_explored
+
+    def test_live_trap_implies_perpetual_trap(self) -> None:
+        from repro.robots.algorithms.tables import memoryless_table_from_bits
+
+        for bits in range(0, 256, 17):
+            table = memoryless_table_from_bits(bits)
+            live = verify_exploration(table, RingTopology(4), k=2, prop="live")
+            if not live.explorable:
+                perpetual = verify_exploration(table, RingTopology(4), k=2)
+                assert not perpetual.explorable
+
+    def test_live_certificates_replay_validate(self) -> None:
+        cert = synthesize_trap(PEF1(), RingTopology(4), k=1, prop="live")
+        assert cert.starved_node not in cert.seed_positions
 
 
 class TestVerdictReporting:

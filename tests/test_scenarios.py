@@ -1,0 +1,244 @@
+"""Tests for the scenario spec layer and the registry.
+
+The load-bearing properties: specs are frozen, validated, JSON
+round-trippable through :mod:`repro.serialize`, and content-hashed so
+that *renaming* a scenario never changes its identity while changing
+*what it verifies* always does. Hash goldens are pinned so an accidental
+payload change (which would orphan every stored campaign) fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from scenario_testlib import make_tiny_scenario as tiny_spec
+from repro.errors import ScenarioError
+from repro.graph.schedules import SCHEDULE_FAMILIES
+from repro.scenarios import (
+    DYNAMICS_FAMILIES,
+    RobotClassSpec,
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+    smallest_scenario,
+)
+from repro.serialize import dumps, loads
+from repro.sim import SCHEDULERS
+from repro.verification.game import PROPERTIES
+from repro.verification.sweeps import START_POLICIES, TABLE_FAMILIES, family_space
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategy over valid specs
+# ----------------------------------------------------------------------
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    family = draw(st.sampled_from(TABLE_FAMILIES))
+    if family_space(family) <= 1 << 16:
+        sample = draw(st.one_of(st.none(), st.integers(1, 64)))
+    else:
+        sample = draw(st.integers(1, 64))
+    return ScenarioSpec(
+        name=draw(st.text(min_size=1, max_size=24)),
+        description=draw(st.text(max_size=48)),
+        robots=RobotClassSpec(
+            family=family,
+            sample=sample,
+            rng_seed=draw(st.integers(0, 2**32)),
+        ),
+        n=draw(st.integers(3, 9)),
+        dynamics=draw(st.sampled_from(DYNAMICS_FAMILIES)),
+        scheduler=draw(st.sampled_from(SCHEDULERS)),
+        starts=draw(st.sampled_from(START_POLICIES)),
+        prop=draw(st.sampled_from(PROPERTIES)),
+        chunk_size=draw(st.integers(1, 128)),
+    )
+
+
+class TestSpecRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs())
+    def test_json_round_trip_preserves_spec_and_id(self, spec: ScenarioSpec) -> None:
+        restored = loads(dumps(spec))
+        assert isinstance(restored, ScenarioSpec)
+        assert restored == spec
+        assert restored.scenario_id == spec.scenario_id
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs())
+    def test_id_ignores_presentation_metadata(self, spec: ScenarioSpec) -> None:
+        renamed = replace(spec, name="renamed", description="redescribed")
+        assert renamed.scenario_id == spec.scenario_id
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=scenario_specs())
+    def test_id_tracks_semantic_changes(self, spec: ScenarioSpec) -> None:
+        assert replace(spec, n=spec.n + 1).scenario_id != spec.scenario_id
+
+    def test_exhaustive_specs_ignore_rng_seed(self) -> None:
+        # The seed affects nothing without sampling: it must not split
+        # the identity (or orphan the store) of exhaustive campaigns.
+        a = tiny_spec(robots=RobotClassSpec(family="single", sample=None, rng_seed=1))
+        b = tiny_spec(robots=RobotClassSpec(family="single", sample=None, rng_seed=2))
+        assert a == b
+        assert a.scenario_id == b.scenario_id
+
+    def test_loads_rejects_wrong_version(self) -> None:
+        data = tiny_spec().to_dict()
+        data["version"] = 999
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict(data)
+
+    def test_dict_form_is_json_clean(self) -> None:
+        spec = tiny_spec()
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+
+class TestHashGoldens:
+    """Pinned content hashes: a failure here means stored campaign results
+    everywhere would be orphaned — bump SCENARIO_FORMAT_VERSION on purpose,
+    never by accident."""
+
+    GOLDENS = {
+        "thm51-single-n3": "92062534c1cb9397",
+        "thm41-two-n4": "2d717dc3bb2009a0",
+        "live-two-n4": "2ab313951ec5e74f",
+        "selfstab-ill-two-n4": "b372fcd40277721c",
+        "m2-two-n4": "369ee902a28d6ebe",
+    }
+
+    @pytest.mark.parametrize("name,expected", sorted(GOLDENS.items()))
+    def test_registry_ids_are_stable(self, name: str, expected: str) -> None:
+        assert get_scenario(name).scenario_id == expected
+
+
+class TestValidation:
+    def test_unknown_family(self) -> None:
+        with pytest.raises(ScenarioError):
+            tiny_spec(robots=RobotClassSpec(family="three"))
+
+    def test_huge_family_requires_sample(self) -> None:
+        with pytest.raises(ScenarioError):
+            tiny_spec(robots=RobotClassSpec(family="two-m2", sample=None), n=4)
+
+    def test_sample_bounds(self) -> None:
+        with pytest.raises(ScenarioError):
+            tiny_spec(robots=RobotClassSpec(family="single", sample=0))
+        with pytest.raises(ScenarioError):
+            tiny_spec(robots=RobotClassSpec(family="single", sample=257))
+
+    def test_large_samples_of_huge_families_allowed(self) -> None:
+        # Sample cost scales with the sample, not the space: the ROADMAP's
+        # 10^6-table memory-2 campaigns must be registrable.
+        spec = tiny_spec(
+            robots=RobotClassSpec(family="two-m2", sample=1_000_000),
+            n=4,
+            chunk_size=4096,
+        )
+        assert spec.table_count == 1_000_000
+        assert spec.chunk_count == 245
+
+    def test_bad_enum_fields(self) -> None:
+        for overrides in (
+            {"dynamics": "tidal"},
+            {"scheduler": "async"},
+            {"starts": "midway"},
+            {"prop": "bounded"},
+            {"topology": "torus"},
+            {"chunk_size": 0},
+            {"name": ""},
+        ):
+            with pytest.raises(ScenarioError):
+                tiny_spec(**overrides)
+
+    def test_small_ring_rejected(self) -> None:
+        with pytest.raises(ScenarioError):
+            tiny_spec(n=2)
+
+    def test_runnable_gate(self) -> None:
+        tiny_spec().require_runnable()
+        with pytest.raises(ScenarioError):
+            tiny_spec(scheduler="ssync").require_runnable()
+        with pytest.raises(ScenarioError):
+            tiny_spec(dynamics="eventually-missing").require_runnable()
+        assert not tiny_spec(scheduler="ssync").is_runnable()
+
+    def test_dynamics_families_cover_schedule_library(self) -> None:
+        assert "highly-dynamic" in DYNAMICS_FAMILIES
+        for name in SCHEDULE_FAMILIES:
+            assert name in DYNAMICS_FAMILIES
+
+
+class TestExpansion:
+    def test_exhaustive_expansion_is_the_full_space(self) -> None:
+        spec = tiny_spec(robots=RobotClassSpec(family="single", sample=None))
+        assert spec.expand_patterns() == list(range(256))
+        assert spec.table_count == 256
+
+    def test_sampled_expansion_is_deterministic_and_distinct(self) -> None:
+        spec = tiny_spec()
+        first = spec.expand_patterns()
+        assert first == spec.expand_patterns()
+        assert len(set(first)) == len(first) == spec.table_count == 24
+
+    def test_chunking_is_fixed_size_and_exact(self) -> None:
+        spec = tiny_spec()
+        chunks = spec.chunks()
+        assert len(chunks) == spec.chunk_count == 4
+        assert [len(c) for c in chunks] == [7, 7, 7, 3]
+        assert [p for chunk in chunks for p in chunk] == spec.expand_patterns()
+
+
+class TestRegistry:
+    def test_at_least_five_families(self) -> None:
+        assert len(scenario_names()) >= 5
+
+    def test_required_coverage(self) -> None:
+        specs = list(iter_scenarios())
+        # Thm 4.1 two-robot instances at n = 4, 5 and 6.
+        for n in (4, 5, 6):
+            assert any(
+                s.robots.family == "two" and s.n == n and s.starts == "well"
+                for s in specs
+            ), f"missing two-robot n={n} family"
+        # The single-robot Thm 5.1 class.
+        assert any(s.robots.family == "single" for s in specs)
+        # Ill-initiated (self-stabilizing) starts and the live property.
+        assert any(s.starts == "arbitrary" for s in specs)
+        assert any(s.prop == "live" for s in specs)
+        # A finite-memory (memory-2) family.
+        assert any(s.robots.family == "two-m2" for s in specs)
+
+    def test_ids_are_unique_and_specs_valid(self) -> None:
+        specs = list(iter_scenarios())
+        ids = [s.scenario_id for s in specs]
+        assert len(set(ids)) == len(ids)
+        for spec in specs:
+            spec.validate()
+
+    def test_smallest_scenario(self) -> None:
+        smallest = smallest_scenario()
+        assert smallest.table_count == min(s.table_count for s in iter_scenarios())
+
+    def test_reregistration_rules(self) -> None:
+        spec = get_scenario("thm51-single-n3")
+        assert register_scenario(spec) is spec  # identical: no-op
+        clashing = ScenarioSpec(
+            name="thm51-single-n3",
+            description="different payload under a taken name",
+            robots=RobotClassSpec(family="single", sample=16),
+            n=4,
+        )
+        with pytest.raises(ScenarioError):
+            register_scenario(clashing)
+
+    def test_unknown_name(self) -> None:
+        with pytest.raises(ScenarioError):
+            get_scenario("thm99-zero-robots")
