@@ -23,10 +23,7 @@ the campaign CLI name identical work.
 
 from __future__ import annotations
 
-import json
 import os
-import time
-from pathlib import Path
 
 from repro.scenarios import (
     CampaignRunner,
@@ -91,20 +88,9 @@ def test_campaign_smallest_family(benchmark, tmp_path, save_artifact) -> None:
     save_artifact("campaign_smoke", outcome.status.summary())
 
 
-def _timed_sweep(fn, repeats: int = 3):
-    """Best-of-N wall time for one sweep call (reduces scheduler noise)."""
-    best = None
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-    return result, best
-
-
-def test_packed_vs_object_backends(results_dir, save_artifact) -> None:
+def test_packed_vs_object_backends(
+    timed_best_of, merge_bench_sweeps, save_artifact
+) -> None:
     """Packed-vs-object comparison; emits the BENCH_sweeps.json snapshot."""
     cases = [
         (
@@ -121,8 +107,8 @@ def test_packed_vs_object_backends(results_dir, save_artifact) -> None:
     entries = []
     lines = []
     for name, run in cases:
-        object_result, object_seconds = _timed_sweep(lambda: run("object"))
-        packed_result, packed_seconds = _timed_sweep(lambda: run("packed"))
+        object_result, object_seconds = timed_best_of(lambda: run("object"))
+        packed_result, packed_seconds = timed_best_of(lambda: run("packed"))
         # Identical verdicts are a hard invariant, not a benchmark detail.
         assert (
             object_result.total,
@@ -167,6 +153,5 @@ def test_packed_vs_object_backends(results_dir, save_artifact) -> None:
             f"(object {object_seconds:.3f}s, packed {packed_seconds:.3f}s; "
             f"floor {floor}x — set REPRO_BENCH_MIN_SPEEDUP to adjust)"
         )
-    snapshot = results_dir / "BENCH_sweeps.json"
-    snapshot.write_text(json.dumps({"entries": entries}, indent=2) + "\n")
+    merge_bench_sweeps(entries)
     save_artifact("enumeration_backends", "\n".join(lines))

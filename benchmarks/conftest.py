@@ -11,11 +11,62 @@ micro-benchmarks (engine/solver throughput).
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def timed_best_of():
+    """Best-of-N wall timer for one callable (reduces scheduler noise).
+
+    Shared by every packed-vs-object benchmark so their timings feed the
+    common ``BENCH_sweeps.json`` snapshot through one methodology.
+    """
+
+    def timed(fn, repeats: int = 3):
+        best = None
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return result, best
+
+    return timed
+
+
+@pytest.fixture
+def merge_bench_sweeps(results_dir: Path):
+    """Merge entries into ``BENCH_sweeps.json``, replacing only their sweeps.
+
+    Several benchmark files contribute entries to the one snapshot; each
+    writer must replace its own sweep names and preserve everyone else's,
+    so re-running a single file never silently drops the others' numbers.
+    """
+
+    def merge(entries: list[dict]) -> Path:
+        snapshot = results_dir / "BENCH_sweeps.json"
+        owned = {entry["sweep"] for entry in entries}
+        existing = []
+        if snapshot.exists():
+            existing = [
+                entry
+                for entry in json.loads(snapshot.read_text())["entries"]
+                if entry.get("sweep") not in owned
+            ]
+        snapshot.write_text(
+            json.dumps({"entries": existing + entries}, indent=2) + "\n"
+        )
+        return snapshot
+
+    return merge
 
 
 @pytest.fixture(scope="session")

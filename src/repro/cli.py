@@ -7,14 +7,17 @@ Subcommands:
 * ``run --algo NAME --n N --k K [--schedule NAME] [--rounds R]`` — run an
   algorithm against a battery schedule and print the exploration report
   plus a space–time diagram;
-* ``verify --algo NAME --n N --k K [--backend packed|object]`` — exact
-  game-solver verdict (and the trap certificate when one exists);
+* ``verify --algo NAME --n N --k K [--backend packed|object]
+  [--scheduler fsync|ssync]`` — exact game-solver verdict (and the trap
+  certificate when one exists), under either execution scheduler;
 * ``sweep --robots 1|2 --n N [--sample S | --full] [--memory 1|2]
-  [--rng-seed S] [--backend B] [--jobs J]`` — exhaustive/sampled
-  algorithm-class sweep on the packed kernel (or the object oracle),
-  optionally sharded across a process pool; ``--memory 2`` samples the
-  ``2**64`` memory-2 two-robot class deterministically; ``--json FILE``
-  dumps the machine-readable result;
+  [--rng-seed S] [--backend B] [--scheduler S] [--jobs J]`` —
+  exhaustive/sampled algorithm-class sweep on the packed kernel (or the
+  object oracle), optionally sharded across a process pool; ``--memory
+  2`` samples the ``2**64`` memory-2 two-robot class deterministically;
+  ``--scheduler ssync`` plays every game against the semi-synchronous
+  activation adversary; ``--json FILE`` dumps the machine-readable
+  result;
 * ``campaign list|run|status|report`` — the scenario registry and the
   persistent campaign runner: named sweep workloads executed against an
   append-only result store with chunk checkpointing, resume and dedup
@@ -87,13 +90,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     topology = RingTopology(args.n)
     algorithm = get_algorithm(args.algo)
-    verdict = verify_exploration(algorithm, topology, k=args.k, backend=args.backend)
+    verdict = verify_exploration(
+        algorithm, topology, k=args.k, backend=args.backend,
+        scheduler=args.scheduler,
+    )
     print(verdict.summary())
     if verdict.certificate is not None:
         cert = verdict.certificate
         print(f"  seed positions: {cert.seed_positions}")
         print(f"  prefix ({len(cert.prefix)}): {[sorted(s) for s in cert.prefix]}")
         print(f"  cycle  ({len(cert.cycle)}): {[sorted(s) for s in cert.cycle]}")
+        if cert.cycle_activations is not None:
+            assert cert.prefix_activations is not None
+            print(
+                f"  activations: prefix "
+                f"{[sorted(s) for s in cert.prefix_activations]}, cycle "
+                f"{[sorted(s) for s in cert.cycle_activations]}"
+            )
         if args.save is not None:
             from repro.serialize import dumps
 
@@ -130,10 +143,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=seed,
             backend=args.backend,
             jobs=args.jobs,
+            scheduler=args.scheduler,
         )
     elif args.robots == 1:
         result = sweep_single_robot_memoryless(
-            args.n, backend=args.backend, jobs=args.jobs
+            args.n, backend=args.backend, jobs=args.jobs,
+            scheduler=args.scheduler,
         )
     else:
         result = sweep_two_robot_memoryless(
@@ -142,6 +157,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=seed,
             backend=args.backend,
             jobs=args.jobs,
+            scheduler=args.scheduler,
         )
     print(result.summary())
     if args.json is not None:
@@ -159,6 +175,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "backend": args.backend,
             "jobs": args.jobs,
             "memory": args.memory,
+            "scheduler": args.scheduler,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -270,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="verification substrate: packed int kernel (default) or "
         "the object-path semantics oracle",
     )
+    p_verify.add_argument(
+        "--scheduler", choices=["fsync", "ssync"], default="fsync",
+        help="execution scheduler the game is played under: fully "
+        "synchronous (default) or semi-synchronous (the adversary also "
+        "picks fair activation subsets — Di Luna et al.)",
+    )
     p_verify.set_defaults(fn=_cmd_verify)
 
     p_sweep = sub.add_parser(
@@ -297,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--backend", choices=["packed", "object"], default="packed"
+    )
+    p_sweep.add_argument(
+        "--scheduler", choices=["fsync", "ssync"], default="fsync",
+        help="execution scheduler for every verified member (ssync = the "
+        "semi-synchronous activation adversary)",
     )
     p_sweep.add_argument(
         "--jobs", type=int, default=None, metavar="J",

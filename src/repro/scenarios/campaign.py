@@ -36,7 +36,7 @@ from repro.verification.sweeps import resolve_jobs, sweep_chunk
 
 CAMPAIGN_REPORT_VERSION = 1
 
-_Payload = tuple[int, str, int, tuple[int, ...], str, bool, str, str]
+_Payload = tuple[int, str, int, tuple[int, ...], str, bool, str, str, str]
 
 
 @dataclass(frozen=True)
@@ -100,8 +100,10 @@ class CampaignRunOutcome:
 
 def _campaign_chunk(payload: _Payload) -> tuple[int, tuple]:
     """Verify one indexed chunk (worker body; top-level to pickle)."""
-    index, family, n, chunk, backend, validate, starts, prop = payload
-    return index, sweep_chunk(family, n, chunk, backend, validate, starts, prop)
+    index, family, n, chunk, backend, validate, starts, prop, scheduler = payload
+    return index, sweep_chunk(
+        family, n, chunk, backend, validate, starts, prop, scheduler
+    )
 
 
 class CampaignRunner:
@@ -209,6 +211,7 @@ class CampaignRunner:
                 self.validate,
                 spec.starts,
                 spec.prop,
+                spec.scheduler,
             )
             for index, chunk in pending
         ]

@@ -14,7 +14,11 @@ families cover the reproduction's standing sweep workloads:
 * the *live exploration* property family (at-least-once visits — Di Luna
   et al.);
 * a deterministic sample of the memory-2 two-robot class (finite-memory
-  sweeps over a ``2**64`` table space).
+  sweeps over a ``2**64`` table space);
+* the *semi-synchronous* families (``scheduler="ssync"``): the
+  single-robot class and two-robot samples at n=4/5 under the SSYNC
+  adversary, machine-checking the Di Luna et al. impossibility that made
+  the paper restrict itself to FSYNC.
 
 ``register_scenario`` is open: downstream code can add its own families;
 names are unique and registration of a changed spec under a taken name is
@@ -156,6 +160,45 @@ register_scenario(
         robots=RobotClassSpec(family="two-m2", sample=512),
         n=4,
         chunk_size=64,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="ssync-single-n3",
+        description="Semi-synchronous Theorem 5.1 class: all 256 memoryless "
+        "single-robot algorithms stay trapped on the 3-ring under SSYNC "
+        "(with one robot SSYNC degenerates to FSYNC)",
+        robots=RobotClassSpec(family="single"),
+        n=3,
+        scheduler="ssync",
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="ssync-two-n4",
+        description="Di Luna et al. SSYNC impossibility: a 512-table sample "
+        "of the memoryless two-robot class on the 4-ring under the "
+        "semi-synchronous activation adversary",
+        robots=RobotClassSpec(family="two", sample=512),
+        n=4,
+        scheduler="ssync",
+        chunk_size=64,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="ssync-two-n5",
+        description="Di Luna et al. SSYNC impossibility at n=5: a 128-table "
+        "sample of the memoryless two-robot class under the semi-synchronous "
+        "activation adversary",
+        robots=RobotClassSpec(family="two", sample=128),
+        n=5,
+        scheduler="ssync",
+        chunk_size=32,
     )
 )
 

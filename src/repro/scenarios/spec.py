@@ -9,9 +9,9 @@ and nothing that doesn't:
   :data:`repro.graph.schedules.SCHEDULE_FAMILIES` for simulation-style
   workloads;
 * a **scheduler** — ``"fsync"`` or ``"ssync"``
-  (:data:`repro.sim.SCHEDULERS`); the exact solver currently executes
-  FSYNC only (the SSYNC packed kernel is an open ROADMAP item), so SSYNC
-  scenarios are declarative until that lands;
+  (:data:`repro.sim.SCHEDULERS`); the exact solver executes both: under
+  SSYNC the adversary additionally activates a non-empty robot subset
+  each round, and a winning SCC must activate every robot (fairness);
 * a **robot class** — a table family (:data:`repro.verification.sweeps
   .TABLE_FAMILIES`: memoryless single/two-robot, memory-2 two-robot),
   either exhausted or sampled with a seeded RNG;
@@ -306,8 +306,14 @@ class ScenarioSpec:
         return -(-self.table_count // self.chunk_size)
 
     def is_runnable(self) -> bool:
-        """Whether the exact solver can execute this scenario today."""
-        return self.dynamics == "highly-dynamic" and self.scheduler == "fsync"
+        """Whether the exact solver can execute this scenario today.
+
+        Both schedulers are executable since the scheduler-generic
+        verification core landed; only the oblivious schedule-family
+        dynamics remain declarative (simulation-harness workloads, an
+        open ROADMAP item).
+        """
+        return self.dynamics == "highly-dynamic"
 
     def require_runnable(self) -> None:
         """Raise :class:`ScenarioError` when the solver cannot execute this."""
@@ -315,14 +321,9 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"scenario {self.name!r} declares dynamics {self.dynamics!r}; "
                 "the exact solver executes the 'highly-dynamic' adversary "
-                "(schedule-family scenarios are declarative workloads for "
-                "the simulation harnesses)"
-            )
-        if self.scheduler != "fsync":
-            raise ScenarioError(
-                f"scenario {self.name!r} declares the {self.scheduler!r} "
-                "scheduler; campaign execution currently supports 'fsync' "
-                "(the SSYNC packed kernel is an open ROADMAP item)"
+                "only (schedule-family scenarios are declarative workloads "
+                "for the simulation harnesses until the schedule-dynamics "
+                "campaign execution ROADMAP item lands)"
             )
 
     def summary(self) -> str:
@@ -332,10 +333,11 @@ class ScenarioSpec:
             if self.robots.sample is None
             else f"{self.table_count} sampled"
         )
+        sched = "" if self.scheduler == "fsync" else f", scheduler={self.scheduler}"
         return (
             f"{self.name} [{self.scenario_id}]: {size} {self.robots.family!r} "
             f"tables, n={self.n}, k={self.robots.k}, starts={self.starts}, "
-            f"property={self.prop} — {self.description}"
+            f"property={self.prop}{sched} — {self.description}"
         )
 
 

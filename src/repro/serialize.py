@@ -39,6 +39,13 @@ from repro.verification.certificates import TrapCertificate
 
 FORMAT_VERSION = 1
 
+#: Certificate encoding version carrying SSYNC activation lists. FSYNC
+#: certificates keep version 1 (their bytes are unchanged and old readers
+#: keep working); SSYNC ones are stamped 2 so a pre-SSYNC reader fails
+#: loudly instead of silently decoding them as FSYNC witnesses and
+#: replaying them under the wrong scheduler.
+CERTIFICATE_VERSION_SSYNC = 2
+
 
 # ----------------------------------------------------------------------
 # Topologies
@@ -126,8 +133,12 @@ def schedule_from_dict(data: dict[str, Any]) -> EvolvingGraph:
 # Certificates
 # ----------------------------------------------------------------------
 def certificate_to_dict(certificate: TrapCertificate) -> dict[str, Any]:
-    """Encode a trap certificate (a portable impossibility witness)."""
-    return {
+    """Encode a trap certificate (a portable impossibility witness).
+
+    FSYNC certificates keep their historical encoding; SSYNC ones add a
+    ``"scheduler"`` marker and the per-step activation lists.
+    """
+    data: dict[str, Any] = {
         "format": "trap-certificate",
         "version": FORMAT_VERSION,
         "algorithm": certificate.algorithm_name,
@@ -139,12 +150,26 @@ def certificate_to_dict(certificate: TrapCertificate) -> dict[str, Any]:
         "starved_node": certificate.starved_node,
         "eventually_missing": sorted(certificate.eventually_missing),
     }
+    if certificate.scheduler == "ssync":
+        assert certificate.prefix_activations is not None
+        assert certificate.cycle_activations is not None
+        data["version"] = CERTIFICATE_VERSION_SSYNC
+        data["scheduler"] = "ssync"
+        data["prefix_activations"] = _steps(certificate.prefix_activations)
+        data["cycle_activations"] = _steps(certificate.cycle_activations)
+    return data
 
 
 def certificate_from_dict(data: dict[str, Any]) -> TrapCertificate:
     """Decode a certificate; re-validate with
     :func:`repro.verification.certificates.validate_certificate`."""
-    _expect(data, "trap-certificate")
+    _expect(
+        data,
+        "trap-certificate",
+        versions=(FORMAT_VERSION, CERTIFICATE_VERSION_SSYNC),
+    )
+    acts_p = data.get("prefix_activations")
+    acts_c = data.get("cycle_activations")
     return TrapCertificate(
         algorithm_name=data["algorithm"],
         topology=topology_from_dict(data["topology"]),
@@ -154,6 +179,16 @@ def certificate_from_dict(data: dict[str, Any]) -> TrapCertificate:
         cycle=tuple(frozenset(step) for step in data["cycle"]),
         starved_node=int(data["starved_node"]),
         eventually_missing=frozenset(data["eventually_missing"]),
+        prefix_activations=(
+            None
+            if acts_p is None
+            else tuple(frozenset(int(r) for r in step) for step in acts_p)
+        ),
+        cycle_activations=(
+            None
+            if acts_c is None
+            else tuple(frozenset(int(r) for r in step) for step in acts_c)
+        ),
     )
 
 
@@ -212,20 +247,23 @@ def loads(text: str) -> Topology | EvolvingGraph | TrapCertificate | ScenarioSpe
     raise ScheduleError(f"unknown serialized format {fmt!r}")
 
 
-def _expect(data: dict[str, Any], fmt: str) -> None:
+def _expect(
+    data: dict[str, Any], fmt: str, versions: tuple[int, ...] = (FORMAT_VERSION,)
+) -> None:
     if data.get("format") != fmt:
         raise ScheduleError(
             f"expected format {fmt!r}, got {data.get('format')!r}"
         )
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") not in versions:
         raise ScheduleError(
             f"unsupported {fmt} version {data.get('version')!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions {sorted(versions)})"
         )
 
 
 __all__ = [
     "FORMAT_VERSION",
+    "CERTIFICATE_VERSION_SSYNC",
     "topology_to_dict",
     "topology_from_dict",
     "schedule_to_dict",

@@ -17,9 +17,11 @@ This subpackage decides it, through three mutually-checking layers:
 * :mod:`repro.verification.game` — the solver: the adversary wins iff,
   from some well-initiated configuration, some reachable SCC of the
   target-node-avoiding subgraph leaves at most one ring edge never
-  present (see the soundness/completeness argument in the module
+  present — and, under ``scheduler="ssync"``, activates every robot
+  (fairness; see the soundness/completeness argument in the module
   docstring). Emits replayable lasso certificates on wins; runs on
-  either backend (``backend="packed" | "object"``);
+  either backend (``backend="packed" | "object"``) and either scheduler
+  (``"fsync" | "ssync"``);
 * :mod:`repro.verification.certificates` — certificate datatypes and the
   *independent* replay validator (simulator-checked, period-exact);
 * :mod:`repro.verification.enumeration` — exhaustive sweeps over whole
@@ -40,7 +42,7 @@ from repro.verification.game import (
     synthesize_trap,
     verify_exploration,
 )
-from repro.verification.kernel import PackedKernel
+from repro.verification.kernel import PackedKernel, check_scheduler
 from repro.verification.product import BACKENDS, ProductSystem, SysState
 from repro.verification.enumeration import (
     SweepResult,
@@ -67,6 +69,7 @@ __all__ = [
     "SysState",
     "ExplorationVerdict",
     "check_property",
+    "check_scheduler",
     "verify_exploration",
     "synthesize_trap",
     "TrapCertificate",

@@ -22,20 +22,32 @@ infinite behaviour needs only one period:
    making it recurrent in the infinite unrolling.
 
 :func:`validate_certificate` replays the lasso through the *simulator*
-(:func:`repro.sim.engine.run_fsync`) — not through the solver that
-produced it — so a bug in either component is caught by the other.
+(:func:`repro.sim.engine.run_fsync`, or
+:func:`repro.sim.semi_sync.run_ssync` for semi-synchronous certificates)
+— not through the solver that produced it — so a bug in either component
+is caught by the other.
+
+**SSYNC certificates.** A trap found under the semi-synchronous scheduler
+additionally carries per-step *activation sets* for the prefix and the
+cycle. Replay then runs the SSYNC engine with exactly those activations,
+and a fourth condition joins the three above: **fairness** — the cycle's
+activation sets must jointly cover every robot, so the infinite unrolling
+activates each robot infinitely often (the adversary may not win by
+starving activations, per the SSYNC model of Di Luna et al.).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import CertificateError
 from repro.graph.evolving import LassoSchedule
 from repro.graph.topology import Topology
 from repro.robots.algorithms.base import Algorithm
 from repro.sim.engine import run_fsync
-from repro.types import Chirality, EdgeId, NodeId
+from repro.sim.semi_sync import ListActivation, run_ssync
+from repro.types import Chirality, EdgeId, NodeId, RobotId
 
 
 @dataclass(frozen=True)
@@ -50,6 +62,10 @@ class TrapCertificate:
     cycle: tuple[frozenset[EdgeId], ...]
     starved_node: NodeId
     eventually_missing: frozenset[EdgeId]
+    #: Per-step activated-robot sets (SSYNC traps only; ``None`` = FSYNC,
+    #: i.e. every robot acts every round).
+    prefix_activations: Optional[tuple[frozenset[RobotId], ...]] = None
+    cycle_activations: Optional[tuple[frozenset[RobotId], ...]] = None
 
     @property
     def k(self) -> int:
@@ -61,10 +77,16 @@ class TrapCertificate:
         """Ring size."""
         return self.topology.n
 
+    @property
+    def scheduler(self) -> str:
+        """Execution scheduler the certificate's lasso is played under."""
+        return "fsync" if self.cycle_activations is None else "ssync"
+
     def summary(self) -> str:
         """One-line human summary for reports."""
+        header = "trap" if self.scheduler == "fsync" else "ssync-trap"
         return (
-            f"trap[{self.algorithm_name} k={self.k} n={self.n}]: starves node "
+            f"{header}[{self.algorithm_name} k={self.k} n={self.n}]: starves node "
             f"{self.starved_node}, prefix {len(self.prefix)}, cycle "
             f"{len(self.cycle)}, eventually missing {sorted(self.eventually_missing)}"
         )
@@ -82,8 +104,11 @@ def validate_certificate(
 ) -> None:
     """Independently replay and check a certificate; raise on any defect.
 
-    Raises :class:`CertificateError` unless all three conditions of the
-    module docstring hold under simulator replay.
+    Raises :class:`CertificateError` unless all conditions of the module
+    docstring hold under simulator replay — periodicity, starvation and
+    recurrence budget for every certificate, plus activation fairness for
+    SSYNC ones (which replay through the SSYNC engine with the
+    certificate's own activation sets).
     """
     if algorithm.name != certificate.algorithm_name:
         raise CertificateError(
@@ -93,6 +118,7 @@ def validate_certificate(
     topology = certificate.topology
     if not certificate.cycle:
         raise CertificateError("certificate cycle is empty")
+    _check_activations(certificate)
 
     # Recurrence budget: edges never present during the cycle.
     cycle_union: set[EdgeId] = set()
@@ -111,22 +137,40 @@ def validate_certificate(
             f"connected-over-time budget {budget}"
         )
 
-    # Replay through the simulator: prefix + two cycles.
+    # Replay through the simulator: prefix + two cycles. SSYNC traps run
+    # the SSYNC engine with the certificate's own activation lasso.
     schedule = certificate_schedule(certificate)
     p, c = len(certificate.prefix), len(certificate.cycle)
     towerless_seed = len(set(certificate.seed_positions)) == len(
         certificate.seed_positions
     )
-    result = run_fsync(
-        topology,
-        schedule,
-        algorithm,
-        positions=certificate.seed_positions,
-        rounds=p + 2 * c,
-        chiralities=certificate.chiralities,
-        # Ill-initiated (towered) seeds arise from experiment X6 traps.
-        require_well_initiated=towerless_seed,
-    )
+    if certificate.scheduler == "ssync":
+        assert certificate.prefix_activations is not None
+        assert certificate.cycle_activations is not None
+        pattern = list(certificate.prefix_activations) + 2 * list(
+            certificate.cycle_activations
+        )
+        result = run_ssync(
+            topology,
+            schedule,
+            ListActivation(pattern),
+            algorithm,
+            positions=certificate.seed_positions,
+            rounds=p + 2 * c,
+            chiralities=certificate.chiralities,
+            require_well_initiated=towerless_seed,
+        )
+    else:
+        result = run_fsync(
+            topology,
+            schedule,
+            algorithm,
+            positions=certificate.seed_positions,
+            rounds=p + 2 * c,
+            chiralities=certificate.chiralities,
+            # Ill-initiated (towered) seeds arise from experiment X6 traps.
+            require_well_initiated=towerless_seed,
+        )
     trace = result.trace
     assert trace is not None
 
@@ -152,6 +196,50 @@ def validate_certificate(
             continue
         if edge not in cycle_union:  # pragma: no cover - implied by missing calc
             raise CertificateError(f"edge {edge} neither recurrent nor declared missing")
+
+
+def _check_activations(certificate: TrapCertificate) -> None:
+    """Structural + fairness checks on an SSYNC certificate's activations.
+
+    No-op for FSYNC certificates (no activation lists). For SSYNC ones:
+    both lists present and step-aligned with prefix/cycle, every step
+    activates a non-empty set of known robots, and the cycle's activation
+    union covers every robot — so the infinite unrolling is a *fair*
+    SSYNC play, the only kind the impossibility claim quantifies over.
+    """
+    acts_p = certificate.prefix_activations
+    acts_c = certificate.cycle_activations
+    if acts_p is None and acts_c is None:
+        return
+    if acts_p is None or acts_c is None:
+        raise CertificateError(
+            "SSYNC certificates need activation sets for both prefix and cycle"
+        )
+    if len(acts_p) != len(certificate.prefix):
+        raise CertificateError(
+            f"{len(acts_p)} prefix activation steps for a "
+            f"{len(certificate.prefix)}-step prefix"
+        )
+    if len(acts_c) != len(certificate.cycle):
+        raise CertificateError(
+            f"{len(acts_c)} cycle activation steps for a "
+            f"{len(certificate.cycle)}-step cycle"
+        )
+    robots = frozenset(range(certificate.k))
+    for t, active in enumerate((*acts_p, *acts_c)):
+        if not active:
+            raise CertificateError(f"empty activation set at lasso step {t}")
+        if not active <= robots:
+            raise CertificateError(
+                f"activation of unknown robots {sorted(active - robots)} "
+                f"at lasso step {t}"
+            )
+    starved = robots - frozenset().union(*acts_c)
+    if starved:
+        raise CertificateError(
+            f"unfair cycle: robots {sorted(starved)} are never activated, "
+            "so the infinite unrolling is not a fair SSYNC play"
+        )
 
 
 __all__ = ["TrapCertificate", "certificate_schedule", "validate_certificate"]

@@ -17,8 +17,11 @@ can discharge it by brute force:
 
 Both sweeps run on the parallel engine of
 :mod:`repro.verification.sweeps`: pass ``backend`` to pick the packed
-kernel (default) or the object-path oracle, and ``jobs`` to shard the
-table class across a process pool (``None`` = all cores). The result is
+kernel (default) or the object-path oracle, ``jobs`` to shard the
+table class across a process pool (``None`` = all cores), and
+``scheduler`` to play the game under FSYNC (default) or SSYNC (the
+semi-synchronous adversary of Di Luna et al., where an all-trapped sweep
+machine-checks their impossibility over the class). The result is
 identical — bit for bit, explorer order included — for every
 (backend, jobs) combination; the full 65,536-table Theorem 4.1 sweep is
 a routine operation on the packed backend.
@@ -74,22 +77,38 @@ def sample_table_patterns(space: int, sample: int, seed: int) -> list[int]:
     return draws
 
 
+def _sweep_description(base: str, scheduler: str) -> str:
+    """Human description of a sweep; tagged under non-FSYNC schedulers."""
+    return base if scheduler == "fsync" else f"{base} [{scheduler}]"
+
+
 def sweep_single_robot_memoryless(
     n: int,
     validate_certificates: bool = False,
     backend: str = "packed",
     jobs: Optional[int] = 1,
+    scheduler: str = "fsync",
 ) -> SweepResult:
     """Check all 256 memoryless single-robot algorithms on the ``n``-ring.
 
-    Theorem 5.1 says every one of them must be trappable for ``n >= 3``.
+    Theorem 5.1 says every one of them must be trappable for ``n >= 3``;
+    under ``scheduler="ssync"`` the same conclusion is an instance of the
+    Di Luna et al. semi-synchronous impossibility (with one robot SSYNC
+    adds only the degenerate everyone-active choice, so the two sweeps
+    must tally identically).
     """
     if n < 3:
         raise VerificationError(
             f"Theorem 5.1 concerns rings of size >= 3, got n={n}"
         )
     result = SweepResult(
-        description="all memoryless 1-robot algorithms", n=n, k=1, total=0, trapped=0
+        description=_sweep_description(
+            "all memoryless 1-robot algorithms", scheduler
+        ),
+        n=n,
+        k=1,
+        total=0,
+        trapped=0,
     )
     return run_table_sweep(
         result,
@@ -98,6 +117,7 @@ def sweep_single_robot_memoryless(
         backend=backend,
         validate=validate_certificates,
         jobs=jobs,
+        scheduler=scheduler,
     )
 
 
@@ -109,6 +129,7 @@ def sweep_two_robot_memoryless(
     extra_tables: Iterable[TableAlgorithm] = (),
     backend: str = "packed",
     jobs: Optional[int] = 1,
+    scheduler: str = "fsync",
 ) -> SweepResult:
     """Check memoryless two-robot algorithms on the ``n``-ring.
 
@@ -116,7 +137,9 @@ def sweep_two_robot_memoryless(
     backend, minutes on the object path); an integer draws that many
     distinct tables uniformly (plus any ``extra_tables``, e.g. the
     structured baselines). Theorem 4.1 says every member must be
-    trappable for ``n >= 4``.
+    trappable for ``n >= 4``; under ``scheduler="ssync"`` the all-trapped
+    outcome reproduces the Di Luna et al. semi-synchronous impossibility
+    over this class (every FSYNC trap is in particular a fair SSYNC one).
 
     For each table the all-AGREE chirality vector is tried first; only if
     the table survives it are the remaining vectors checked (an algorithm
@@ -135,10 +158,11 @@ def sweep_two_robot_memoryless(
             raise VerificationError(f"sample must be in 1..65536, got {sample}")
         bit_patterns = sample_table_patterns(1 << 16, sample, seed)
         total_hint = sample
-    description = (
+    description = _sweep_description(
         "all memoryless 2-robot algorithms"
         if sample is None
-        else f"{total_hint} sampled memoryless 2-robot algorithms"
+        else f"{total_hint} sampled memoryless 2-robot algorithms",
+        scheduler,
     )
     result = SweepResult(description=description, n=n, k=2, total=0, trapped=0)
     run_table_sweep(
@@ -148,6 +172,7 @@ def sweep_two_robot_memoryless(
         backend=backend,
         validate=validate_certificates,
         jobs=jobs,
+        scheduler=scheduler,
     )
 
     # Structured extras (a handful at most) are checked in-process, after
@@ -161,6 +186,7 @@ def sweep_two_robot_memoryless(
             vector_plan=family_plan("two"),
             backend=backend,
             validate=validate_certificates,
+            scheduler=scheduler,
         )
         result.total += 1
         result.states_explored += states
@@ -178,6 +204,7 @@ def sweep_two_robot_memory2(
     validate_certificates: bool = False,
     backend: str = "packed",
     jobs: Optional[int] = 1,
+    scheduler: str = "fsync",
 ) -> SweepResult:
     """Check a deterministic sample of memory-2 two-robot algorithms.
 
@@ -194,7 +221,9 @@ def sweep_two_robot_memory2(
         )
     bit_patterns = sample_table_patterns(table_space_size(2), sample, seed)
     result = SweepResult(
-        description=f"{sample} sampled memory-2 2-robot algorithms",
+        description=_sweep_description(
+            f"{sample} sampled memory-2 2-robot algorithms", scheduler
+        ),
         n=n,
         k=2,
         total=0,
@@ -207,6 +236,7 @@ def sweep_two_robot_memory2(
         backend=backend,
         validate=validate_certificates,
         jobs=jobs,
+        scheduler=scheduler,
     )
 
 

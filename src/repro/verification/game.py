@@ -3,32 +3,36 @@
 Fix a finite-state deterministic algorithm ``A``, a footprint of ``n``
 nodes and ``k < n`` robots. The interaction between robots and adversary
 is a turn game on the finite product system (:mod:`.product`): each round
-the adversary picks a present-edge set, the robots respond
+the adversary picks a present-edge set — and, under the semi-synchronous
+scheduler, a non-empty activated-robot set — and the robots respond
 deterministically. The adversary *wins* iff it can produce an infinite
 play that is connected-over-time (at most one edge present only finitely
-often, on a ring; none on a chain) while some node is visited only
-finitely often.
+often, on a ring; none on a chain) and, under SSYNC, *fair* (every robot
+activated infinitely often), while some node is visited only finitely
+often.
 
 **Decision criterion.** The adversary wins iff for some chirality vector,
 some target node ``v`` and some strongly connected component ``S`` of the
 ``v``-avoiding subgraph of the reachable product graph, ``S`` has at least
-one internal transition and the union ``U`` of present-edge labels over
+one internal transition, the union ``U`` of present-edge labels over
 *all* internal transitions of ``S`` misses at most ``budget`` footprint
-edges (``budget`` = 1 ring / 0 chain).
+edges (``budget`` = 1 ring / 0 chain) and — under SSYNC — the union of
+activation labels over those transitions covers every robot.
 
 *Soundness*: inside an SCC the adversary can realize a single closed walk
 traversing every internal transition, and repeat it forever after a finite
 prefix leading into ``S``; every edge in ``U`` then appears once per
 period (recurrent), every edge outside ``U`` never appears again
-(eventually missing, within budget), and ``v`` is never occupied after the
-prefix.
+(eventually missing, within budget), every robot is activated once per
+period (fair), and ``v`` is never occupied after the prefix.
 
 *Completeness*: in any winning play, after the last visit to ``v`` the
 play stays in the ``v``-avoiding subgraph; the transitions it uses
 infinitely often form a strongly connected sub-multigraph contained in
-some SCC ``S``, and the union of their labels is exactly the recurrent
-edge set, which the full-``S`` union can only enlarge — so ``S`` passes
-the criterion.
+some SCC ``S``, the union of their edge labels is exactly the recurrent
+edge set, and — the play being fair — the union of their activation
+labels covers every robot; the full-``S`` unions can only enlarge both,
+so ``S`` passes the criterion.
 
 Symmetry reductions (all verdict-preserving, see
 :func:`default_chirality_vectors` and
@@ -38,8 +42,11 @@ with identical initial states) and by ring reflection (which flips every
 robot's chirality).
 
 On a win the solver emits a :class:`~.certificates.TrapCertificate`
-(prefix + cycle lasso), which is immediately re-validated by *simulator
-replay* — solver and engine check each other.
+(prefix + cycle lasso; under SSYNC with per-step activation sets), which
+is immediately re-validated by *simulator replay* —
+:func:`repro.sim.engine.run_fsync` or
+:func:`repro.sim.semi_sync.run_ssync` — so solver and engine check each
+other under either scheduler.
 """
 
 from __future__ import annotations
@@ -51,12 +58,17 @@ from typing import Iterable, Optional, Sequence
 from repro.errors import VerificationError
 from repro.graph.topology import Topology
 from repro.robots.algorithms.base import Algorithm
-from repro.types import Chirality, EdgeId, NodeId
+from repro.types import Chirality, EdgeId, NodeId, RobotId
 from repro.verification.certificates import TrapCertificate, validate_certificate
-from repro.verification.kernel import PackedKernel, PackedState, PackedTransition
+from repro.verification.kernel import (
+    PackedKernel,
+    PackedState,
+    PackedTransition,
+    check_scheduler,
+)
 from repro.verification.product import ProductSystem, SysState, check_backend
 
-_InternalTransition = tuple[SysState, frozenset[EdgeId], SysState]
+_InternalTransition = tuple[SysState, object, SysState]
 _PackedInternal = tuple[PackedState, int, PackedState]
 
 PROPERTIES = ("perpetual", "live")
@@ -114,6 +126,7 @@ class ExplorationVerdict:
     states_explored: int
     transitions_explored: int
     chirality_vectors: tuple[tuple[Chirality, ...], ...]
+    scheduler: str = "fsync"
 
     @property
     def n(self) -> int:
@@ -123,9 +136,10 @@ class ExplorationVerdict:
     def summary(self) -> str:
         """One-line human summary for reports."""
         verdict = "EXPLORES" if self.explorable else "TRAPPED"
+        tag = "" if self.scheduler == "fsync" else f" [{self.scheduler}]"
         detail = "" if self.certificate is None else f" — {self.certificate.summary()}"
         return (
-            f"{self.algorithm_name} k={self.k} n={self.n}: {verdict} "
+            f"{self.algorithm_name} k={self.k} n={self.n}:{tag} {verdict} "
             f"({self.states_explored} states, {self.transitions_explored} "
             f"transitions){detail}"
         )
@@ -142,6 +156,7 @@ def verify_exploration(
     backend: str = "packed",
     certificates: bool = True,
     prop: str = "perpetual",
+    scheduler: str = "fsync",
 ) -> ExplorationVerdict:
     """Decide an exploration property for a finite-state algorithm instance.
 
@@ -166,12 +181,21 @@ def verify_exploration(
     ``backend`` picks the exploration substrate: ``"packed"`` (default)
     runs entirely on the integer kernel — same verdict, same state and
     transition counts, ~an order of magnitude faster; ``"object"`` is the
-    original ``step_fsync``-driven path, kept as the semantics oracle.
+    original engine-driven path, kept as the semantics oracle.
     Certificates from either backend satisfy the same replay validation,
     though the particular lasso exhibited may differ.
+
+    ``scheduler`` picks the execution model the game is played under:
+    ``"fsync"`` (default, the paper's setting) or ``"ssync"``, where the
+    adversary also chooses a non-empty activated-robot subset each round
+    and a winning SCC must additionally activate every robot (so the
+    exhibited infinite play is fair). SSYNC trap certificates carry the
+    per-step activation sets and replay through
+    :func:`repro.sim.semi_sync.run_ssync`.
     """
     check_backend(backend)
     check_property(prop)
+    check_scheduler(scheduler)
     if chirality_vectors is None:
         vectors = default_chirality_vectors(k)
     else:
@@ -184,13 +208,14 @@ def verify_exploration(
     if backend == "packed":
         return _verify_packed(
             algorithm, topology, k, vectors, max_states, validate, placements,
-            certificates, prop,
+            certificates, prop, scheduler,
         )
     total_states = 0
     total_transitions = 0
     for vector in vectors:
         system = ProductSystem(
-            topology, algorithm, vector, max_states=max_states, backend="object"
+            topology, algorithm, vector, max_states=max_states,
+            backend="object", scheduler=scheduler,
         )
         seeds = system.initial_states(placements)
         graph = system.reachable(seeds)
@@ -203,7 +228,7 @@ def verify_exploration(
                     continue
             else:
                 allowed = None
-            win = _winning_scc(topology, graph, target, allowed)
+            win = _winning_scc(topology, graph, target, allowed, scheduler, k)
             if win is None:
                 continue
             scc_states, internal = win
@@ -212,7 +237,7 @@ def verify_exploration(
             else:
                 certificate = _extract_certificate(
                     topology, algorithm, vector, graph, seeds, target,
-                    scc_states, internal, allowed,
+                    scc_states, internal, allowed, scheduler,
                 )
                 if validate:
                     validate_certificate(certificate, algorithm)
@@ -225,6 +250,7 @@ def verify_exploration(
                 states_explored=total_states,
                 transitions_explored=total_transitions,
                 chirality_vectors=vectors,
+                scheduler=scheduler,
             )
     return ExplorationVerdict(
         algorithm_name=algorithm.name,
@@ -235,6 +261,7 @@ def verify_exploration(
         states_explored=total_states,
         transitions_explored=total_transitions,
         chirality_vectors=vectors,
+        scheduler=scheduler,
     )
 
 
@@ -248,19 +275,23 @@ def _verify_packed(
     placements: Optional[Sequence[Sequence[NodeId]]],
     certificates: bool,
     prop: str,
+    scheduler: str,
 ) -> ExplorationVerdict:
     """The packed-backend body of :func:`verify_exploration`.
 
     Exploration, SCC analysis and lasso extraction all run on packed ints
-    and edge bitmasks; objects are materialized only for the final
-    certificate. Verdicts and state/transition counts are identical to
-    the object path by construction (same seeds, same normalized moves,
-    same decision criterion).
+    and bit-packed move labels; objects are materialized only for the
+    final certificate. Verdicts and state/transition counts are identical
+    to the object path by construction (same seeds, same normalized
+    moves, same decision criterion).
     """
     total_states = 0
     total_transitions = 0
     for vector in vectors:
-        kernel = PackedKernel(topology, algorithm, vector, max_states=max_states)
+        kernel = PackedKernel(
+            topology, algorithm, vector, max_states=max_states,
+            scheduler=scheduler,
+        )
         seeds = kernel.initial_states(placements)
         occupied: dict[PackedState, int] = {}
         graph = kernel.reachable(seeds, occupied_out=occupied)
@@ -281,8 +312,7 @@ def _verify_packed(
             else:
                 allowed = None
             win = _winning_scc_packed(
-                topology, kernel.full_mask, graph, successors, occupied, target,
-                allowed,
+                kernel, graph, successors, occupied, target, allowed,
             )
             if win is None:
                 continue
@@ -305,6 +335,7 @@ def _verify_packed(
                 states_explored=total_states,
                 transitions_explored=total_transitions,
                 chirality_vectors=vectors,
+                scheduler=scheduler,
             )
     return ExplorationVerdict(
         algorithm_name=algorithm.name,
@@ -315,6 +346,7 @@ def _verify_packed(
         states_explored=total_states,
         transitions_explored=total_transitions,
         chirality_vectors=vectors,
+        scheduler=scheduler,
     )
 
 
@@ -326,6 +358,7 @@ def synthesize_trap(
     max_states: int = 2_000_000,
     backend: str = "packed",
     prop: str = "perpetual",
+    scheduler: str = "fsync",
 ) -> TrapCertificate:
     """Produce a validated trap for an instance known to be non-explorable.
 
@@ -334,7 +367,7 @@ def synthesize_trap(
     """
     verdict = verify_exploration(
         algorithm, topology, k, chirality_vectors, max_states, validate=True,
-        backend=backend, prop=prop,
+        backend=backend, prop=prop, scheduler=scheduler,
     )
     if verdict.explorable or verdict.certificate is None:
         raise VerificationError(
@@ -387,16 +420,25 @@ def _avoid_reachable_packed(
 
 def _winning_scc(
     topology: Topology,
-    graph: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]],
+    graph: dict[SysState, list[tuple]],
     target: NodeId,
-    allowed: Optional[set[SysState]] = None,
+    allowed: Optional[set[SysState]],
+    scheduler: str,
+    k: int,
 ) -> Optional[tuple[set[SysState], list[_InternalTransition]]]:
     """Find an SCC of the target-avoiding subgraph within recurrence budget.
 
     ``allowed`` (live property) further restricts the arena to the states
-    reachable while avoiding the target from round 0.
+    reachable while avoiding the target from round 0. Under SSYNC a
+    winning SCC must also activate every robot across its internal
+    transitions — otherwise no fair play can stay inside it forever.
+    ``scheduler`` and ``k`` are deliberately required: defaulting either
+    would let a caller disarm the fairness check silently (an empty
+    ``all_robots`` rejects every SCC — a false EXPLORES).
     """
     budget = 1 if topology.is_ring else 0
+    ssync = scheduler == "ssync"
+    all_robots: frozenset[RobotId] = frozenset(range(k))
     if allowed is not None:
         avoiding = allowed
     else:
@@ -419,16 +461,24 @@ def _winning_scc(
         component_set = set(component)
         internal: list[_InternalTransition] = []
         union: set[EdgeId] = set()
+        act_union: set[RobotId] = set()
         for state in component:
             for label, succ in graph[state]:
                 if succ in component_set:
                     internal.append((state, label, succ))
-                    union.update(label)
+                    if ssync:
+                        union.update(label[0])
+                        act_union.update(label[1])
+                    else:
+                        union.update(label)
         if not internal:
             continue
         missing = topology.all_edges - union
-        if len(missing) <= budget:
-            return component_set, internal
+        if len(missing) > budget:
+            continue
+        if ssync and act_union != all_robots:
+            continue
+        return component_set, internal
     return None
 
 
@@ -485,8 +535,7 @@ def _tarjan_sccs(
 
 
 def _winning_scc_packed(
-    topology: Topology,
-    full_mask: int,
+    kernel: PackedKernel,
     graph: dict[PackedState, list[PackedTransition]],
     successors: dict[PackedState, tuple[PackedState, ...]],
     occupied: dict[PackedState, int],
@@ -496,13 +545,19 @@ def _winning_scc_packed(
     """Packed twin of :func:`_winning_scc`.
 
     Labels are bitmasks, so the recurrent-edge union is a running OR and
-    the budget check a popcount. Tarjan runs inline over the shared
-    deduplicated ``successors`` lists, filtering to the target-avoiding
-    subgraph on the fly, and each emitted SCC is checked immediately —
-    the same components in the same emission order as the generic
+    the budget check a popcount; under SSYNC the same running OR
+    accumulates the activation bits, making the fairness check one shift
+    and compare. Tarjan runs inline over the shared deduplicated
+    ``successors`` lists, filtering to the target-avoiding subgraph on
+    the fly, and each emitted SCC is checked immediately — the same
+    components in the same emission order as the generic
     :func:`_tarjan_sccs` walk the object path uses.
     """
-    budget = 1 if topology.is_ring else 0
+    budget = 1 if kernel.topology.is_ring else 0
+    full_mask = kernel.full_mask
+    ssync = kernel.scheduler == "ssync"
+    act_shift = kernel.act_shift
+    full_act = kernel.full_act
     target_bit = 1 << target
     if allowed is not None:
         avoiding = allowed
@@ -564,8 +619,13 @@ def _winning_scc_packed(
                     if succ in component_set:
                         internal.append((state, mask, succ))
                         union |= mask
-            if internal and (full_mask & ~union).bit_count() <= budget:
-                return component_set, internal
+            if not internal:
+                continue
+            if (full_mask & ~union).bit_count() > budget:
+                continue
+            if ssync and union >> act_shift != full_act:
+                continue
+            return component_set, internal
     return None
 
 
@@ -584,6 +644,10 @@ def _extract_certificate_packed(
     The lasso (BFS prefix into the SCC, greedy cover of the recurrent
     edge union, connecting internal walks) is built entirely on ints;
     only the final prefix/cycle masks and the seed state are decoded.
+    Under SSYNC the labels carry the activation bits above the edge bits,
+    so the very same greedy cover also guarantees every robot of the
+    SCC's activation union is activated within one cycle — the fairness
+    the criterion promised.
     """
     # --- prefix: BFS from the seeds into the SCC (within ``restrict``,
     # the target-avoiding arena, when the property demands it) -----------
@@ -685,15 +749,27 @@ def _extract_certificate_packed(
     missing_mask = kernel.full_mask & ~realized_union
     seed_positions, _seed_states = kernel.decode(seed_state)
 
+    if kernel.scheduler == "ssync":
+        prefix_activations = tuple(
+            kernel.move_activations(mask) for mask in prefix_masks
+        )
+        cycle_activations = tuple(
+            kernel.move_activations(mask) for mask in cycle_masks
+        )
+    else:
+        prefix_activations = None
+        cycle_activations = None
     return TrapCertificate(
         algorithm_name=kernel.algorithm.name,
         topology=kernel.topology,
         chiralities=chiralities,
         seed_positions=seed_positions,
-        prefix=tuple(kernel.mask_to_edges(mask) for mask in prefix_masks),
-        cycle=tuple(kernel.mask_to_edges(mask) for mask in cycle_masks),
+        prefix=tuple(kernel.move_edges(mask) for mask in prefix_masks),
+        cycle=tuple(kernel.move_edges(mask) for mask in cycle_masks),
         starved_node=target,
         eventually_missing=kernel.mask_to_edges(missing_mask),
+        prefix_activations=prefix_activations,
+        cycle_activations=cycle_activations,
     )
 
 
@@ -701,14 +777,28 @@ def _extract_certificate(
     topology: Topology,
     algorithm: Algorithm,
     chiralities: tuple[Chirality, ...],
-    graph: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]],
+    graph: dict[SysState, list[tuple]],
     seeds: Sequence[SysState],
     target: NodeId,
     scc_states: set[SysState],
     internal: list[_InternalTransition],
     restrict: Optional[set[SysState]] = None,
+    scheduler: str = "fsync",
 ) -> TrapCertificate:
-    """Build the lasso certificate for a winning SCC."""
+    """Build the lasso certificate for a winning SCC.
+
+    Under SSYNC each label is a ``(present-edges, activated-robots)``
+    pair; the greedy cover then runs over the disjoint union of both
+    parts, so the exhibited cycle both realizes the SCC's recurrent edge
+    set and activates every robot of its activation union (fairness).
+    """
+    ssync = scheduler == "ssync"
+
+    def cover_set(label) -> frozenset:
+        if ssync:
+            present, active = label
+            return present | {("act", robot) for robot in active}
+        return label
     # --- prefix: BFS from the seeds into the SCC (within ``restrict``,
     # the target-avoiding arena, when the property demands it) -----------
     parent: dict[SysState, Optional[tuple[SysState, frozenset[EdgeId]]]] = {}
@@ -737,7 +827,7 @@ def _extract_certificate(
     if entry is None:  # pragma: no cover - SCC is reachable by construction
         raise VerificationError("winning SCC unreachable from seeds")
 
-    prefix: list[frozenset[EdgeId]] = []
+    prefix: list = []
     cursor = entry
     while parent[cursor] is not None:
         prev, label = parent[cursor]  # type: ignore[misc]
@@ -746,16 +836,17 @@ def _extract_certificate(
     prefix.reverse()
     seed_state = cursor
 
-    # --- cycle: closed walk covering the SCC's recurrent edge union -----
-    union: set[EdgeId] = set()
+    # --- cycle: closed walk covering the SCC's recurrent edge union
+    # (and, under SSYNC, its activation union) ---------------------------
+    union: set = set()
     for _state, label, _succ in internal:
-        union.update(label)
+        union.update(cover_set(label))
     remaining = set(union)
     cover: list[_InternalTransition] = []
     pool = list(internal)
     while remaining:
-        best = max(pool, key=lambda tr: len(tr[1] & remaining))
-        gain = best[1] & remaining
+        best = max(pool, key=lambda tr: len(cover_set(tr[1]) & remaining))
+        gain = cover_set(best[1]) & remaining
         if not gain:  # pragma: no cover - remaining ⊆ union by construction
             raise VerificationError("cover construction stalled")
         cover.append(best)
@@ -763,15 +854,15 @@ def _extract_certificate(
     if not cover:
         cover = [internal[0]]
 
-    adjacency: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]] = {}
+    adjacency: dict[SysState, list[tuple]] = {}
     for state, label, succ in internal:
         adjacency.setdefault(state, []).append((label, succ))
 
-    def internal_path(src: SysState, dst: SysState) -> list[frozenset[EdgeId]]:
+    def internal_path(src: SysState, dst: SysState) -> list:
         """Labels of a shortest internal walk src → dst within the SCC."""
         if src == dst:
             return []
-        back: dict[SysState, tuple[SysState, frozenset[EdgeId]]] = {}
+        back: dict[SysState, tuple] = {}
         bfs: deque[SysState] = deque([src])
         seen = {src}
         while bfs:
@@ -787,7 +878,7 @@ def _extract_certificate(
                 bfs.append(succ)
         if dst not in back:  # pragma: no cover - SCC is strongly connected
             raise VerificationError("SCC internal path missing")
-        labels: list[frozenset[EdgeId]] = []
+        labels: list = []
         node = dst
         while node != src:
             prev, label = back[node]
@@ -796,7 +887,7 @@ def _extract_certificate(
         labels.reverse()
         return labels
 
-    cycle: list[frozenset[EdgeId]] = []
+    cycle: list = []
     cursor = entry
     for state, label, succ in cover:
         cycle.extend(internal_path(cursor, state))
@@ -804,8 +895,19 @@ def _extract_certificate(
         cursor = succ
     cycle.extend(internal_path(cursor, entry))
 
+    if ssync:
+        prefix_edges = tuple(label[0] for label in prefix)
+        cycle_edges = tuple(label[0] for label in cycle)
+        prefix_activations = tuple(label[1] for label in prefix)
+        cycle_activations = tuple(label[1] for label in cycle)
+    else:
+        prefix_edges = tuple(prefix)
+        cycle_edges = tuple(cycle)
+        prefix_activations = None
+        cycle_activations = None
+
     realized_union: set[EdgeId] = set()
-    for step in cycle:
+    for step in cycle_edges:
         realized_union.update(step)
     missing = topology.all_edges - realized_union
 
@@ -814,10 +916,12 @@ def _extract_certificate(
         topology=topology,
         chiralities=chiralities,
         seed_positions=seed_state[0],
-        prefix=tuple(prefix),
-        cycle=tuple(cycle),
+        prefix=prefix_edges,
+        cycle=cycle_edges,
         starved_node=target,
         eventually_missing=frozenset(missing),
+        prefix_activations=prefix_activations,
+        cycle_activations=cycle_activations,
     )
 
 

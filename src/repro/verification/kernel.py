@@ -37,6 +37,22 @@ range over all subsets, in the same order), so
 ``ProductSystem(backend="packed").reachable()`` decodes to a graph
 *identical* to the object backend's — same states, same per-state
 transition order.
+
+**Schedulers.** The adversary move is really a *(edge-mask,
+activation-mask)* pair. Under ``scheduler="fsync"`` (the default) the
+activation mask is constantly "everyone", so it is not materialized and
+transition labels are bare edge bitmasks — bit-for-bit the historical
+tables. Under ``scheduler="ssync"`` the adversary also picks which
+non-empty robot subset performs its atomic Look–Compute–Move cycle this
+round (the semi-synchronous model of Di Luna et al.); a transition label
+packs both choices into one int, edge bits low, activation bits at
+:attr:`PackedKernel.act_shift`. Inactive robots contribute identity
+transitions (position and state unchanged); *fairness* — every robot
+activated infinitely often — is not a per-move constraint but a property
+of infinite plays, enforced by the game solver's winning-SCC criterion
+(:mod:`repro.verification.game`). Use :meth:`PackedKernel.split_move` /
+:meth:`~PackedKernel.move_edges` / :meth:`~PackedKernel.move_activations`
+to read a label without caring which scheduler produced it.
 """
 
 from __future__ import annotations
@@ -53,14 +69,28 @@ from repro.graph.topology import (
 from repro.robots.algorithms.base import Algorithm
 from repro.robots.algorithms.tables import TableAlgorithm
 from repro.robots.view import ALL_VIEWS
+from repro.sim import SCHEDULERS
 from repro.sim.engine import local_ports
-from repro.types import Chirality, Direction, EdgeId, NodeId
+from repro.types import Chirality, Direction, EdgeId, NodeId, RobotId
 
 PackedState = int
 """A product state packed into one integer (see module docstring)."""
 
 PackedTransition = tuple[int, PackedState]
-"""An adversary move (edge bitmask) and the resulting packed state."""
+"""An adversary move label and the resulting packed state.
+
+The label is an edge bitmask under FSYNC; under SSYNC it additionally
+carries the activation bitmask above the edge bits (see module
+docstring). :meth:`PackedKernel.split_move` decodes either."""
+
+
+def check_scheduler(scheduler: str) -> str:
+    """Validate a scheduler name (shared by kernel, product, game, sweeps)."""
+    if scheduler not in SCHEDULERS:
+        raise VerificationError(
+            f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+        )
+    return scheduler
 
 SysState = tuple[tuple[NodeId, ...], tuple[Hashable, ...]]
 """Object-level product state, as in :mod:`repro.verification.product`."""
@@ -192,8 +222,10 @@ class PackedKernel:
     Semantically equivalent to
     :class:`~repro.verification.product.ProductSystem` restricted to the
     same chirality vector; representationally, states are ints and moves
-    are edge bitmasks. Use :meth:`encode`/:meth:`decode` and
-    :meth:`edges_to_mask`/:meth:`mask_to_edges` to cross between the two
+    are bit-packed ``(edge-mask, activation-mask)`` pairs (the activation
+    part exists only under ``scheduler="ssync"``). Use
+    :meth:`encode`/:meth:`decode`, :meth:`edges_to_mask`/
+    :meth:`mask_to_edges` and :meth:`split_move` to cross between the two
     worlds.
     """
 
@@ -203,6 +235,7 @@ class PackedKernel:
         algorithm: Algorithm,
         chiralities: Sequence[Chirality],
         max_states: int = 2_000_000,
+        scheduler: str = "fsync",
     ) -> None:
         if not algorithm.is_finite_state:
             raise VerificationError(
@@ -215,9 +248,14 @@ class PackedKernel:
         if self.k < 1:
             raise VerificationError("need at least one robot")
         self.max_states = max_states
+        self.scheduler = check_scheduler(scheduler)
         self.n = topology.n
         self.m = topology.edge_count
         self.full_mask = (1 << self.m) - 1
+        #: Bit position of the activation mask inside an SSYNC move label.
+        self.act_shift = self.m
+        #: The everyone-active robot bitmask.
+        self.full_act = (1 << self.k) - 1
 
         (
             self._state_objects,
@@ -305,6 +343,28 @@ class PackedKernel:
             self._mask_edges_cache[mask] = cached
         return cached
 
+    def split_move(self, label: int) -> tuple[int, int]:
+        """The ``(edge-mask, activation-mask)`` parts of a transition label.
+
+        Under FSYNC the label *is* the edge mask and the activation mask
+        is constantly "everyone"; under SSYNC both parts are packed into
+        the label (edges low, activations from :attr:`act_shift` up).
+        """
+        if self.scheduler == "ssync":
+            return label & self.full_mask, label >> self.act_shift
+        return label, self.full_act
+
+    def move_edges(self, label: int) -> frozenset[EdgeId]:
+        """The present-edge set of a transition label (either scheduler)."""
+        return self.mask_to_edges(label & self.full_mask)
+
+    def move_activations(self, label: int) -> frozenset[RobotId]:
+        """The activated-robot set of a transition label (either scheduler)."""
+        _edges, act = self.split_move(label)
+        return frozenset(
+            robot for robot in range(self.k) if act >> robot & 1
+        )
+
     # ------------------------------------------------------------------
     # Adversary moves
     # ------------------------------------------------------------------
@@ -346,20 +406,84 @@ class PackedKernel:
     # ------------------------------------------------------------------
     # Transitions
     # ------------------------------------------------------------------
-    def step_packed(
-        self, packed: PackedState, present_mask: int
-    ) -> tuple[PackedState, tuple[bool, ...]]:
-        """One round on packed data; returns (successor, moved flags)."""
+    def _state_tables(
+        self, state: PackedState
+    ) -> tuple[list[int], int, list[tuple]]:
+        """Mask-independent per-state tables, shared by both reachability
+        loops (runs once per state, never per move).
+
+        Returns ``(idle_slots, occupied, per_robot)``: each robot's
+        current ``position * S + state_index`` slot (what an inactive
+        SSYNC robot contributes to the successor), the occupied-node
+        bitmask, and — in robot index order — the per-robot move tuple
+        ``(position, view row with the multiplicity bit folded in, left
+        port mask, right port mask, pointer row, move masks, move
+        dests)``.
+        """
         base = self._base
         state_count = self.state_count
         positions: list[NodeId] = []
+        idle_slots: list[int] = []
         rows: list[int] = []
+        x = state
+        for _ in range(self.k):
+            x, slot = divmod(x, base)
+            position, s = divmod(slot, state_count)
+            positions.append(position)
+            idle_slots.append(slot)
+            rows.append(s * 8)
+        occupied = 0
+        towers = 0
+        for position in positions:
+            bit = 1 << position
+            if occupied & bit:
+                towers |= bit
+            occupied |= bit
+        per_robot: list[tuple] = []
+        for i in range(self.k):
+            position = positions[i]
+            left_masks, right_masks, move_masks, move_dests = self._robot_tables[i]
+            view = rows[i]
+            if towers >> position & 1:
+                view += 1
+            per_robot.append(
+                (
+                    position,
+                    view,
+                    left_masks[position],
+                    right_masks[position],
+                    position * 2,
+                    move_masks,
+                    move_dests,
+                )
+            )
+        return idle_slots, occupied, per_robot
+
+    def step_packed(
+        self,
+        packed: PackedState,
+        present_mask: int,
+        act_mask: Optional[int] = None,
+    ) -> tuple[PackedState, tuple[bool, ...]]:
+        """One round on packed data; returns (successor, moved flags).
+
+        ``act_mask`` is the activated-robot bitmask of a semi-synchronous
+        round (``None`` = everyone, the FSYNC round). Inactive robots keep
+        their position *and* state — they still count for multiplicity
+        detection, exactly as in :func:`repro.sim.semi_sync.step_ssync`.
+        """
+        if act_mask is None:
+            act_mask = self.full_act
+        base = self._base
+        state_count = self.state_count
+        positions: list[NodeId] = []
+        states_idx: list[int] = []
         x = packed
         for _ in range(self.k):
             x, slot = divmod(x, base)
             position, s = divmod(slot, state_count)
             positions.append(position)
-            rows.append(s * 8)
+            states_idx.append(s)
         occupied = 0
         towers = 0
         for position in positions:
@@ -373,8 +497,11 @@ class PackedKernel:
         moved = [False] * self.k
         for i in range(self.k - 1, -1, -1):
             position = positions[i]
+            if not act_mask >> i & 1:
+                successor = successor * base + position * state_count + states_idx[i]
+                continue
             left_masks, right_masks, move_masks, move_dests = self._robot_tables[i]
-            view = rows[i]
+            view = states_idx[i] * 8
             if present_mask & left_masks[position]:
                 view += 4
             if present_mask & right_masks[position]:
@@ -391,10 +518,23 @@ class PackedKernel:
             successor = successor * base + landing * state_count + new_state
         return successor, tuple(moved)
 
-    def step(self, state: SysState, present: frozenset[EdgeId]) -> SysState:
+    def step(
+        self,
+        state: SysState,
+        present: frozenset[EdgeId],
+        active: Optional[Iterable[RobotId]] = None,
+    ) -> SysState:
         """Object-level convenience wrapper around :meth:`step_packed`."""
+        if active is None:
+            act_mask = None
+        else:
+            # OR, not sum: a duplicated robot id must be idempotent, not
+            # silently activate a different robot.
+            act_mask = 0
+            for robot in active:
+                act_mask |= 1 << robot
         successor, _moved = self.step_packed(
-            self.encode(state), self.edges_to_mask(present)
+            self.encode(state), self.edges_to_mask(present), act_mask
         )
         return self.decode(successor)
 
@@ -466,62 +606,29 @@ class PackedKernel:
             if seed not in graph:
                 graph[seed] = []
                 frontier.append(seed)
+        if self.scheduler == "ssync":
+            return self._reachable_ssync(graph, frontier, occupied_out)
         if self.k == 1:
             return self._reachable_k1(graph, frontier, occupied_out)
 
-        k = self.k
         base = self._base
         state_count = self.state_count
         transitions = self._transitions
         dir_bits = self._dir_bits
-        robot_tables = self._robot_tables
         max_states = self.max_states
         moves_cache = self._moves_cache
         moves_for_occupied = self.moves_for_occupied
-        robot_range = tuple(range(k - 1, -1, -1))
+        state_tables = self._state_tables
 
         while frontier:
             state = frontier.pop()
             out = graph[state]
-            positions: list[NodeId] = []
-            rows: list[int] = []
-            x = state
-            for _ in range(k):
-                x, slot = divmod(x, base)
-                position, s = divmod(slot, state_count)
-                positions.append(position)
-                rows.append(s * 8)
-            occupied = 0
-            towers = 0
-            for position in positions:
-                bit = 1 << position
-                if occupied & bit:
-                    towers |= bit
-                occupied |= bit
+            # Everything mask-independent is hoisted out of the move loop
+            # (reversed: the successor is composed high slot first).
+            _idle_slots, occupied, per_robot_fwd = state_tables(state)
+            per_robot = per_robot_fwd[::-1]
             if occupied_out is not None:
                 occupied_out[state] = occupied
-            # Everything mask-independent is hoisted out of the move loop:
-            # per robot (high slot first) the position, the view row with
-            # the multiplicity bit folded in, its port masks and its
-            # pointer row.
-            per_robot = []
-            for i in robot_range:
-                position = positions[i]
-                left_masks, right_masks, move_masks, move_dests = robot_tables[i]
-                view = rows[i]
-                if towers >> position & 1:
-                    view += 1
-                per_robot.append(
-                    (
-                        position,
-                        view,
-                        left_masks[position],
-                        right_masks[position],
-                        position * 2,
-                        move_masks,
-                        move_dests,
-                    )
-                )
             moves = moves_cache.get(occupied)
             if moves is None:
                 moves = moves_for_occupied(occupied)
@@ -548,6 +655,78 @@ class PackedKernel:
                         )
                     graph[successor] = []
                     frontier.append(successor)
+        return graph
+
+    def _reachable_ssync(
+        self,
+        graph: dict[PackedState, list[PackedTransition]],
+        frontier: list[PackedState],
+        occupied_out: Optional[dict[PackedState, int]],
+    ) -> dict[PackedState, list[PackedTransition]]:
+        """Semi-synchronous body of :meth:`reachable`.
+
+        Per state the move loop is the FSYNC edge-mask enumeration crossed
+        with every non-empty activation subset, in ascending activation-
+        mask order. The per-robot Look–Compute–Move outcome depends only
+        on the edge mask, so it is computed once per (state, edge mask)
+        and activation subsets merely select between the active landing
+        slot and the robot's untouched current slot.
+        """
+        k = self.k
+        base = self._base
+        state_count = self.state_count
+        transitions = self._transitions
+        dir_bits = self._dir_bits
+        max_states = self.max_states
+        moves_cache = self._moves_cache
+        moves_for_occupied = self.moves_for_occupied
+        act_shift = self.act_shift
+        full_act = self.full_act
+        state_tables = self._state_tables
+        robot_range = tuple(range(k - 1, -1, -1))
+
+        while frontier:
+            state = frontier.pop()
+            out = graph[state]
+            idle_slots, occupied, per_robot = state_tables(state)
+            if occupied_out is not None:
+                occupied_out[state] = occupied
+            moves = moves_cache.get(occupied)
+            if moves is None:
+                moves = moves_for_occupied(occupied)
+            for mask in moves:
+                active_slots: list[int] = []
+                for position, view, lmask, rmask, pointer_row, mm, md in per_robot:
+                    if mask & lmask:
+                        view += 4
+                    if mask & rmask:
+                        view += 2
+                    new_state = transitions[view]
+                    pointer = pointer_row + dir_bits[new_state]
+                    if mask & mm[pointer]:
+                        landing = md[pointer]
+                    else:
+                        landing = position
+                    active_slots.append(landing * state_count + new_state)
+                for act in range(1, full_act + 1):
+                    successor = 0
+                    for i in robot_range:
+                        slot = (
+                            active_slots[i]
+                            if act >> i & 1
+                            else idle_slots[i]
+                        )
+                        successor = successor * base + slot
+                    out.append((mask | act << act_shift, successor))
+                    if successor not in graph:
+                        if len(graph) >= max_states:
+                            raise VerificationError(
+                                f"reachable state space exceeds {max_states} "
+                                f"states for {self.algorithm.name!r} on "
+                                f"{self.topology!r}"
+                            )
+                        graph[successor] = []
+                        frontier.append(successor)
         return graph
 
     def _reachable_k1(
@@ -611,10 +790,25 @@ class PackedKernel:
 
     def decode_graph(
         self, graph: dict[PackedState, list[PackedTransition]]
-    ) -> dict[SysState, list[tuple[frozenset[EdgeId], SysState]]]:
-        """Decode a packed graph into the object-level representation."""
+    ) -> dict[SysState, list[tuple]]:
+        """Decode a packed graph into the object-level representation.
+
+        FSYNC labels decode to present-edge frozensets; SSYNC labels to
+        ``(present-edges, activated-robots)`` pairs — matching the object
+        backend's label shape under either scheduler.
+        """
         decoded = {state: self.decode(state) for state in graph}
-        result: dict[SysState, list[tuple[frozenset[EdgeId], SysState]]] = {}
+        result: dict[SysState, list[tuple]] = {}
+        if self.scheduler == "ssync":
+            for state, out in graph.items():
+                result[decoded[state]] = [
+                    (
+                        (self.move_edges(label), self.move_activations(label)),
+                        decoded[successor],
+                    )
+                    for label, successor in out
+                ]
+            return result
         for state, out in graph.items():
             result[decoded[state]] = [
                 (self.mask_to_edges(mask), decoded[successor])
@@ -628,4 +822,5 @@ __all__ = [
     "PackedTransition",
     "PackedKernel",
     "STATE_TABLE_LIMIT",
+    "check_scheduler",
 ]

@@ -2,9 +2,11 @@
 
 A *system state* is ``(positions, states)`` — chirality is fixed per
 exploration (it never changes during an execution). The adversary's move
-at a state is a present-edge set; the robots' deterministic response is
-computed by :func:`repro.sim.engine.step_fsync`, the same function the
-simulator runs, so solver and simulator can never disagree on semantics.
+at a state is a present-edge set — under ``scheduler="ssync"`` paired
+with a non-empty activated-robot set; the robots' deterministic response
+is computed by :func:`repro.sim.engine.step_fsync` (respectively
+:func:`repro.sim.semi_sync.step_ssync`), the same functions the
+simulators run, so solver and simulator can never disagree on semantics.
 
 Two interchangeable backends compute :meth:`ProductSystem.reachable`: the
 ``object`` path steps ``step_fsync`` per transition (the semantics
@@ -38,8 +40,9 @@ from repro.graph.topology import (
 from repro.robots.algorithms.base import Algorithm
 from repro.sim.config import Configuration
 from repro.sim.engine import step_fsync
-from repro.types import Chirality, EdgeId, NodeId
-from repro.verification.kernel import PackedKernel
+from repro.sim.semi_sync import step_ssync
+from repro.types import Chirality, EdgeId, NodeId, RobotId
+from repro.verification.kernel import PackedKernel, check_scheduler
 
 BACKENDS = ("packed", "object")
 """Known verification backends, fastest first."""
@@ -56,8 +59,14 @@ def check_backend(backend: str) -> str:
 SysState = tuple[tuple[NodeId, ...], tuple[Hashable, ...]]
 """A product state: (robot positions, robot algorithm states)."""
 
-Transition = tuple[frozenset[EdgeId], "SysState"]
-"""An adversary move (present-edge set) and the resulting state."""
+SsyncMove = tuple[frozenset[EdgeId], frozenset[RobotId]]
+"""An SSYNC adversary move: (present-edge set, activated-robot set)."""
+
+Transition = tuple["frozenset[EdgeId] | SsyncMove", "SysState"]
+"""An adversary move and the resulting state.
+
+The move is a bare present-edge set under FSYNC and an
+:data:`SsyncMove` pair under SSYNC."""
 
 
 class ProductSystem:
@@ -78,10 +87,17 @@ class ProductSystem:
     backend:
         ``"packed"`` (default) explores reachability on the int-packed
         kernel (:mod:`repro.verification.kernel`) and decodes the result;
-        ``"object"`` steps :func:`repro.sim.engine.step_fsync` per
-        transition. Both produce the *identical* graph — the object path
-        is kept as the semantics oracle. :meth:`step` always uses the
-        engine, whatever the backend.
+        ``"object"`` steps :func:`repro.sim.engine.step_fsync` (or
+        :func:`repro.sim.semi_sync.step_ssync`) per transition. Both
+        produce the *identical* graph — the object path is kept as the
+        semantics oracle. :meth:`step` always uses the engine, whatever
+        the backend.
+    scheduler:
+        ``"fsync"`` (default): every robot acts every round, moves are
+        bare present-edge sets. ``"ssync"``: the adversary additionally
+        activates a non-empty robot subset per round and moves are
+        :data:`SsyncMove` pairs; fairness is the game solver's concern,
+        not a per-move constraint.
     """
 
     def __init__(
@@ -91,6 +107,7 @@ class ProductSystem:
         chiralities: Sequence[Chirality],
         max_states: int = 2_000_000,
         backend: str = "packed",
+        scheduler: str = "fsync",
     ) -> None:
         if not algorithm.is_finite_state:
             raise VerificationError(
@@ -104,16 +121,39 @@ class ProductSystem:
             raise VerificationError("need at least one robot")
         self.max_states = max_states
         self.backend = check_backend(backend)
+        self.scheduler = check_scheduler(scheduler)
         self._kernel: Optional[PackedKernel] = None
         self._moves_cache: dict[frozenset[NodeId], tuple[frozenset[EdgeId], ...]] = {}
+        self._activation_sets: Optional[tuple[frozenset[RobotId], ...]] = None
 
     def kernel(self) -> PackedKernel:
         """The (lazily built) packed kernel for this instance."""
         if self._kernel is None:
             self._kernel = PackedKernel(
-                self.topology, self.algorithm, self.chiralities, self.max_states
+                self.topology,
+                self.algorithm,
+                self.chiralities,
+                self.max_states,
+                scheduler=self.scheduler,
             )
         return self._kernel
+
+    def activation_sets(self) -> tuple[frozenset[RobotId], ...]:
+        """Every non-empty activated-robot subset, ascending bitmask order.
+
+        The SSYNC activation axis of the adversary's move; the order
+        matches the packed kernel's ``act`` loop so both backends emit
+        per-state transitions identically. Cached: reachability consults
+        it once per state and it depends only on ``k``.
+        """
+        if self._activation_sets is None:
+            self._activation_sets = tuple(
+                frozenset(
+                    robot for robot in range(self.k) if act >> robot & 1
+                )
+                for act in range(1, 1 << self.k)
+            )
+        return self._activation_sets
 
     # ------------------------------------------------------------------
     # Adversary moves
@@ -149,19 +189,41 @@ class ProductSystem:
     # ------------------------------------------------------------------
     # Transitions
     # ------------------------------------------------------------------
-    def step(self, state: SysState, present: frozenset[EdgeId]) -> SysState:
-        """The robots' deterministic response to one adversary move."""
+    def step(
+        self,
+        state: SysState,
+        present: frozenset[EdgeId],
+        active: Optional[frozenset[RobotId]] = None,
+    ) -> SysState:
+        """The robots' deterministic response to one adversary move.
+
+        ``active`` selects the robots performing their atomic L-C-M cycle
+        this round (``None`` = everyone, the FSYNC round); either way the
+        transition is computed by the corresponding *simulator* step
+        function, keeping this path the semantics oracle.
+        """
         positions, states = state
         configuration = Configuration(
             positions=positions, states=states, chiralities=self.chiralities
         )
-        after, _views, _moved = step_fsync(
-            self.topology, self.algorithm, configuration, present
-        )
+        if active is None:
+            after, _views, _moved = step_fsync(
+                self.topology, self.algorithm, configuration, present
+            )
+        else:
+            after, _views, _moved = step_ssync(
+                self.topology, self.algorithm, configuration, present, active
+            )
         return (after.positions, after.states)
 
     def transitions(self, state: SysState) -> Iterator[Transition]:
         """All (move, successor) pairs from ``state``."""
+        if self.scheduler == "ssync":
+            activations = self.activation_sets()
+            for present in self.adversary_moves(state[0]):
+                for active in activations:
+                    yield (present, active), self.step(state, present, active)
+            return
         for present in self.adversary_moves(state[0]):
             yield present, self.step(state, present)
 
@@ -230,4 +292,12 @@ class ProductSystem:
         return graph
 
 
-__all__ = ["SysState", "Transition", "ProductSystem", "BACKENDS", "check_backend"]
+__all__ = [
+    "SysState",
+    "SsyncMove",
+    "Transition",
+    "ProductSystem",
+    "BACKENDS",
+    "check_backend",
+    "check_scheduler",
+]

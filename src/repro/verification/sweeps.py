@@ -38,7 +38,7 @@ from repro.robots.algorithms.tables import (
 )
 from repro.types import Chirality, NodeId
 from repro.verification.game import check_property, verify_exploration
-from repro.verification.product import check_backend
+from repro.verification.product import check_backend, check_scheduler
 
 
 @dataclass
@@ -173,12 +173,14 @@ def check_algorithm_class(
     validate: bool,
     placements: Optional[Sequence[Sequence[NodeId]]] = None,
     prop: str = "perpetual",
+    scheduler: str = "fsync",
 ) -> tuple[bool, int]:
     """Verify one table under a chirality fallback plan.
 
     Returns ``(trapped, states_explored)``; the table fails the spec as
-    soon as any stage of the plan finds a trap. ``placements`` and
-    ``prop`` select the start policy and the exploration property, as in
+    soon as any stage of the plan finds a trap. ``placements``, ``prop``
+    and ``scheduler`` select the start policy, the exploration property
+    and the execution scheduler, as in
     :func:`~repro.verification.game.verify_exploration`.
     """
     states = 0
@@ -195,6 +197,7 @@ def check_algorithm_class(
             certificates=validate,
             placements=placements,
             prop=prop,
+            scheduler=scheduler,
         )
         states += verdict.states_explored
         if not verdict.explorable:
@@ -210,6 +213,7 @@ def sweep_chunk(
     validate: bool = False,
     starts: str = "well",
     prop: str = "perpetual",
+    scheduler: str = "fsync",
 ) -> _ChunkOutcome:
     """Verify one chunk of table bit-patterns, in-process.
 
@@ -228,7 +232,7 @@ def sweep_chunk(
         algorithm = maker(bits)
         hit, explored = check_algorithm_class(
             algorithm, topology, k, plan, backend, validate,
-            placements=placements, prop=prop,
+            placements=placements, prop=prop, scheduler=scheduler,
         )
         total += 1
         states += explored
@@ -240,15 +244,17 @@ def sweep_chunk(
 
 
 def _sweep_chunk(
-    payload: tuple[str, int, tuple[int, ...], str, bool, str, str]
+    payload: tuple[str, int, tuple[int, ...], str, bool, str, str, str]
 ) -> _ChunkOutcome:
     """Tuple-payload wrapper of :func:`sweep_chunk` (worker body).
 
     Top-level by necessity: chunks are shipped to ``multiprocessing``
     workers, so both the function and its payload must pickle.
     """
-    family, n, bits_chunk, backend, validate, starts, prop = payload
-    return sweep_chunk(family, n, bits_chunk, backend, validate, starts, prop)
+    family, n, bits_chunk, backend, validate, starts, prop, scheduler = payload
+    return sweep_chunk(
+        family, n, bits_chunk, backend, validate, starts, prop, scheduler
+    )
 
 
 def available_cpus() -> int:
@@ -303,21 +309,24 @@ def run_table_sweep(
     jobs: Optional[int] = 1,
     starts: str = "well",
     prop: str = "perpetual",
+    scheduler: str = "fsync",
 ) -> SweepResult:
     """Verify every bit pattern and fold the tallies into ``result``.
 
     Deterministic by construction: ``pool.map`` preserves chunk order and
     chunks are contiguous, so explorers arrive in input order whatever
-    ``jobs`` is. ``starts`` and ``prop`` select the start policy and the
-    exploration property for every member.
+    ``jobs`` is. ``starts``, ``prop`` and ``scheduler`` select the start
+    policy, the exploration property and the execution scheduler for
+    every member.
     """
     _check_family(family)
     check_backend(backend)
     check_start_policy(starts)
     check_property(prop)
+    check_scheduler(scheduler)
     jobs = resolve_jobs(jobs)
     payloads = [
-        (family, result.n, chunk, backend, validate, starts, prop)
+        (family, result.n, chunk, backend, validate, starts, prop, scheduler)
         for chunk in _chunked(bit_patterns, jobs)
     ]
     if jobs <= 1 or len(payloads) <= 1:

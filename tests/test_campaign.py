@@ -160,10 +160,27 @@ class TestScenarioDimensions:
         assert outcome.status.complete
         assert outcome.status.total == 4
 
+    def test_ssync_campaign_runs_end_to_end(self, tmp_path: Path) -> None:
+        # The scheduler axis is executable since the scheduler-generic
+        # verification core: an SSYNC campaign runs, checkpoints and
+        # reports exactly like an FSYNC one (and, per Di Luna et al.,
+        # every memoryless single-robot table stays trapped).
+        spec = tiny_spec(scheduler="ssync")
+        runner = runner_for(tmp_path, "a")
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        assert outcome.status.all_trapped
+        report = json.loads(runner.report_text(spec))
+        assert report["scenario"]["scheduler"] == "ssync"
+        assert report["total"] == report["trapped"] == 24
+        # The scheduler is part of the semantic payload: the SSYNC twin
+        # of a workload must never collide with its FSYNC store records.
+        assert spec.scenario_id != tiny_spec().scenario_id
+        rerun = runner.run(spec)
+        assert rerun.chunks_run == 0
+
     def test_unrunnable_scenarios_refused(self, tmp_path: Path) -> None:
         runner = runner_for(tmp_path, "a")
-        with pytest.raises(ScenarioError):
-            runner.run(tiny_spec(scheduler="ssync"))
         with pytest.raises(ScenarioError):
             runner.run(tiny_spec(dynamics="bernoulli"))
 

@@ -100,3 +100,61 @@ class TestTamperDetection:
         bad = replace(pef1_cert, starved_node=occupied_in_cycle)
         with pytest.raises(CertificateError):
             validate_certificate(bad, PEF1())
+
+
+@pytest.fixture(scope="module")
+def ssync_cert():
+    """A genuine validated SSYNC trap for PEF_2 (k=2) on the 4-ring."""
+    return synthesize_trap(PEF2(), RingTopology(4), k=2, scheduler="ssync")
+
+
+class TestSsyncCertificates:
+    def test_validates_cleanly_and_is_tagged(self, ssync_cert) -> None:
+        assert ssync_cert.scheduler == "ssync"
+        assert "ssync-trap" in ssync_cert.summary()
+        validate_certificate(ssync_cert, PEF2())
+
+    def test_missing_activation_list_rejected(self, ssync_cert) -> None:
+        bad = replace(ssync_cert, prefix_activations=None)
+        with pytest.raises(CertificateError, match="activation"):
+            validate_certificate(bad, PEF2())
+
+    def test_misaligned_activation_steps_rejected(self, ssync_cert) -> None:
+        bad = replace(
+            ssync_cert,
+            cycle_activations=ssync_cert.cycle_activations
+            + (frozenset({0}),),
+        )
+        with pytest.raises(CertificateError, match="cycle activation"):
+            validate_certificate(bad, PEF2())
+
+    def test_empty_activation_step_rejected(self, ssync_cert) -> None:
+        bad = replace(
+            ssync_cert,
+            cycle_activations=(frozenset(),)
+            + ssync_cert.cycle_activations[1:],
+        )
+        with pytest.raises(CertificateError, match="empty activation"):
+            validate_certificate(bad, PEF2())
+
+    def test_unknown_robot_activation_rejected(self, ssync_cert) -> None:
+        bad = replace(
+            ssync_cert,
+            cycle_activations=(frozenset({7}),)
+            + ssync_cert.cycle_activations[1:],
+        )
+        with pytest.raises(CertificateError, match="unknown robots"):
+            validate_certificate(bad, PEF2())
+
+    def test_unfair_cycle_rejected(self, ssync_cert) -> None:
+        # Starve robot 1 of activations throughout the cycle: the
+        # unrolled play is no longer a fair SSYNC execution, however
+        # convincing the rest of the lasso looks.
+        bad = replace(
+            ssync_cert,
+            cycle_activations=tuple(
+                frozenset({0}) for _ in ssync_cert.cycle_activations
+            ),
+        )
+        with pytest.raises(CertificateError, match="unfair"):
+            validate_certificate(bad, PEF2())

@@ -101,6 +101,29 @@ class TestVerify:
         assert "nothing to save" in capsys.readouterr().err
         assert not target.exists()
 
+    def test_ssync_scheduler_flag(self, tmp_path, capsys) -> None:
+        # pef2 with k=2 explores the 3-ring under FSYNC but loses to the
+        # SSYNC activation adversary; the saved certificate must carry
+        # the activation sets and re-validate through the SSYNC engine.
+        target = tmp_path / "ssync-trap.json"
+        code = main(
+            ["verify", "--algo", "pef2", "--n", "3", "--k", "2",
+             "--scheduler", "ssync", "--save", str(target)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TRAPPED" in out
+        assert "[ssync]" in out
+        assert "activations" in out
+
+        from repro.robots.algorithms import PEF2
+        from repro.serialize import loads
+        from repro.verification.certificates import validate_certificate
+
+        restored = loads(target.read_text())
+        assert restored.scheduler == "ssync"
+        validate_certificate(restored, PEF2())
+
 
 class TestSweep:
     def test_single_robot_sweep_smoke(self, capsys) -> None:
@@ -129,6 +152,16 @@ class TestSweep:
         assert payload["trapped"] == 8
         assert payload["all_trapped"] is True
         assert payload["backend"] == "packed"
+
+    def test_ssync_sweep_smoke(self, capsys) -> None:
+        code = main(
+            ["sweep", "--robots", "2", "--n", "4", "--sample", "6",
+             "--scheduler", "ssync", "--jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6/6 trapped" in out
+        assert "[ssync]" in out
 
     def test_object_backend_selectable(self, capsys) -> None:
         code = main(

@@ -8,6 +8,10 @@ inputs:
   the simulator into genuine starvation (three full periods checked);
 * robot movement never outruns temporal reachability (engine vs the
   journey oracle);
+* the exact SSYNC verdict agrees with the constructive freeze adversary
+  of Di Luna et al. (experiment X2): every table algorithm loses under
+  SSYNC on n = 3, 4, and PEF_3+ (k = 3) flips from explorable to trapped
+  when the scheduler flips from FSYNC to SSYNC;
 * the exhaustive verdict is invariant under ring rotation of the
   footprint labels (a sanity check on the symmetry reductions).
 """
@@ -20,6 +24,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.adversary.ssync_blocker import SsyncBlocker
 from repro.graph.evolving import RecordedEvolvingGraph
 from repro.graph.journeys import temporal_reachability
 from repro.graph.schedules import BernoulliSchedule
@@ -27,6 +32,7 @@ from repro.graph.topology import RingTopology
 from repro.robots.algorithms import PEF3Plus
 from repro.robots.algorithms.tables import random_table_algorithm
 from repro.sim.engine import run_fsync
+from repro.sim.semi_sync import run_ssync
 from repro.types import AGREE, Chirality
 from repro.verification.certificates import certificate_schedule
 from repro.verification.game import verify_exploration
@@ -76,6 +82,58 @@ class TestTrapReplays:
         )
         # Theorem 4.1 predicts universal failure for this class.
         assert not verdict.explorable
+
+
+class TestSsyncSolverVsBlocker:
+    """Experiment X2, machine-checked: the exact SSYNC verdict agrees with
+    the constructive freeze adversary of Di Luna et al. — the solver says
+    *trapped*, and the blocker exhibits why (no robot ever moves)."""
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_two_robot_tables_lose_under_ssync(self, seed: int) -> None:
+        rng = random.Random(seed)
+        algorithm = random_table_algorithm(rng, memory_size=1)
+        for n in (3, 4):
+            verdict = verify_exploration(
+                algorithm, RingTopology(n), k=2, scheduler="ssync",
+                certificates=False,
+            )
+            # Di Luna et al.: SSYNC exploration of dynamic rings is
+            # impossible regardless of every other assumption.
+            assert not verdict.explorable
+
+            blocker = SsyncBlocker(RingTopology(n))
+            result = run_ssync(
+                RingTopology(n),
+                blocker,
+                blocker,
+                algorithm,
+                positions=list(range(2)),
+                rounds=120,
+            )
+            trace = result.trace
+            assert trace is not None
+            # The constructive adversary freezes the same algorithm: only
+            # the initial k < n nodes are ever visited, fairly.
+            assert trace.nodes_visited() == frozenset(range(2))
+            assert result.is_fair()
+
+    def test_pef3plus_explores_fsync_but_loses_ssync(self) -> None:
+        # The paper's flagship reason for restricting itself to FSYNC:
+        # PEF_3+ with k = 3 provably explores the 4-ring under FSYNC, yet
+        # the SSYNC activation adversary defeats it — synchrony, not
+        # robot count, is the broken leg. validate=True replays the
+        # solver's SSYNC trap through the SSYNC engine.
+        ring = RingTopology(4)
+        fsync = verify_exploration(PEF3Plus(), ring, k=3)
+        assert fsync.explorable
+        ssync = verify_exploration(
+            PEF3Plus(), ring, k=3, scheduler="ssync", validate=True
+        )
+        assert not ssync.explorable
+        cert = ssync.certificate
+        assert cert is not None and cert.scheduler == "ssync"
 
 
 class TestEngineVsJourneys:

@@ -14,7 +14,12 @@ close the triangle in both directions:
 * verdicts — ``verify_exploration`` agrees across backends (explorability,
   state and transition counts) and packed certificates replay-validate;
 * sweeps — ``sweep_*_memoryless`` results are identical for every
-  (backend, jobs) combination.
+  (backend, jobs) combination;
+* schedulers — the SSYNC twins of all of the above: packed SSYNC graphs
+  decode identically to the object backend's, SSYNC verdicts agree across
+  backends, SSYNC trap certificates replay through ``run_ssync``, and
+  with one robot the SSYNC game tallies exactly like FSYNC on all 256
+  canonical single-robot tables (all 8 views, both directions).
 """
 
 from __future__ import annotations
@@ -27,7 +32,10 @@ from repro.errors import VerificationError
 from repro.graph.schedules import BernoulliSchedule
 from repro.graph.topology import ChainTopology, RingTopology
 from repro.robots.algorithms import PEF1, PEF2, PEF3Plus, KeepDirection
-from repro.robots.algorithms.tables import random_table_algorithm
+from repro.robots.algorithms.tables import (
+    memoryless_single_robot_table_from_bits,
+    random_table_algorithm,
+)
 from repro.sim.engine import run_fsync
 from repro.types import AGREE, DISAGREE, Chirality
 from repro.verification.enumeration import (
@@ -237,6 +245,132 @@ class TestVerdictAgreement:
             )
             assert not verdict.explorable
             assert verdict.certificate is None
+
+
+class TestSsyncScheduler:
+    """Differential coverage of the scheduler-generic verification core."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_packed_ssync_graph_decodes_to_object_graph(self, seed: int) -> None:
+        rng = random.Random(4000 + seed)
+        n = rng.randint(3, 5)
+        topology = rng.choice([RingTopology(n), ChainTopology(n)])
+        k = rng.randint(1, 2)
+        chiralities = tuple(rng.choice([AGREE, DISAGREE]) for _ in range(k))
+        algorithm = random_table_algorithm(rng, memory_size=rng.randint(1, 2))
+        object_graph = ProductSystem(
+            topology, algorithm, chiralities, backend="object", scheduler="ssync"
+        ).reachable()
+        packed_graph = ProductSystem(
+            topology, algorithm, chiralities, backend="packed", scheduler="ssync"
+        ).reachable()
+        assert object_graph == packed_graph
+        # Every SSYNC label is a (present-edges, activated-robots) pair
+        # with a non-empty activation drawn from this instance's robots.
+        robots = frozenset(range(k))
+        for out in packed_graph.values():
+            for (present, active), _succ in out:
+                assert active and active <= robots
+                assert isinstance(present, frozenset)
+
+    def test_ssync_branching_is_fsync_times_activation_subsets(self) -> None:
+        # Per state the SSYNC move set is the FSYNC edge enumeration
+        # crossed with every non-empty robot subset.
+        topology = RingTopology(4)
+        fsync = ProductSystem(topology, PEF2(), (AGREE, AGREE)).reachable()
+        ssync = ProductSystem(
+            topology, PEF2(), (AGREE, AGREE), scheduler="ssync"
+        ).reachable()
+        state = next(iter(fsync))
+        assert len(ssync[state]) == len(fsync[state]) * 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ssync_backends_agree_on_random_tables(self, seed: int) -> None:
+        rng = random.Random(5000 + seed)
+        algorithm = random_table_algorithm(rng, memory_size=rng.randint(1, 2))
+        n = rng.randint(3, 4)
+        k = rng.randint(1, 2)
+        ring = RingTopology(n)
+        object_verdict = verify_exploration(
+            algorithm, ring, k=k, backend="object", scheduler="ssync",
+            validate=False,
+        )
+        packed_verdict = verify_exploration(
+            algorithm, ring, k=k, backend="packed", scheduler="ssync",
+            validate=False,
+        )
+        assert object_verdict.explorable == packed_verdict.explorable
+        assert object_verdict.states_explored == packed_verdict.states_explored
+        assert (
+            object_verdict.transitions_explored
+            == packed_verdict.transitions_explored
+        )
+
+    def test_single_robot_ssync_equals_fsync_on_all_views(self) -> None:
+        # With k = 1 the only non-empty activation subset is {0}, so the
+        # SSYNC game must tally exactly like FSYNC over the whole
+        # canonical single-robot class — all 8 views, both directions.
+        ring = RingTopology(3)
+        for bits in range(256):
+            algorithm = memoryless_single_robot_table_from_bits(bits)
+            fsync = verify_exploration(
+                algorithm, ring, k=1, certificates=False
+            )
+            ssync = verify_exploration(
+                algorithm, ring, k=1, scheduler="ssync", certificates=False
+            )
+            assert fsync.explorable == ssync.explorable, bits
+            assert fsync.states_explored == ssync.states_explored, bits
+
+    def test_ssync_certificates_replay_through_run_ssync(self) -> None:
+        # validate=True replays the packed SSYNC lasso through the SSYNC
+        # engine with the certificate's own activation sets.
+        for backend in ("packed", "object"):
+            verdict = verify_exploration(
+                PEF2(), RingTopology(4), k=2, backend=backend,
+                scheduler="ssync", validate=True,
+            )
+            assert not verdict.explorable
+            cert = verdict.certificate
+            assert cert is not None
+            assert cert.scheduler == "ssync"
+            assert cert.cycle_activations is not None
+            assert len(cert.cycle_activations) == len(cert.cycle)
+            # Fairness: the cycle activates every robot.
+            assert frozenset().union(*cert.cycle_activations) == {0, 1}
+
+    def test_ssync_sweep_identical_across_backends_and_jobs(self) -> None:
+        kwargs = dict(sample=12, seed=9, scheduler="ssync")
+        results = [
+            sweep_two_robot_memoryless(4, backend="object", **kwargs),
+            sweep_two_robot_memoryless(4, backend="packed", **kwargs),
+            sweep_two_robot_memoryless(4, backend="packed", jobs=2, **kwargs),
+        ]
+        reference = results[0]
+        assert reference.total == 12
+        assert "[ssync]" in reference.description
+        for other in results[1:]:
+            assert (
+                other.total,
+                other.trapped,
+                other.explorers,
+                other.states_explored,
+                other.description,
+            ) == (
+                reference.total,
+                reference.trapped,
+                reference.explorers,
+                reference.states_explored,
+                reference.description,
+            )
+
+    def test_unknown_scheduler_rejected(self) -> None:
+        with pytest.raises(VerificationError):
+            ProductSystem(RingTopology(3), PEF1(), (AGREE,), scheduler="async")
+        with pytest.raises(VerificationError):
+            PackedKernel(RingTopology(3), PEF1(), (AGREE,), scheduler="async")
+        with pytest.raises(VerificationError):
+            verify_exploration(PEF1(), RingTopology(3), k=1, scheduler="async")
 
 
 class TestSweepRegression:

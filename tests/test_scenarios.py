@@ -112,6 +112,9 @@ class TestHashGoldens:
         "live-two-n4": "2ab313951ec5e74f",
         "selfstab-ill-two-n4": "b372fcd40277721c",
         "m2-two-n4": "369ee902a28d6ebe",
+        "ssync-single-n3": "0e495c87fce6be92",
+        "ssync-two-n4": "370da6b4c8fd948e",
+        "ssync-two-n5": "0c59782d6babe6d5",
     }
 
     @pytest.mark.parametrize("name,expected", sorted(GOLDENS.items()))
@@ -163,12 +166,14 @@ class TestValidation:
             tiny_spec(n=2)
 
     def test_runnable_gate(self) -> None:
+        # Both schedulers execute on the scheduler-generic solver; only
+        # the oblivious schedule-family dynamics remain declarative.
         tiny_spec().require_runnable()
-        with pytest.raises(ScenarioError):
-            tiny_spec(scheduler="ssync").require_runnable()
+        tiny_spec(scheduler="ssync").require_runnable()
+        assert tiny_spec(scheduler="ssync").is_runnable()
         with pytest.raises(ScenarioError):
             tiny_spec(dynamics="eventually-missing").require_runnable()
-        assert not tiny_spec(scheduler="ssync").is_runnable()
+        assert not tiny_spec(dynamics="eventually-missing").is_runnable()
 
     def test_dynamics_families_cover_schedule_library(self) -> None:
         assert "highly-dynamic" in DYNAMICS_FAMILIES
@@ -215,6 +220,10 @@ class TestRegistry:
         assert any(s.prop == "live" for s in specs)
         # A finite-memory (memory-2) family.
         assert any(s.robots.family == "two-m2" for s in specs)
+        # Semi-synchronous families (Di Luna et al.), runnable end to end.
+        ssync = [s for s in specs if s.scheduler == "ssync"]
+        assert len(ssync) >= 2
+        assert all(s.is_runnable() for s in ssync)
 
     def test_ids_are_unique_and_specs_valid(self) -> None:
         specs = list(iter_scenarios())

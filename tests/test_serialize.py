@@ -100,6 +100,30 @@ class TestCertificateRoundTrip:
         assert restored == certificate
         validate_certificate(restored, PEF2())
 
+    def test_ssync_certificate_round_trips(self) -> None:
+        # SSYNC certificates carry per-step activation sets; they must
+        # survive the JSON round trip and re-validate through the SSYNC
+        # engine afterwards. FSYNC encodings stay activation-free.
+        certificate = synthesize_trap(
+            PEF2(), RingTopology(4), k=2, scheduler="ssync"
+        )
+        data = certificate_to_dict(certificate)
+        assert data["scheduler"] == "ssync"
+        # SSYNC certificates bump the encoding version so a pre-SSYNC
+        # reader fails loudly instead of replaying them under FSYNC.
+        assert data["version"] == 2
+        assert len(data["cycle_activations"]) == len(data["cycle"])
+        restored = loads(dumps(certificate))
+        assert restored == certificate
+        assert restored.scheduler == "ssync"
+        validate_certificate(restored, PEF2())
+        fsync_data = certificate_to_dict(
+            synthesize_trap(PEF2(), RingTopology(4), k=2)
+        )
+        assert fsync_data["version"] == 1
+        assert "scheduler" not in fsync_data
+        assert "cycle_activations" not in fsync_data
+
 
 class TestFormatHygiene:
     def test_unknown_format_rejected(self) -> None:
