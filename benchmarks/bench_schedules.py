@@ -1,0 +1,72 @@
+"""Benchmark + artifact: simulation-path throughput for dynamics campaigns.
+
+The schedule-dynamics families execute by bounded-horizon simulation
+(:mod:`repro.scenarios.simulate`) rather than by exact game solving, so
+their cost scales with ``horizon × placements × chirality stages`` per
+table instead of with the product game graph. This benchmark times the
+simulation chunk runner on registered families and appends
+tables-per-second entries to ``benchmarks/results/BENCH_sweeps.json``
+alongside the packed-vs-object verification entries — one snapshot
+tracking the throughput of every campaign execution path per PR.
+
+A determinism cross-check rides along: the timed whole-chunk tally must
+equal the merge of split-chunk tallies (the invariant resume and
+``--jobs`` independence rest on).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import get_scenario, simulate_chunk
+
+
+def _merged(spec, patterns, size: int):
+    parts = [
+        simulate_chunk(spec, patterns[i : i + size])
+        for i in range(0, len(patterns), size)
+    ]
+    return (
+        sum(p[0] for p in parts),
+        sum(p[1] for p in parts),
+        [name for p in parts for name in p[2]],
+        sum(p[3] for p in parts),
+    )
+
+
+def test_simulation_path_throughput(
+    timed_best_of, merge_bench_sweeps, save_artifact
+) -> None:
+    """Tables/s of the simulation chunk runner, per registered family."""
+    entries = []
+    lines = []
+    for name in ("periodic-two-n4", "bernoulli-two-n4"):
+        spec = get_scenario(name)
+        patterns = spec.expand_patterns()
+        result, seconds = timed_best_of(
+            lambda spec=spec, patterns=patterns: simulate_chunk(spec, patterns)
+        )
+        total, trapped, _explorers, rounds = result
+        assert total == spec.table_count
+        # Chunk-split invariance: the merged tally is the timed tally.
+        assert _merged(spec, patterns, spec.chunk_size) == result
+        tables_per_sec = total / seconds
+        entries.append(
+            {
+                "sweep": f"dynamics_{spec.dynamics}_two_n{spec.n}_sim",
+                "backend": "simulation",
+                "n": spec.n,
+                "k": spec.robots.k,
+                "total": total,
+                "trapped": trapped,
+                "horizon": spec.horizon,
+                "rounds_simulated": rounds,
+                "seconds": round(seconds, 4),
+                "tables_per_sec": round(tables_per_sec, 1),
+            }
+        )
+        lines.append(
+            f"{name}: {total} tables in {seconds:.3f}s "
+            f"({tables_per_sec:.0f} tables/s, {rounds} rounds simulated, "
+            f"{trapped}/{total} trapped)"
+        )
+    merge_bench_sweeps(entries)
+    save_artifact("dynamics_simulation_throughput", "\n".join(lines))

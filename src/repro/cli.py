@@ -19,10 +19,14 @@ Subcommands:
   activation adversary; ``--json FILE`` dumps the machine-readable
   result;
 * ``campaign list|run|status|report`` — the scenario registry and the
-  persistent campaign runner: named sweep workloads executed against an
+  persistent campaign runner: named workloads executed against an
   append-only result store with chunk checkpointing, resume and dedup
   (``campaign run NAME`` picks up exactly where an interrupted run
-  stopped and emits a byte-identical final report);
+  stopped and emits a byte-identical final report). ``highly-dynamic``
+  scenarios run on the exact game solver; schedule-dynamics scenarios
+  (periodic, T-interval-connected, whack-a-mole, Bernoulli/Markov, …)
+  run on the simulation chunk runner against their pinned schedule
+  parameterization — same store, same guarantees;
 * ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
   construction and print its audit;
 * ``algos`` — list registered algorithms.
@@ -339,7 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser(
         "campaign",
-        help="scenario registry + persistent, resumable campaign runner",
+        help="scenario registry + persistent, resumable campaign runner "
+        "(exact solver for highly-dynamic scenarios, simulation for "
+        "schedule-dynamics families)",
     )
     campaign_sub = p_campaign.add_subparsers(dest="action", required=True)
     c_list = campaign_sub.add_parser("list", help="list registered scenarios")
@@ -356,7 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
             help="result-store root directory (default: ./campaigns)",
         )
         c_action.add_argument(
-            "--backend", choices=["packed", "object"], default="packed"
+            "--backend", choices=["packed", "object"], default="packed",
+            help="verification substrate for highly-dynamic scenarios "
+            "(schedule-dynamics scenarios run by simulation and have no "
+            "backend axis)",
         )
         c_action.add_argument(
             "--jobs", type=int, default=None, metavar="J",

@@ -1,30 +1,42 @@
 """Library of oblivious edge schedules (connected-over-time and beyond).
 
 These are the workloads of the reproduction: families of evolving graphs
-against which the paper's algorithms are exercised. They cover the
-dynamicity classes discussed in the paper's related-work section:
+against which the paper's algorithms are exercised — both directly
+through the simulation engines and as *named dynamics families* on
+scenario specs (:data:`SCHEDULE_FAMILIES`, executed by
+:mod:`repro.scenarios.simulate` as simulation-backed campaigns).
 
-* :class:`StaticSchedule` — the fully static ring (every edge always
-  present), the degenerate member of every class;
-* :class:`EventuallyMissingEdgeSchedule` — the paper's central hard case:
-  one edge vanishes forever at a chosen time (Sections 3.1–3.2, sentinels);
-* :class:`IntermittentEdgeSchedule`, :class:`PeriodicSchedule` —
-  periodically varying graphs (Flocchini–Mans–Santoro [16], Ilcinkas–Wade
-  [19]);
-* :class:`TIntervalConnectedSchedule` — T-interval-connected rings
-  (Kuhn–Lynch–Oshman [22]; Ilcinkas–Wade [20]; Di Luna et al. [10]);
-* :class:`AtMostOneAbsentSchedule` — "whack-a-mole": at most one edge
-  absent at any time, the absent edge wandering;
-* :class:`BernoulliSchedule`, :class:`MarkovSchedule` — random presence,
-  i.i.d. or with on/off persistence;
-* :class:`CompositeSchedule`, :class:`SwitchAfterSchedule` — combinators;
-* :func:`chain_like_schedule` — a ring schedule with one permanently dead
-  edge, realizing the paper's "a connected-over-time chain can be seen as a
-  connected-over-time ring with a missing edge".
+Each schedule class realizes a dynamicity class from the paper's Section
+2 / related-work taxonomy (citation numbers follow the paper's
+bibliography):
+
+======================================  ==================================  =========================================================
+schedule class                          dynamicity class                    paper / related work
+======================================  ==================================  =========================================================
+:class:`StaticSchedule`                 static (degenerate member of all)   classical ring exploration; paper §2.1 footprints
+:class:`EventuallyMissingEdgeSchedule`  connected-over-time, one eventual   the paper's central hard case (§3.1–3.2, sentinels;
+                                        missing edge                        Figure 2/3 traps realize its adversarial form)
+:class:`IntermittentEdgeSchedule`       recurrent (connected-over-time,     Casteigts et al.'s class hierarchy [8]; paper §2.2
+                                        no eventual missing edge)
+:class:`PeriodicSchedule`               periodically varying                Flocchini–Mans–Santoro [16]; Ilcinkas–Wade [19]
+:class:`BernoulliSchedule`              random presence, i.i.d.             Markovian evolving-graph models (a.s. recurrent)
+:class:`MarkovSchedule`                 random presence with on/off         bursty-link variant of the above (a.s. recurrent)
+                                        persistence
+:class:`TIntervalConnectedSchedule`     T-interval-connected               Kuhn–Lynch–Oshman [22]; Ilcinkas–Wade [20];
+                                                                            Di Luna et al. [10] (live exploration setting)
+:class:`AtMostOneAbsentSchedule`        connected-over-time,                "whack-a-mole": the wandering-absent-edge ring,
+                                        ≤1 absent edge at any instant       hold lengths varying (no interval structure)
+:class:`CompositeSchedule`              combinator (intersection)           —
+:class:`SwitchAfterSchedule`            combinator (temporal splice)        —
+:func:`chain_like_schedule`             connected-over-time chain           the paper's "a C-O-T chain is a C-O-T ring with a
+                                        embedded in a ring                  missing edge" observation
+======================================  ==================================  =========================================================
 
 Every schedule is deterministic given its parameters (randomized ones take
 an explicit ``seed`` and derive each round's draw purely from
-``(seed, t)``), so executions are exactly reproducible and re-queryable.
+``(seed, t)`` or from a seed-initialized stream), so executions are
+exactly reproducible and re-queryable — the property the simulation
+campaign runner's determinism guarantees rest on.
 
 Randomized schedules declare their *almost-sure* eventually-missing set
 (empty for all of them); the docstrings note where "almost surely" applies.

@@ -1,12 +1,16 @@
 """Scenario registry and persistent campaign runner.
 
-This subpackage turns the fast verification kernel into a *service*: a
-workload is a declarative, content-hashed :class:`ScenarioSpec`
-(:mod:`~repro.scenarios.spec`); named workload families live in a
-registry (:mod:`~repro.scenarios.registry`); and a campaign executes a
-scenario chunk-by-chunk against an append-only result store with
-checkpointing, resume and dedup (:mod:`~repro.scenarios.store`,
-:mod:`~repro.scenarios.campaign`).
+This subpackage turns the fast verification kernel *and* the simulation
+engines into a service: a workload is a declarative, content-hashed
+:class:`ScenarioSpec` (:mod:`~repro.scenarios.spec`); named workload
+families live in a registry (:mod:`~repro.scenarios.registry`); and a
+campaign executes a scenario chunk-by-chunk against an append-only
+result store with checkpointing, resume and dedup
+(:mod:`~repro.scenarios.store`, :mod:`~repro.scenarios.campaign`).
+``highly-dynamic`` scenarios are solved exactly by the game solver;
+schedule-family scenarios pin a concrete evolving graph
+(:mod:`~repro.scenarios.dynamics`) and are executed by bounded-horizon
+simulation (:mod:`~repro.scenarios.simulate`) on the same store.
 
 The CLI surface is ``repro-rings campaign list|run|status|report``; the
 same machinery is importable::
@@ -18,6 +22,13 @@ same machinery is importable::
     assert outcome.status.all_trapped
 """
 
+from repro.scenarios.dynamics import (
+    DEFAULT_HORIZON,
+    RANDOMIZED_FAMILIES,
+    SCHEDULE_PARAMS,
+    build_schedule,
+    validate_dynamics,
+)
 from repro.scenarios.spec import (
     DYNAMICS_FAMILIES,
     EXHAUSTIVE_LIMIT,
@@ -25,6 +36,7 @@ from repro.scenarios.spec import (
     RobotClassSpec,
     ScenarioSpec,
 )
+from repro.scenarios.simulate import simulate_chunk, simulation_placements
 from repro.scenarios.registry import (
     get_scenario,
     iter_scenarios,
@@ -40,9 +52,16 @@ from repro.scenarios.campaign import (
 )
 
 __all__ = [
+    "DEFAULT_HORIZON",
     "DYNAMICS_FAMILIES",
     "EXHAUSTIVE_LIMIT",
+    "RANDOMIZED_FAMILIES",
     "SCENARIO_FORMAT_VERSION",
+    "SCHEDULE_PARAMS",
+    "build_schedule",
+    "simulate_chunk",
+    "simulation_placements",
+    "validate_dynamics",
     "RobotClassSpec",
     "ScenarioSpec",
     "register_scenario",

@@ -1,12 +1,19 @@
 """The persistent campaign runner: resumable sweeps over scenario specs.
 
 A *campaign* is one scenario executed to completion, checkpointed chunk by
-chunk in a :class:`~repro.scenarios.store.ResultStore`. The contract:
+chunk in a :class:`~repro.scenarios.store.ResultStore`. Every registered
+dynamics family is executable: ``"highly-dynamic"`` scenarios run on the
+exact game solver (:func:`~repro.verification.sweeps.sweep_chunk`), and
+schedule-family scenarios run on the simulation chunk runner
+(:func:`~repro.scenarios.simulate.simulate_chunk`) against their pinned
+schedule parameterization. Both paths produce the same record schema, so
+the store, resume, dedup and reporting machinery below is shared. The
+contract:
 
 * **Deterministic work units.** The scenario expands to a fixed pattern
   stream cut into fixed-size chunks (never dependent on worker count), and
-  :func:`~repro.verification.sweeps.sweep_chunk` tallies each chunk
-  identically on any backend, worker or host.
+  the chunk runner of either path tallies each chunk identically on any
+  backend, worker or host.
 * **Interrupt safety.** A chunk checkpoints only once fully verified;
   killing a campaign loses at most the chunks in flight. Resuming verifies
   exactly the missing chunks and produces a final report *byte-identical*
@@ -29,6 +36,7 @@ from pathlib import Path
 from typing import Any, Iterable, Optional
 
 from repro.errors import CampaignIncompleteError, ScenarioError
+from repro.scenarios.simulate import simulate_chunk
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultStore, chunk_digest
 from repro.verification.product import check_backend
@@ -36,7 +44,13 @@ from repro.verification.sweeps import resolve_jobs, sweep_chunk
 
 CAMPAIGN_REPORT_VERSION = 1
 
-_Payload = tuple[int, str, int, tuple[int, ...], str, bool, str, str, str]
+_Payload = tuple[int, dict[str, Any], tuple[int, ...], str, bool]
+"""(chunk index, spec encoding, bit patterns, backend, validate).
+
+The spec rides along as its :meth:`ScenarioSpec.to_dict` form — plainly
+picklable, and the worker re-validates it on decode, so a chunk can never
+execute against a spec its own construction-time gate would refuse.
+"""
 
 
 @dataclass(frozen=True)
@@ -99,15 +113,36 @@ class CampaignRunOutcome:
 
 
 def _campaign_chunk(payload: _Payload) -> tuple[int, tuple]:
-    """Verify one indexed chunk (worker body; top-level to pickle)."""
-    index, family, n, chunk, backend, validate, starts, prop, scheduler = payload
-    return index, sweep_chunk(
-        family, n, chunk, backend, validate, starts, prop, scheduler
-    )
+    """Run one indexed chunk (worker body; top-level to pickle).
+
+    Dispatches on the spec's dynamics: the exact solver for the
+    highly-dynamic adversary, the simulation runner for schedule
+    families. Both return the same tally shape.
+    """
+    index, spec_data, chunk, backend, validate = payload
+    spec = ScenarioSpec.from_dict(spec_data)
+    if spec.dynamics == "highly-dynamic":
+        return index, sweep_chunk(
+            spec.robots.family,
+            spec.n,
+            chunk,
+            backend,
+            validate,
+            spec.starts,
+            spec.prop,
+            spec.scheduler,
+        )
+    return index, simulate_chunk(spec, chunk)
 
 
 class CampaignRunner:
-    """Runs scenarios against a result store, resumably."""
+    """Runs scenarios against a result store, resumably.
+
+    ``backend`` and ``validate`` configure the exact-solver path and
+    apply only to ``highly-dynamic`` scenarios; schedule-dynamics
+    scenarios run by simulation, which has no backend axis (there is
+    exactly one execution substrate, the :mod:`repro.sim` engines).
+    """
 
     def __init__(
         self,
@@ -187,7 +222,6 @@ class CampaignRunner:
         (operational lever: sliced runs, and the test harness's simulated
         interrupts). Completed chunks are never re-verified.
         """
-        spec.require_runnable()
         self.store.prepare(spec)
         chunks = spec.chunks()
         records = self._checked_records(spec, chunks)
@@ -201,18 +235,9 @@ class CampaignRunner:
             if max_chunks < 0:
                 raise ScenarioError(f"max_chunks must be >= 0, got {max_chunks}")
             pending = pending[:max_chunks]
+        spec_data = spec.to_dict()
         payloads: list[_Payload] = [
-            (
-                index,
-                spec.robots.family,
-                spec.n,
-                chunk,
-                self.backend,
-                self.validate,
-                spec.starts,
-                spec.prop,
-                spec.scheduler,
-            )
+            (index, spec_data, chunk, self.backend, self.validate)
             for index, chunk in pending
         ]
         for index, outcome in self._execute(payloads):

@@ -1,0 +1,240 @@
+"""Schedule-dynamics parameterization: family + params + seed as data.
+
+A scenario whose ``dynamics`` is not ``"highly-dynamic"`` names one of the
+oblivious schedule families of :data:`repro.graph.schedules
+.SCHEDULE_FAMILIES` — and, since schedules take constructor parameters, a
+spec must pin those parameters to be a *concrete* workload rather than a
+family-shaped wish. This module is the bridge between the declarative
+side (frozen, hash-stable, JSON-clean parameter payloads on a
+:class:`~repro.scenarios.spec.ScenarioSpec`) and the executable side (a
+live :class:`~repro.graph.evolving.EvolvingGraph` the simulation chunk
+runner drives):
+
+* :func:`canonical_params` — normalize a parameter mapping into its
+  canonical JSON string (sorted keys, minimal separators, string keys),
+  the form stored on the frozen spec so equality, hashing and the
+  scenario content hash are all byte-level questions;
+* :func:`params_dict` — the inverse (canonical string → plain dict);
+* :func:`validate_dynamics` — the construction-time gate: unknown
+  parameters, missing required parameters, a missing seed on a
+  randomized family, or a seed on a deterministic one all fail *loudly,
+  with the family name*, when the spec is built — never mid-campaign;
+* :func:`build_schedule` — instantiate the matching schedule class on a
+  concrete footprint (randomized families get their explicit seed).
+
+Randomized families (:data:`RANDOMIZED_FAMILIES`) derive every draw from
+``(seed, t)`` or from a seed-initialized stream, so a chunk worker that
+rebuilds the schedule from the spec reproduces the *identical* evolving
+graph — the invariant that makes simulation campaigns deterministic
+across worker counts, interrupts and hosts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.errors import ReproError, ScenarioError
+from repro.graph.evolving import EvolvingGraph
+from repro.graph.schedules import SCHEDULE_FAMILIES
+from repro.graph.topology import RingTopology
+
+#: Default bounded horizon (rounds simulated per table run) for scenarios
+#: that do not pin one explicitly. Stored concretely in the payload, so a
+#: later change of this default never re-hashes existing specs.
+DEFAULT_HORIZON = 96
+
+
+@dataclass(frozen=True)
+class FamilySchema:
+    """Accepted parameterization of one schedule family."""
+
+    required: tuple[str, ...]
+    optional: tuple[str, ...]
+    randomized: bool
+
+    @property
+    def accepted(self) -> tuple[str, ...]:
+        """All parameter names the family accepts."""
+        return self.required + self.optional
+
+
+#: Family name → accepted parameters. Parameter names match the schedule
+#: constructors' keyword arguments one-to-one (``seed`` is carried by the
+#: spec's ``dynamics_seed`` field, not by the params mapping).
+SCHEDULE_PARAMS: Mapping[str, FamilySchema] = {
+    "static": FamilySchema((), ("present",), False),
+    "eventually-missing": FamilySchema(
+        ("edge",), ("vanish_time", "flicker_period"), False
+    ),
+    "intermittent": FamilySchema(("edge", "period", "duty"), (), False),
+    "periodic": FamilySchema(("patterns",), (), False),
+    "bernoulli": FamilySchema(("p",), (), True),
+    "markov": FamilySchema(("p_off", "p_on"), (), True),
+    "t-interval": FamilySchema(("T",), ("allow_full",), True),
+    "at-most-one-absent": FamilySchema((), ("min_hold", "max_hold"), True),
+}
+
+RANDOMIZED_FAMILIES = tuple(
+    sorted(name for name, schema in SCHEDULE_PARAMS.items() if schema.randomized)
+)
+"""Schedule families that require an explicit ``dynamics_seed``."""
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a parameter value into JSON-clean plain data.
+
+    Mapping keys become strings (as JSON forces anyway), sequences become
+    lists, and scalars must already be JSON scalars — so a mapping built
+    in code (``{0: [True, False]}``) and its JSON round trip
+    (``{"0": [true, false]}``) canonicalize identically.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, frozenset | set):
+        return sorted(_jsonify(item) for item in value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ScenarioError(
+        f"dynamics parameter value {value!r} is not JSON-representable"
+    )
+
+
+def canonical_params(params: Any) -> str:
+    """The canonical JSON string of a dynamics parameter mapping.
+
+    Accepts a mapping, an already-canonical JSON string, or ``None``
+    (no parameters, canonicalized to ``"{}"``). The result is the exact
+    byte form stored on the frozen spec: sorted keys, minimal separators,
+    string keys throughout — equal workloads produce equal strings.
+    """
+    if params is None:
+        data: Any = {}
+    elif isinstance(params, str):
+        try:
+            data = json.loads(params)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"dynamics_params string is not valid JSON: {exc}"
+            ) from exc
+    else:
+        data = params
+    if not isinstance(data, Mapping):
+        raise ScenarioError(
+            f"dynamics_params must be a mapping of parameter names, "
+            f"got {type(data).__name__}"
+        )
+    return json.dumps(_jsonify(data), sort_keys=True, separators=(",", ":"))
+
+
+def params_dict(frozen: Optional[str]) -> dict[str, Any]:
+    """Decode a canonical parameter string back into a plain dict."""
+    if frozen is None:
+        return {}
+    return json.loads(frozen)
+
+
+def validate_dynamics(
+    family: str, params: Optional[str], seed: Optional[int], n: int
+) -> None:
+    """Construction-time gate for a schedule-dynamics parameterization.
+
+    Raises :class:`ScenarioError` — always naming the family — when the
+    parameters don't match the family's schema, when a randomized family
+    is missing its seed (or a deterministic one carries a pointless
+    seed that would perturb the content hash), or when the schedule
+    class itself rejects the values on an ``n``-ring footprint. A spec
+    that survives this is guaranteed instantiable by
+    :func:`build_schedule` in every chunk worker.
+    """
+    schema = SCHEDULE_PARAMS.get(family)
+    if schema is None:
+        raise ScenarioError(
+            f"unknown schedule-dynamics family {family!r}; "
+            f"choose from {sorted(SCHEDULE_PARAMS)}"
+        )
+    data = params_dict(params)
+    unknown = sorted(set(data) - set(schema.accepted))
+    if unknown:
+        raise ScenarioError(
+            f"dynamics family {family!r} does not accept parameter(s) "
+            f"{unknown}; accepted: {sorted(schema.accepted) or 'none'}"
+        )
+    missing = sorted(set(schema.required) - set(data))
+    if missing:
+        raise ScenarioError(
+            f"dynamics family {family!r} requires parameter(s) {missing}"
+        )
+    if schema.randomized and seed is None:
+        raise ScenarioError(
+            f"dynamics family {family!r} is randomized and needs an "
+            "explicit dynamics_seed (draws are pure functions of "
+            "(seed, t), so the seed is part of the workload identity)"
+        )
+    if not schema.randomized and seed is not None:
+        raise ScenarioError(
+            f"dynamics family {family!r} is deterministic; drop "
+            f"dynamics_seed={seed} (an unused seed would perturb the "
+            "scenario content hash)"
+        )
+    try:
+        build_schedule(family, params, seed, RingTopology(n))
+    except ScenarioError:
+        raise
+    except (ReproError, TypeError, ValueError) as exc:
+        raise ScenarioError(
+            f"dynamics family {family!r} rejects its parameters on the "
+            f"{n}-ring: {exc}"
+        ) from exc
+
+
+def build_schedule(
+    family: str,
+    params: Optional[str],
+    seed: Optional[int],
+    topology: RingTopology,
+) -> EvolvingGraph:
+    """Instantiate a schedule family on a concrete footprint.
+
+    ``params`` is the canonical JSON string (or ``None``); JSON's string
+    keys are mapped back onto the constructors' integer edge identifiers
+    where the family expects them (``patterns``, per-edge ``p``,
+    ``present``).
+    """
+    schema = SCHEDULE_PARAMS.get(family)
+    if schema is None:
+        raise ScenarioError(
+            f"unknown schedule-dynamics family {family!r}; "
+            f"choose from {sorted(SCHEDULE_PARAMS)}"
+        )
+    kwargs: dict[str, Any] = dict(params_dict(params))
+    if "patterns" in kwargs:
+        kwargs["patterns"] = {
+            int(edge): tuple(bool(b) for b in pattern)
+            for edge, pattern in kwargs["patterns"].items()
+        }
+    if "present" in kwargs:
+        kwargs["present"] = frozenset(int(edge) for edge in kwargs["present"])
+    if isinstance(kwargs.get("p"), Mapping):
+        kwargs["p"] = {
+            int(edge): float(prob) for edge, prob in kwargs["p"].items()
+        }
+    if schema.randomized:
+        kwargs["seed"] = seed
+    cls = SCHEDULE_FAMILIES[family]
+    return cls(topology, **kwargs)
+
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "FamilySchema",
+    "RANDOMIZED_FAMILIES",
+    "SCHEDULE_PARAMS",
+    "build_schedule",
+    "canonical_params",
+    "params_dict",
+    "validate_dynamics",
+]

@@ -18,7 +18,14 @@ families cover the reproduction's standing sweep workloads:
 * the *semi-synchronous* families (``scheduler="ssync"``): the
   single-robot class and two-robot samples at n=4/5 under the SSYNC
   adversary, machine-checking the Di Luna et al. impossibility that made
-  the paper restrict itself to FSYNC.
+  the paper restrict itself to FSYNC;
+* the *schedule-dynamics* families (simulation-backed, see
+  :mod:`repro.scenarios.simulate`): restricted dynamicity classes from
+  the paper's related work run as campaigns against one concrete pinned
+  evolving graph — periodic rings (Ilcinkas–Wade),
+  T-interval-connected rings (Kuhn–Lynch–Oshman; Di Luna et al.),
+  whack-a-mole (at most one absent edge, wandering), Bernoulli and
+  Markov random presence, under both schedulers.
 
 ``register_scenario`` is open: downstream code can add its own families;
 names are unique and registration of a changed spec under a taken name is
@@ -201,6 +208,109 @@ register_scenario(
         chunk_size=32,
     )
 )
+
+# ----------------------------------------------------------------------
+# Schedule-dynamics (simulation-backed) families. Each pins a concrete
+# evolving graph — family + params (+ seed for randomized families) — and
+# a bounded horizon; the campaign runner executes them through the
+# simulation chunk runner instead of the exact solver.
+# ----------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="periodic-two-n4",
+        description="Periodically varying ring (Ilcinkas-Wade): two-robot "
+        "sample simulated against two anti-phase 3-periodic edges on the "
+        "4-ring",
+        robots=RobotClassSpec(family="two", sample=192),
+        n=4,
+        dynamics="periodic",
+        dynamics_params={"patterns": {0: [True, True, False], 2: [False, True, True]}},
+        horizon=60,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="tinterval-two-n5",
+        description="T-interval-connected ring (Kuhn-Lynch-Oshman; Di Luna "
+        "et al.): two-robot sample on the 5-ring, at most one absent edge "
+        "held for T=3-round epochs",
+        robots=RobotClassSpec(family="two", sample=128),
+        n=5,
+        dynamics="t-interval",
+        dynamics_params={"T": 3},
+        dynamics_seed=20170605,
+        horizon=90,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="whackamole-two-n4",
+        description="Whack-a-mole connected-over-time ring: at most one "
+        "absent edge wandering with random holds, two-robot sample on the "
+        "4-ring",
+        robots=RobotClassSpec(family="two", sample=160),
+        n=4,
+        dynamics="at-most-one-absent",
+        dynamics_params={"min_hold": 1, "max_hold": 5},
+        dynamics_seed=20170605,
+        horizon=72,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bernoulli-two-n4",
+        description="Bernoulli random ring: every edge independently "
+        "present with p=0.75, seeded; two-robot (memory-1) sample on the "
+        "4-ring",
+        robots=RobotClassSpec(family="two", sample=128),
+        n=4,
+        dynamics="bernoulli",
+        dynamics_params={"p": 0.75},
+        dynamics_seed=20170605,
+        horizon=72,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="markov-live-two-n4",
+        description="Bursty Markov ring (on/off edge persistence) under "
+        "the at-least-once live property: two-robot sample on the 4-ring",
+        robots=RobotClassSpec(family="two", sample=128),
+        n=4,
+        dynamics="markov",
+        dynamics_params={"p_off": 0.25, "p_on": 0.5},
+        dynamics_seed=20170605,
+        prop="live",
+        horizon=64,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="periodic-ssync-two-n4",
+        description="Periodic ring under semi-synchronous round-robin "
+        "activation: two-robot sample simulated on the 4-ring (the "
+        "simulation path's SSYNC twin)",
+        robots=RobotClassSpec(family="two", sample=128),
+        n=4,
+        dynamics="periodic",
+        scheduler="ssync",
+        dynamics_params={"patterns": {0: [True, True, False], 2: [False, True, True]}},
+        horizon=64,
+        chunk_size=32,
+    )
+)
+
+
 
 
 __all__ = [

@@ -1,0 +1,195 @@
+"""The simulation chunk runner: schedule-dynamics campaigns, table by table.
+
+The exact game solver quantifies over *every* connected-over-time
+adversary (``dynamics="highly-dynamic"``). The restricted dynamicity
+classes of the paper's related work — periodic rings (Ilcinkas–Wade),
+T-interval-connected rings (Kuhn–Lynch–Oshman; Di Luna et al.), random
+presence — are a different kind of question: one *fixed* evolving graph,
+pinned by the spec's family + params + seed, against which every table of
+a robot class is **simulated** over a bounded horizon. This module is the
+execution path for those workloads, shaped exactly like
+:func:`repro.verification.sweeps.sweep_chunk` so the campaign store,
+resume, dedup and report machinery apply unchanged:
+
+* :func:`simulate_chunk` — verify one chunk of table bit-patterns against
+  the spec's schedule; returns the same ``(total, trapped, explorers,
+  states)`` tally tuple the verification path checkpoints (``states``
+  counts simulated rounds — the work proxy of this path);
+* one table is **trapped** when *some* chirality vector of the family's
+  fallback plan and *some* start placement fails the bounded-horizon
+  exploration check — the same universal quantification the solver
+  applies, evaluated on the concrete schedule;
+* the bounded-horizon check mirrors the two game properties:
+  ``prop="live"`` demands every node visited at least once within the
+  horizon; ``prop="perpetual"`` demands every node visited in *both*
+  halves of the horizon (a finite recurrence proxy: visits that stop
+  after the first half fail it).
+
+Start placements are **not** rotation-reduced here: a concrete schedule
+names absolute edges at absolute times, so ring rotations are *not*
+execution-isomorphic (unlike under the universally-quantified adversary).
+``starts="well"`` expands to every ordered towerless placement,
+``starts="arbitrary"`` to every ordered placement, towers included.
+
+Determinism: a chunk worker rebuilds the schedule from the spec (seeded
+families reproduce their draws exactly — see
+:mod:`repro.scenarios.dynamics`), precomputes the horizon's present-edge
+sets once, and runs each table from round 0 — so a chunk's tally is a
+pure function of ``(spec, chunk)``: identical across worker counts,
+interrupts and hosts, which is what makes simulation campaign reports
+byte-identical under resume.
+
+Under ``scheduler="ssync"`` each round activates exactly one robot,
+round-robin (``t mod k``) — a deterministic, fair activation schedule
+(every robot acts every ``k`` rounds), the oblivious counterpart of the
+solver's adversarial activation subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.graph.topology import RingTopology, towerless_placements
+from repro.robots.algorithms.base import Algorithm
+from repro.scenarios.dynamics import build_schedule
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.engine import make_initial_configuration, step_fsync
+from repro.sim.semi_sync import step_ssync
+from repro.types import Chirality, EdgeId, NodeId, RobotId
+from repro.verification.sweeps import family_maker, family_plan
+
+_ChunkOutcome = tuple[int, int, list[str], int]
+"""(total, trapped, explorer names in input order, rounds simulated)."""
+
+
+def simulation_placements(
+    starts: str, topology: RingTopology, k: int
+) -> list[tuple[NodeId, ...]]:
+    """Every start placement a simulated table must survive.
+
+    Rotation reduction is deliberately absent (see the module docstring):
+    ``"well"`` is all ordered towerless placements, ``"arbitrary"`` all
+    ordered placements including towers.
+    """
+    if starts == "well":
+        return list(towerless_placements(topology, k))
+    return list(itertools.product(topology.nodes, repeat=k))
+
+
+def _bounded_explores(
+    topology: RingTopology,
+    algorithm: Algorithm,
+    steps: Sequence[frozenset[EdgeId]],
+    activations: Optional[Sequence[frozenset[RobotId]]],
+    placement: Sequence[NodeId],
+    chiralities: Sequence[Chirality],
+    prop: str,
+) -> tuple[bool, int]:
+    """One bounded run; returns ``(explored, rounds executed)``.
+
+    Early exits keep trapped tables cheap: a ``live`` run stops the round
+    every node has been seen, and a ``perpetual`` run fails at mid-horizon
+    if the first window already missed a node (the second window cannot
+    repair it) and succeeds the round the second window completes.
+    """
+    configuration = make_initial_configuration(
+        topology, algorithm, placement, chiralities
+    )
+    nodes = frozenset(topology.nodes)
+    horizon = len(steps)
+    mid = horizon // 2
+    seen = set(configuration.positions)
+    late: set[NodeId] = set()
+    if prop == "live" and seen == nodes:
+        return True, 0
+    for t in range(horizon):
+        if activations is None:
+            configuration, _views, _moved = step_fsync(
+                topology, algorithm, configuration, steps[t]
+            )
+        else:
+            configuration, _views, _moved = step_ssync(
+                topology, algorithm, configuration, steps[t], activations[t]
+            )
+        if t < mid:
+            seen.update(configuration.positions)
+        else:
+            late.update(configuration.positions)
+        if prop == "live":
+            if seen | late == nodes:
+                return True, t + 1
+        else:
+            if t + 1 == mid and seen != nodes:
+                # The first window already starved a node: recurrence
+                # within the horizon is unachievable, stop here.
+                return False, t + 1
+            if seen == nodes and late == nodes:
+                return True, t + 1
+    if prop == "live":
+        return seen | late == nodes, horizon
+    return seen == nodes and late == nodes, horizon
+
+
+def simulate_chunk(spec: ScenarioSpec, bits_chunk: Sequence[int]) -> _ChunkOutcome:
+    """Simulate one chunk of table bit-patterns against the spec's schedule.
+
+    The simulation twin of :func:`repro.verification.sweeps.sweep_chunk`
+    and the unit of work the campaign runner checkpoints for
+    schedule-dynamics scenarios. Deterministic for a fixed
+    ``(spec, bits_chunk)`` pair — re-runnable on any worker, process or
+    host with an identical tally.
+    """
+    topology = RingTopology(spec.n)
+    schedule = build_schedule(
+        spec.dynamics, spec.dynamics_params, spec.dynamics_seed, topology
+    )
+    assert spec.horizon is not None  # guaranteed by spec validation
+    steps = [schedule.present_edges(t) for t in range(spec.horizon)]
+    k = spec.robots.k
+    activations = (
+        None
+        if spec.scheduler == "fsync"
+        else [frozenset({t % k}) for t in range(spec.horizon)]
+    )
+    placements = simulation_placements(spec.starts, topology, k)
+    maker = family_maker(spec.robots.family)
+    vectors = [
+        tuple(vector)
+        for stage in family_plan(spec.robots.family)
+        for vector in stage
+    ]
+    total = trapped = rounds = 0
+    explorers: list[str] = []
+    for bits in bits_chunk:
+        algorithm = maker(bits)
+        hit = False
+        for chiralities in vectors:
+            for placement in placements:
+                explored, executed = _bounded_explores(
+                    topology,
+                    algorithm,
+                    steps,
+                    activations,
+                    placement,
+                    chiralities,
+                    spec.prop,
+                )
+                rounds += executed
+                if not explored:
+                    hit = True
+                    break
+            if hit:
+                break
+        total += 1
+        if hit:
+            trapped += 1
+        else:
+            explorers.append(algorithm.name)
+    return total, trapped, explorers, rounds
+
+
+__all__ = [
+    "simulate_chunk",
+    "simulation_placements",
+]

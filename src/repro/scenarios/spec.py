@@ -6,8 +6,12 @@ and nothing that doesn't:
 * a **dynamics family** — ``"highly-dynamic"`` (the unrestricted
   connected-over-time adversary the game solver plays) or one of the
   oblivious schedule families of
-  :data:`repro.graph.schedules.SCHEDULE_FAMILIES` for simulation-style
-  workloads;
+  :data:`repro.graph.schedules.SCHEDULE_FAMILIES`, in which case the spec
+  also pins a concrete, hash-stable parameterization
+  (``dynamics_params`` + ``dynamics_seed``, see
+  :mod:`repro.scenarios.dynamics`) and a bounded simulation ``horizon``,
+  and the campaign executes by *simulation*
+  (:mod:`repro.scenarios.simulate`) instead of by exact game solving;
 * a **scheduler** — ``"fsync"`` or ``"ssync"``
   (:data:`repro.sim.SCHEDULERS`); the exact solver executes both: under
   SSYNC the adversary additionally activates a non-empty robot subset
@@ -40,6 +44,12 @@ from typing import Any
 
 from repro.errors import ScenarioError
 from repro.graph.schedules import SCHEDULE_FAMILIES
+from repro.scenarios.dynamics import (
+    DEFAULT_HORIZON,
+    canonical_params,
+    params_dict,
+    validate_dynamics,
+)
 from repro.sim import SCHEDULERS
 from repro.verification.enumeration import sample_table_patterns
 from repro.verification.game import PROPERTIES
@@ -53,9 +63,10 @@ from repro.verification.sweeps import (
 SCENARIO_FORMAT_VERSION = 1
 
 #: Dynamics family names a scenario may declare. ``"highly-dynamic"`` is
-#: the adversarial family of the paper's theorems — the only one the
-#: exact solver quantifies over; the schedule families are oblivious
-#: workloads for simulation-style scenarios.
+#: the adversarial family of the paper's theorems — the one the exact
+#: solver quantifies over; the schedule families are oblivious workloads
+#: executed by the simulation chunk runner against their pinned
+#: parameterization.
 DYNAMICS_FAMILIES = ("highly-dynamic",) + tuple(sorted(SCHEDULE_FAMILIES))
 
 #: The largest family a scenario may enumerate exhaustively; bigger
@@ -145,7 +156,18 @@ class RobotClassSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One named verification workload, fully determined by its fields."""
+    """One named workload, fully determined by its fields.
+
+    ``dynamics="highly-dynamic"`` specs are verification workloads (the
+    exact game solver quantifies over every connected-over-time
+    adversary). Any other ``dynamics`` names a schedule family and makes
+    the spec a *simulation* workload: ``dynamics_params`` (a mapping,
+    canonicalized to a JSON string at construction) plus
+    ``dynamics_seed`` (required exactly for randomized families) pin the
+    concrete evolving graph, and ``horizon`` bounds each table run (the
+    exploration check is evaluated over that window — see
+    :mod:`repro.scenarios.simulate`).
+    """
 
     name: str
     description: str
@@ -157,8 +179,20 @@ class ScenarioSpec:
     starts: str = "well"
     prop: str = "perpetual"
     chunk_size: int = 256
+    dynamics_params: Any = None
+    dynamics_seed: int | None = None
+    horizon: int | None = None
 
     def __post_init__(self) -> None:
+        if self.dynamics != "highly-dynamic" and self.dynamics in SCHEDULE_FAMILIES:
+            # Normalize the parameterization into its canonical, frozen
+            # form *before* validation so equality, hashing and the
+            # content hash all see one byte form per workload.
+            object.__setattr__(
+                self, "dynamics_params", canonical_params(self.dynamics_params)
+            )
+            if self.horizon is None:
+                object.__setattr__(self, "horizon", DEFAULT_HORIZON)
         self.validate()
 
     def validate(self) -> None:
@@ -198,6 +232,28 @@ class ScenarioSpec:
                 f"well-initiated starts need k < n, got k={self.robots.k}, "
                 f"n={self.n}"
             )
+        if self.dynamics == "highly-dynamic":
+            if (
+                self.dynamics_params is not None
+                or self.dynamics_seed is not None
+                or self.horizon is not None
+            ):
+                raise ScenarioError(
+                    "dynamics_params/dynamics_seed/horizon only apply to "
+                    "schedule-family dynamics; the 'highly-dynamic' "
+                    "adversary is unparameterized (the solver quantifies "
+                    "over every connected-over-time schedule)"
+                )
+        else:
+            # Loud, construction-time gate: a schedule-family spec that
+            # validates is guaranteed instantiable in every chunk worker.
+            validate_dynamics(
+                self.dynamics, self.dynamics_params, self.dynamics_seed, self.n
+            )
+            if self.horizon < 1:
+                raise ScenarioError(
+                    f"simulation horizon must be >= 1, got {self.horizon}"
+                )
 
     # ------------------------------------------------------------------
     # Identity and encoding
@@ -208,8 +264,13 @@ class ScenarioSpec:
         ``name`` and ``description`` are presentation metadata and are
         deliberately excluded — the scenario hash identifies the
         *workload*, so stored results survive renames.
+
+        The schedule-parameterization keys appear only for
+        schedule-family dynamics, so every pre-existing
+        ``"highly-dynamic"`` scenario keeps its historical content hash
+        (and with it every stored campaign result).
         """
-        return {
+        payload: dict[str, Any] = {
             "version": SCENARIO_FORMAT_VERSION,
             "topology": self.topology,
             "n": self.n,
@@ -220,6 +281,11 @@ class ScenarioSpec:
             "property": self.prop,
             "chunk_size": self.chunk_size,
         }
+        if self.dynamics != "highly-dynamic":
+            payload["dynamics_params"] = params_dict(self.dynamics_params)
+            payload["dynamics_seed"] = self.dynamics_seed
+            payload["horizon"] = self.horizon
+        return payload
 
     @property
     def scenario_id(self) -> str:
@@ -256,6 +322,8 @@ class ScenarioSpec:
                 f"unsupported scenario version {data.get('version')!r} "
                 f"(this library reads version {SCENARIO_FORMAT_VERSION})"
             )
+        seed = data.get("dynamics_seed")
+        horizon = data.get("horizon")
         return cls(
             name=str(data["name"]),
             description=str(data["description"]),
@@ -267,6 +335,9 @@ class ScenarioSpec:
             starts=str(data["starts"]),
             prop=str(data["property"]),
             chunk_size=int(data["chunk_size"]),
+            dynamics_params=data.get("dynamics_params"),
+            dynamics_seed=None if seed is None else int(seed),
+            horizon=None if horizon is None else int(horizon),
         )
 
     # ------------------------------------------------------------------
@@ -305,27 +376,6 @@ class ScenarioSpec:
         """Number of checkpoint chunks."""
         return -(-self.table_count // self.chunk_size)
 
-    def is_runnable(self) -> bool:
-        """Whether the exact solver can execute this scenario today.
-
-        Both schedulers are executable since the scheduler-generic
-        verification core landed; only the oblivious schedule-family
-        dynamics remain declarative (simulation-harness workloads, an
-        open ROADMAP item).
-        """
-        return self.dynamics == "highly-dynamic"
-
-    def require_runnable(self) -> None:
-        """Raise :class:`ScenarioError` when the solver cannot execute this."""
-        if self.dynamics != "highly-dynamic":
-            raise ScenarioError(
-                f"scenario {self.name!r} declares dynamics {self.dynamics!r}; "
-                "the exact solver executes the 'highly-dynamic' adversary "
-                "only (schedule-family scenarios are declarative workloads "
-                "for the simulation harnesses until the schedule-dynamics "
-                "campaign execution ROADMAP item lands)"
-            )
-
     def summary(self) -> str:
         """One-line human summary for listings."""
         size = (
@@ -334,10 +384,15 @@ class ScenarioSpec:
             else f"{self.table_count} sampled"
         )
         sched = "" if self.scheduler == "fsync" else f", scheduler={self.scheduler}"
+        dyn = (
+            ""
+            if self.dynamics == "highly-dynamic"
+            else f", dynamics={self.dynamics} (sim, horizon={self.horizon})"
+        )
         return (
             f"{self.name} [{self.scenario_id}]: {size} {self.robots.family!r} "
             f"tables, n={self.n}, k={self.robots.k}, starts={self.starts}, "
-            f"property={self.prop}{sched} — {self.description}"
+            f"property={self.prop}{sched}{dyn} — {self.description}"
         )
 
 

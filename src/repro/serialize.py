@@ -13,7 +13,11 @@ stable, versioned JSON encoding for:
 * :class:`~repro.verification.certificates.TrapCertificate` objects —
   round-trippable and re-validatable after a load;
 * :class:`~repro.scenarios.spec.ScenarioSpec` objects — declarative
-  campaign workloads whose content-hash identity survives the round trip.
+  campaign workloads whose content-hash identity survives the round trip
+  (including the schedule-dynamics parameterization:
+  ``dynamics_params``/``dynamics_seed``/``horizon`` appear in the
+  encoding exactly when the spec names a schedule family, and the
+  canonical parameter form re-freezes identically on load).
 
 The format is deliberately boring: plain dicts, sorted edge lists,
 explicit ``"format"``/``"version"`` headers. Loading rejects unknown

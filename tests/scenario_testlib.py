@@ -25,3 +25,25 @@ def make_tiny_scenario(**overrides) -> ScenarioSpec:
     )
     fields.update(overrides)
     return ScenarioSpec(**fields)
+
+
+def make_tiny_dynamics_scenario(**overrides) -> ScenarioSpec:
+    """A small valid *simulation* scenario (schedule-family dynamics).
+
+    Baseline: 12 sampled two-robot tables against a seeded Bernoulli
+    4-ring over a 24-round horizon, 3 chunks of 4 — small enough for the
+    campaign suite's interrupt/resume and jobs-determinism tests.
+    """
+    fields = dict(
+        name="tiny-dyn",
+        description="a tiny simulation-backed test scenario",
+        robots=RobotClassSpec(family="two", sample=12),
+        n=4,
+        dynamics="bernoulli",
+        dynamics_params={"p": 0.75},
+        dynamics_seed=20170605,
+        horizon=24,
+        chunk_size=4,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)

@@ -14,9 +14,15 @@ from pathlib import Path
 
 import pytest
 
+from scenario_testlib import make_tiny_dynamics_scenario as tiny_dyn_spec
 from scenario_testlib import make_tiny_scenario as tiny_spec
 from repro.errors import ScenarioError
-from repro.scenarios import CampaignRunner, ResultStore, RobotClassSpec
+from repro.scenarios import (
+    CampaignRunner,
+    ResultStore,
+    RobotClassSpec,
+    simulate_chunk,
+)
 from repro.verification.sweeps import sweep_chunk
 
 
@@ -179,10 +185,105 @@ class TestScenarioDimensions:
         rerun = runner.run(spec)
         assert rerun.chunks_run == 0
 
-    def test_unrunnable_scenarios_refused(self, tmp_path: Path) -> None:
+    def test_bad_dynamics_fail_at_spec_construction(self) -> None:
+        # The require_runnable() mid-campaign dynamics guard is gone: a
+        # schedule-family spec either validates at construction (and is
+        # then executable end to end) or never exists at all.
+        with pytest.raises(ScenarioError, match="bernoulli"):
+            tiny_spec(dynamics="bernoulli")
+
+
+class TestSimulationCampaigns:
+    """The simulation-backed execution path: schedule-family dynamics run
+    through the same store with the same resume/dedup/byte-identical
+    guarantees as the verification path."""
+
+    def test_dynamics_campaign_full_lifecycle(self, tmp_path: Path) -> None:
+        spec = tiny_dyn_spec()
         runner = runner_for(tmp_path, "a")
-        with pytest.raises(ScenarioError):
-            runner.run(tiny_spec(dynamics="bernoulli"))
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        assert outcome.chunks_run == spec.chunk_count == 3
+        report = json.loads(runner.report_text(spec))
+        assert report["scenario"]["dynamics"] == "bernoulli"
+        assert report["scenario"]["dynamics_seed"] == 20170605
+        assert report["scenario"]["horizon"] == 24
+        assert report["total"] == 12
+        assert report["trapped"] + len(report["explorers"]) == 12
+        rerun = runner.run(spec)
+        assert rerun.chunks_run == 0
+        assert rerun.chunks_cached == 3
+
+    def test_interrupt_resume_is_byte_identical(self, tmp_path: Path) -> None:
+        spec = tiny_dyn_spec()
+        uninterrupted = runner_for(tmp_path, "a")
+        uninterrupted.run(spec)
+        reference = uninterrupted.store.report_path(spec).read_bytes()
+
+        interrupted = runner_for(tmp_path, "b")
+        partial = interrupted.run(spec, max_chunks=1)
+        assert not partial.status.complete
+        resumed = interrupted.run(spec)
+        assert resumed.status.complete
+        assert resumed.chunks_run == 2
+        assert resumed.chunks_cached == 1
+        assert interrupted.store.report_path(spec).read_bytes() == reference
+
+    @pytest.mark.parametrize(
+        "dynamics,params",
+        [
+            ("bernoulli", {"p": 0.75}),
+            ("markov", {"p_off": 0.25, "p_on": 0.5}),
+        ],
+    )
+    def test_seeded_chunk_records_identical_across_jobs(
+        self, tmp_path: Path, dynamics: str, params: dict
+    ) -> None:
+        # Randomized schedules rebuild from (seed, t) in every worker, so
+        # chunk records — and the report bytes — cannot depend on jobs.
+        spec = tiny_dyn_spec(dynamics=dynamics, dynamics_params=params)
+        serial = runner_for(tmp_path, "serial", jobs=1)
+        serial.run(spec)
+        parallel = runner_for(tmp_path, "parallel", jobs=4)
+        parallel.run(spec)
+        assert serial.store.load_records(spec) == parallel.store.load_records(spec)
+        assert parallel.store.report_path(spec).read_bytes() == (
+            serial.store.report_path(spec).read_bytes()
+        )
+
+    def test_chunk_tallies_match_direct_simulate(self, tmp_path: Path) -> None:
+        spec = tiny_dyn_spec()
+        runner = runner_for(tmp_path, "a")
+        status = runner.run(spec).status
+        total, trapped, explorers, rounds = simulate_chunk(
+            spec, spec.expand_patterns()
+        )
+        assert (status.total, status.trapped, list(status.explorers)) == (
+            total, trapped, explorers,
+        )
+        assert status.states_explored == rounds
+
+    def test_ssync_dynamics_campaign_runs(self, tmp_path: Path) -> None:
+        spec = tiny_dyn_spec(scheduler="ssync")
+        runner = runner_for(tmp_path, "a")
+        outcome = runner.run(spec)
+        assert outcome.status.complete
+        report = json.loads(runner.report_text(spec))
+        assert report["scenario"]["scheduler"] == "ssync"
+        # The scheduler is part of the payload: the SSYNC twin of a
+        # simulation workload never collides with its FSYNC records.
+        assert spec.scenario_id != tiny_dyn_spec().scenario_id
+
+    def test_deterministic_dynamics_campaign_runs(self, tmp_path: Path) -> None:
+        spec = tiny_dyn_spec(
+            name="tiny-periodic",
+            dynamics="periodic",
+            dynamics_params={"patterns": {0: [True, False]}},
+            dynamics_seed=None,
+        )
+        outcome = runner_for(tmp_path, "a").run(spec)
+        assert outcome.status.complete
+        assert outcome.status.total == 12
 
 
 class TestStoreRobustness:

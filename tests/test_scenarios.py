@@ -38,6 +38,24 @@ from repro.verification.sweeps import START_POLICIES, TABLE_FAMILIES, family_spa
 # ----------------------------------------------------------------------
 # Hypothesis strategy over valid specs
 # ----------------------------------------------------------------------
+#: Valid dynamics parameterizations: (family, params, needs_seed). Edges
+#: 0 and 1 exist on every n >= 3 ring, so these are valid at any drawn n.
+_DYNAMICS_CONFIGS = [
+    ("highly-dynamic", None, False),
+    ("static", None, False),
+    ("static", {"present": [0, 1]}, False),
+    ("eventually-missing", {"edge": 0}, False),
+    ("eventually-missing", {"edge": 1, "vanish_time": 3, "flicker_period": 2}, False),
+    ("intermittent", {"edge": 0, "period": 4, "duty": 2}, False),
+    ("periodic", {"patterns": {0: [True, False], 1: [False, True, True]}}, False),
+    ("bernoulli", {"p": 0.5}, True),
+    ("markov", {"p_off": 0.25, "p_on": 0.5}, True),
+    ("t-interval", {"T": 2}, True),
+    ("t-interval", {"T": 3, "allow_full": False}, True),
+    ("at-most-one-absent", {"min_hold": 1, "max_hold": 4}, True),
+]
+
+
 @st.composite
 def scenario_specs(draw) -> ScenarioSpec:
     family = draw(st.sampled_from(TABLE_FAMILIES))
@@ -45,6 +63,13 @@ def scenario_specs(draw) -> ScenarioSpec:
         sample = draw(st.one_of(st.none(), st.integers(1, 64)))
     else:
         sample = draw(st.integers(1, 64))
+    dynamics, params, needs_seed = draw(st.sampled_from(_DYNAMICS_CONFIGS))
+    seed = draw(st.integers(0, 2**32)) if needs_seed else None
+    horizon = (
+        None
+        if dynamics == "highly-dynamic"
+        else draw(st.one_of(st.none(), st.integers(1, 256)))
+    )
     return ScenarioSpec(
         name=draw(st.text(min_size=1, max_size=24)),
         description=draw(st.text(max_size=48)),
@@ -54,11 +79,14 @@ def scenario_specs(draw) -> ScenarioSpec:
             rng_seed=draw(st.integers(0, 2**32)),
         ),
         n=draw(st.integers(3, 9)),
-        dynamics=draw(st.sampled_from(DYNAMICS_FAMILIES)),
+        dynamics=dynamics,
         scheduler=draw(st.sampled_from(SCHEDULERS)),
         starts=draw(st.sampled_from(START_POLICIES)),
         prop=draw(st.sampled_from(PROPERTIES)),
         chunk_size=draw(st.integers(1, 128)),
+        dynamics_params=params,
+        dynamics_seed=seed,
+        horizon=horizon,
     )
 
 
@@ -115,6 +143,14 @@ class TestHashGoldens:
         "ssync-single-n3": "0e495c87fce6be92",
         "ssync-two-n4": "370da6b4c8fd948e",
         "ssync-two-n5": "0c59782d6babe6d5",
+        # Schedule-dynamics (simulation-backed) families: their hashes
+        # additionally cover dynamics_params/dynamics_seed/horizon.
+        "periodic-two-n4": "533efeb1d4754275",
+        "tinterval-two-n5": "611ce92e83dfba2e",
+        "whackamole-two-n4": "73f162dbe89e46eb",
+        "bernoulli-two-n4": "fef63e81cb7896e9",
+        "markov-live-two-n4": "81f9f0b3625bc638",
+        "periodic-ssync-two-n4": "cdceec55f1670197",
     }
 
     @pytest.mark.parametrize("name,expected", sorted(GOLDENS.items()))
@@ -165,15 +201,78 @@ class TestValidation:
         with pytest.raises(ScenarioError):
             tiny_spec(n=2)
 
-    def test_runnable_gate(self) -> None:
-        # Both schedulers execute on the scheduler-generic solver; only
-        # the oblivious schedule-family dynamics remain declarative.
-        tiny_spec().require_runnable()
-        tiny_spec(scheduler="ssync").require_runnable()
-        assert tiny_spec(scheduler="ssync").is_runnable()
+    def test_unknown_dynamics_param_fails_at_construction(self) -> None:
+        # The old require_runnable() mid-campaign guard is gone: a bad
+        # schedule parameterization must fail when the spec is *built*,
+        # loudly and naming the family.
+        with pytest.raises(ScenarioError, match="periodic"):
+            tiny_spec(
+                dynamics="periodic",
+                dynamics_params={"patterns": {0: [True]}, "bogus": 1},
+            )
+
+    def test_missing_required_dynamics_param(self) -> None:
+        with pytest.raises(ScenarioError, match="bernoulli"):
+            tiny_spec(dynamics="bernoulli", dynamics_seed=7)
+
+    def test_randomized_family_requires_seed(self) -> None:
+        for dynamics, params in (
+            ("bernoulli", {"p": 0.5}),
+            ("markov", {"p_off": 0.25, "p_on": 0.5}),
+            ("t-interval", {"T": 2}),
+            ("at-most-one-absent", None),
+        ):
+            with pytest.raises(ScenarioError, match=dynamics):
+                tiny_spec(dynamics=dynamics, dynamics_params=params)
+
+    def test_deterministic_family_rejects_seed(self) -> None:
+        with pytest.raises(ScenarioError, match="periodic"):
+            tiny_spec(
+                dynamics="periodic",
+                dynamics_params={"patterns": {0: [True, False]}},
+                dynamics_seed=7,
+            )
+
+    def test_schedule_class_rejections_surface_at_construction(self) -> None:
+        # Values the schedule constructor itself refuses (duty > period,
+        # an edge outside the footprint) are caught at spec time too.
+        with pytest.raises(ScenarioError, match="intermittent"):
+            tiny_spec(
+                dynamics="intermittent",
+                dynamics_params={"edge": 0, "period": 2, "duty": 5},
+            )
+        with pytest.raises(ScenarioError, match="eventually-missing"):
+            tiny_spec(
+                dynamics="eventually-missing", dynamics_params={"edge": 99}
+            )
+
+    def test_highly_dynamic_rejects_schedule_parameterization(self) -> None:
+        for overrides in (
+            {"dynamics_params": {"p": 0.5}},
+            {"dynamics_seed": 7},
+            {"horizon": 64},
+        ):
+            with pytest.raises(ScenarioError):
+                tiny_spec(**overrides)
+
+    def test_bad_horizon_rejected(self) -> None:
         with pytest.raises(ScenarioError):
-            tiny_spec(dynamics="eventually-missing").require_runnable()
-        assert not tiny_spec(dynamics="eventually-missing").is_runnable()
+            tiny_spec(dynamics="static", horizon=0)
+
+    def test_dynamics_params_canonicalization(self) -> None:
+        # Integer and string edge keys canonicalize to one byte form, so
+        # the code-built spec and its JSON round trip share an identity.
+        a = tiny_spec(
+            dynamics="periodic",
+            dynamics_params={"patterns": {0: [True, False]}},
+        )
+        b = tiny_spec(
+            dynamics="periodic",
+            dynamics_params={"patterns": {"0": [True, False]}},
+        )
+        assert a == b
+        assert a.scenario_id == b.scenario_id
+        assert a.dynamics_params == '{"patterns":{"0":[true,false]}}'
 
     def test_dynamics_families_cover_schedule_library(self) -> None:
         assert "highly-dynamic" in DYNAMICS_FAMILIES
@@ -223,7 +322,14 @@ class TestRegistry:
         # Semi-synchronous families (Di Luna et al.), runnable end to end.
         ssync = [s for s in specs if s.scheduler == "ssync"]
         assert len(ssync) >= 2
-        assert all(s.is_runnable() for s in ssync)
+        # Schedule-dynamics (simulation-backed) families: at least four,
+        # spanning both schedulers, with at least one seeded randomized
+        # family — the workload axis of the simulation chunk runner.
+        dynamic = [s for s in specs if s.dynamics != "highly-dynamic"]
+        assert len({s.dynamics for s in dynamic}) >= 4
+        assert {s.scheduler for s in dynamic} == {"fsync", "ssync"}
+        assert any(s.dynamics_seed is not None for s in dynamic)
+        assert all(s.horizon is not None and s.horizon >= 1 for s in dynamic)
 
     def test_ids_are_unique_and_specs_valid(self) -> None:
         specs = list(iter_scenarios())
