@@ -3,25 +3,31 @@
 The schedule-dynamics families execute by bounded-horizon simulation
 (:mod:`repro.scenarios.simulate`) rather than by exact game solving, so
 their cost scales with ``horizon × placements × chirality stages`` per
-table instead of with the product game graph. This benchmark times the
-simulation chunk runner on registered families and appends
-tables-per-second entries to ``benchmarks/results/BENCH_sweeps.json``
-alongside the packed-vs-object verification entries — one snapshot
-tracking the throughput of every campaign execution path per PR.
+table instead of with the product game graph. Since the packed simulation
+backend (compiled tables + precompiled schedule masks) landed, the path
+has the same two-substrate shape as the exact solver, and this benchmark
+tracks it the same way ``bench_enumeration.py`` tracks the solver:
 
-A determinism cross-check rides along: the timed whole-chunk tally must
-equal the merge of split-chunk tallies (the invariant resume and
-``--jobs`` independence rest on).
+* ``test_packed_vs_object_simulation`` times the same families on both
+  simulation backends, asserts *identical tallies* (the differential
+  invariant campaigns rest on) and a ≥10× packed speedup floor, and
+  appends the pair to ``benchmarks/results/BENCH_sweeps.json``;
+* ``test_simulation_path_throughput`` records tables/s of the default
+  (packed) backend per registered family — including the n=6 family the
+  packed backend unlocked — with a chunk-split determinism cross-check
+  riding along.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.scenarios import get_scenario, simulate_chunk
 
 
-def _merged(spec, patterns, size: int):
+def _merged(spec, patterns, size: int, backend: str = "packed"):
     parts = [
-        simulate_chunk(spec, patterns[i : i + size])
+        simulate_chunk(spec, patterns[i : i + size], backend)
         for i in range(0, len(patterns), size)
     ]
     return (
@@ -35,10 +41,10 @@ def _merged(spec, patterns, size: int):
 def test_simulation_path_throughput(
     timed_best_of, merge_bench_sweeps, save_artifact
 ) -> None:
-    """Tables/s of the simulation chunk runner, per registered family."""
+    """Tables/s of the packed simulation runner, per registered family."""
     entries = []
     lines = []
-    for name in ("periodic-two-n4", "bernoulli-two-n4"):
+    for name in ("periodic-two-n4", "bernoulli-two-n4", "periodic-two-n6"):
         spec = get_scenario(name)
         patterns = spec.expand_patterns()
         result, seconds = timed_best_of(
@@ -52,7 +58,7 @@ def test_simulation_path_throughput(
         entries.append(
             {
                 "sweep": f"dynamics_{spec.dynamics}_two_n{spec.n}_sim",
-                "backend": "simulation",
+                "backend": "packed",
                 "n": spec.n,
                 "k": spec.robots.k,
                 "total": total,
@@ -70,3 +76,64 @@ def test_simulation_path_throughput(
         )
     merge_bench_sweeps(entries)
     save_artifact("dynamics_simulation_throughput", "\n".join(lines))
+
+
+def test_packed_vs_object_simulation(
+    timed_best_of, merge_bench_sweeps, save_artifact
+) -> None:
+    """Packed-vs-object simulation pair; extends BENCH_sweeps.json.
+
+    Same convention as ``bench_enumeration.py::test_packed_vs_object_
+    backends``: both backends timed on identical work, tallies asserted
+    identical, and the packed speedup held to a ≥10× floor
+    (``REPRO_BENCH_MIN_SPEEDUP`` overrides on contended runners).
+    """
+    entries = []
+    lines = []
+    for name in ("periodic-two-n4", "bernoulli-two-n4"):
+        spec = get_scenario(name)
+        patterns = spec.expand_patterns()
+
+        def run(backend, spec=spec, patterns=patterns):
+            return simulate_chunk(spec, patterns, backend)
+
+        object_result, object_seconds = timed_best_of(lambda: run("object"))
+        packed_result, packed_seconds = timed_best_of(lambda: run("packed"))
+        # Byte-identical tallies are a hard invariant, not a benchmark
+        # detail: the campaign store trusts either backend's records.
+        assert object_result == packed_result
+        total, trapped, _explorers, rounds = packed_result
+        speedup = object_seconds / packed_seconds
+        sweep = f"dynamics_{spec.dynamics}_two_n{spec.n}_sim_backends"
+        for backend, seconds in (
+            ("object", object_seconds),
+            ("packed", packed_seconds),
+        ):
+            entries.append(
+                {
+                    "sweep": sweep,
+                    "backend": backend,
+                    "n": spec.n,
+                    "k": spec.robots.k,
+                    "total": total,
+                    "trapped": trapped,
+                    "horizon": spec.horizon,
+                    "rounds_simulated": rounds,
+                    "seconds": round(seconds, 4),
+                    "tables_per_sec": round(total / seconds, 1),
+                }
+            )
+        entries.append({"sweep": sweep, "speedup": round(speedup, 1)})
+        lines.append(
+            f"{name}: object {object_seconds:.3f}s, packed "
+            f"{packed_seconds:.3f}s — {speedup:.1f}x "
+            f"({trapped}/{total} trapped)"
+        )
+        floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10"))
+        assert speedup >= floor, (
+            f"{name}: packed simulation is only {speedup:.1f}x faster "
+            f"(object {object_seconds:.3f}s, packed {packed_seconds:.3f}s; "
+            f"floor {floor}x — set REPRO_BENCH_MIN_SPEEDUP to adjust)"
+        )
+    merge_bench_sweeps(entries)
+    save_artifact("dynamics_simulation_backends", "\n".join(lines))

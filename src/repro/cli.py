@@ -26,7 +26,11 @@ Subcommands:
   scenarios run on the exact game solver; schedule-dynamics scenarios
   (periodic, T-interval-connected, whack-a-mole, Bernoulli/Markov, …)
   run on the simulation chunk runner against their pinned schedule
-  parameterization — same store, same guarantees;
+  parameterization — same store, same guarantees. ``--backend
+  packed|object`` picks the execution substrate on either path (packed
+  kernel vs object product for the solver, compiled tables vs object
+  engines for the simulation runner); backends tally byte-identically,
+  so reports and resume points are backend-portable;
 * ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
   construction and print its audit;
 * ``algos`` — list registered algorithms.
@@ -363,9 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         c_action.add_argument(
             "--backend", choices=["packed", "object"], default="packed",
-            help="verification substrate for highly-dynamic scenarios "
-            "(schedule-dynamics scenarios run by simulation and have no "
-            "backend axis)",
+            help="execution substrate for either dispatch path: the "
+            "compiled fast path (default) or the object semantics "
+            "oracle; tallies, reports and resume points are identical "
+            "across backends",
         )
         c_action.add_argument(
             "--jobs", type=int, default=None, metavar="J",

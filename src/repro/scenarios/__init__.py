@@ -10,7 +10,10 @@ result store with checkpointing, resume and dedup
 ``highly-dynamic`` scenarios are solved exactly by the game solver;
 schedule-family scenarios pin a concrete evolving graph
 (:mod:`~repro.scenarios.dynamics`) and are executed by bounded-horizon
-simulation (:mod:`~repro.scenarios.simulate`) on the same store.
+simulation (:mod:`~repro.scenarios.simulate`) on the same store. Both
+paths run on a packed fast backend (the compiled-tables core of
+:mod:`repro.verification.compiled`) or the object oracle, with
+byte-identical tallies either way.
 
 The CLI surface is ``repro-rings campaign list|run|status|report``; the
 same machinery is importable::
@@ -27,6 +30,7 @@ from repro.scenarios.dynamics import (
     RANDOMIZED_FAMILIES,
     SCHEDULE_PARAMS,
     build_schedule,
+    schedule_masks,
     validate_dynamics,
 )
 from repro.scenarios.spec import (
@@ -59,6 +63,7 @@ __all__ = [
     "SCENARIO_FORMAT_VERSION",
     "SCHEDULE_PARAMS",
     "build_schedule",
+    "schedule_masks",
     "simulate_chunk",
     "simulation_placements",
     "validate_dynamics",

@@ -6,9 +6,10 @@ dynamics family is executable: ``"highly-dynamic"`` scenarios run on the
 exact game solver (:func:`~repro.verification.sweeps.sweep_chunk`), and
 schedule-family scenarios run on the simulation chunk runner
 (:func:`~repro.scenarios.simulate.simulate_chunk`) against their pinned
-schedule parameterization. Both paths produce the same record schema, so
-the store, resume, dedup and reporting machinery below is shared. The
-contract:
+schedule parameterization. Both paths produce the same record schema and
+both offer a packed fast backend and an object oracle backend with
+byte-identical tallies, so the store, resume, dedup and reporting
+machinery below is shared — and backend-agnostic. The contract:
 
 * **Deterministic work units.** The scenario expands to a fixed pattern
   stream cut into fixed-size chunks (never dependent on worker count), and
@@ -50,6 +51,10 @@ _Payload = tuple[int, dict[str, Any], tuple[int, ...], str, bool]
 The spec rides along as its :meth:`ScenarioSpec.to_dict` form — plainly
 picklable, and the worker re-validates it on decode, so a chunk can never
 execute against a spec its own construction-time gate would refuse.
+``backend`` selects the execution substrate on *both* dispatch paths
+(packed kernel vs object oracle for the exact solver, compiled tables vs
+object engines for the simulation runner); it is hash-neutral — never
+part of the spec payload, the chunk records or the report bytes.
 """
 
 
@@ -132,16 +137,21 @@ def _campaign_chunk(payload: _Payload) -> tuple[int, tuple]:
             spec.prop,
             spec.scheduler,
         )
-    return index, simulate_chunk(spec, chunk)
+    return index, simulate_chunk(spec, chunk, backend)
 
 
 class CampaignRunner:
     """Runs scenarios against a result store, resumably.
 
-    ``backend`` and ``validate`` configure the exact-solver path and
-    apply only to ``highly-dynamic`` scenarios; schedule-dynamics
-    scenarios run by simulation, which has no backend axis (there is
-    exactly one execution substrate, the :mod:`repro.sim` engines).
+    ``backend`` picks the execution substrate of *both* dispatch paths:
+    the exact solver's packed kernel vs object product, and the
+    simulation runner's compiled tables vs object engines
+    (``"packed"``, the default, is the fast path on each). The backend
+    is an execution detail, not workload identity — both backends tally
+    every chunk byte-identically, so scenario hashes, chunk records and
+    report bytes never depend on it, and a campaign checkpointed under
+    one backend resumes cleanly under the other. ``validate`` applies to
+    the exact-solver path only (certificate replay validation).
     """
 
     def __init__(

@@ -20,7 +20,11 @@ runner drives):
   randomized family, or a seed on a deterministic one all fail *loudly,
   with the family name*, when the spec is built — never mid-campaign;
 * :func:`build_schedule` — instantiate the matching schedule class on a
-  concrete footprint (randomized families get their explicit seed).
+  concrete footprint (randomized families get their explicit seed);
+* :func:`schedule_masks` — precompile a schedule's bounded horizon into
+  a flat edge-bitmask array, the form the packed simulation backend
+  (:mod:`repro.scenarios.simulate` on
+  :class:`~repro.verification.compiled.CompiledTables`) consumes.
 
 Randomized families (:data:`RANDOMIZED_FAMILIES`) derive every draw from
 ``(seed, t)`` or from a seed-initialized stream, so a chunk worker that
@@ -228,6 +232,24 @@ def build_schedule(
     return cls(topology, **kwargs)
 
 
+def schedule_masks(schedule: EvolvingGraph, horizon: int) -> tuple[int, ...]:
+    """Precompile ``horizon`` rounds of a schedule into edge bitmasks.
+
+    ``result[t]`` has bit ``e`` set iff edge ``e`` is present at time
+    ``t`` — the exact move encoding of the packed layer
+    (:meth:`CompiledTables.edges_to_mask`), computed once per chunk so
+    the simulation hot loop never touches a frozenset. Seeded schedules
+    make this a pure function of the spec, like everything else on the
+    simulation path.
+    """
+    if horizon < 0:
+        raise ScenarioError(f"horizon must be >= 0, got {horizon}")
+    return tuple(
+        sum(1 << edge for edge in schedule.present_edges(t))
+        for t in range(horizon)
+    )
+
+
 __all__ = [
     "DEFAULT_HORIZON",
     "FamilySchema",
@@ -236,5 +258,6 @@ __all__ = [
     "build_schedule",
     "canonical_params",
     "params_dict",
+    "schedule_masks",
     "validate_dynamics",
 ]

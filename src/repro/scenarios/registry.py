@@ -25,7 +25,9 @@ families cover the reproduction's standing sweep workloads:
   evolving graph — periodic rings (Ilcinkas–Wade),
   T-interval-connected rings (Kuhn–Lynch–Oshman; Di Luna et al.),
   whack-a-mole (at most one absent edge, wandering), Bernoulli and
-  Markov random presence, under both schedulers.
+  Markov random presence, under both schedulers — including the n=6
+  twins and a memory-2 simulated sample opened up by the packed
+  simulation backend (compiled tables shared with the solver's kernel).
 
 ``register_scenario`` is open: downstream code can add its own families;
 names are unique and registration of a changed spec under a taken name is
@@ -310,7 +312,57 @@ register_scenario(
     )
 )
 
+# ----------------------------------------------------------------------
+# Larger simulated families, practical since the packed simulation
+# backend (compiled tables + precompiled schedule masks, 13–17x the
+# object engines): n=6 rings and a memory-2 simulated sample.
+# ----------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="periodic-two-n6",
+        description="Periodically varying 6-ring (Ilcinkas-Wade): two-robot "
+        "sample simulated against two anti-phase 3-periodic edges on "
+        "opposite sides of the ring",
+        robots=RobotClassSpec(family="two", sample=192),
+        n=6,
+        dynamics="periodic",
+        dynamics_params={"patterns": {0: [True, True, False], 3: [False, True, True]}},
+        horizon=120,
+        chunk_size=32,
+    )
+)
 
+register_scenario(
+    ScenarioSpec(
+        name="tinterval-two-n6",
+        description="T-interval-connected ring at n=6 (Kuhn-Lynch-Oshman; "
+        "Di Luna et al.): two-robot sample, at most one absent edge held "
+        "for T=3-round epochs",
+        robots=RobotClassSpec(family="two", sample=128),
+        n=6,
+        dynamics="t-interval",
+        dynamics_params={"T": 3},
+        dynamics_seed=20170605,
+        horizon=120,
+        chunk_size=32,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="m2-bernoulli-two-n4",
+        description="Finite-memory simulation sample: 256 deterministically "
+        "sampled memory-2 two-robot tables (of 2**64) against a seeded "
+        "Bernoulli 4-ring",
+        robots=RobotClassSpec(family="two-m2", sample=256),
+        n=4,
+        dynamics="bernoulli",
+        dynamics_params={"p": 0.75},
+        dynamics_seed=20170605,
+        horizon=72,
+        chunk_size=32,
+    )
+)
 
 
 __all__ = [

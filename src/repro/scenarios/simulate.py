@@ -25,6 +25,27 @@ resume, dedup and report machinery apply unchanged:
   halves of the horizon (a finite recurrence proxy: visits that stop
   after the first half fail it).
 
+**Backends.** Like the exact path, the simulation path has two execution
+substrates with one semantics:
+
+* ``backend="packed"`` (the default) compiles each table once per
+  chirality vector into flat integer tables
+  (:class:`~repro.verification.compiled.CompiledTables` — the same
+  compilation the game solver's :class:`~repro.verification.kernel
+  .PackedKernel` consumes), precompiles the schedule into an edge-bitmask
+  array (:func:`~repro.scenarios.dynamics.schedule_masks`) and the SSYNC
+  round-robin activations into an activation-mask array, and runs the
+  bounded-horizon check on packed occupancy bitsets;
+* ``backend="object"`` drives :func:`repro.sim.engine.step_fsync` /
+  :func:`repro.sim.semi_sync.step_ssync` per round — the semantics
+  oracle, kept as the differential reference.
+
+Both backends produce byte-identical tallies (differentially tested in
+``tests/test_simulate.py``), so the backend is an execution detail, never
+part of a scenario's identity: scenario hashes, chunk records and
+campaign report bytes are backend-independent, and a campaign
+checkpointed under one backend resumes cleanly under the other.
+
 Start placements are **not** rotation-reduced here: a concrete schedule
 names absolute edges at absolute times, so ring rotations are *not*
 execution-isomorphic (unlike under the universally-quantified adversary).
@@ -36,8 +57,8 @@ families reproduce their draws exactly — see
 :mod:`repro.scenarios.dynamics`), precomputes the horizon's present-edge
 sets once, and runs each table from round 0 — so a chunk's tally is a
 pure function of ``(spec, chunk)``: identical across worker counts,
-interrupts and hosts, which is what makes simulation campaign reports
-byte-identical under resume.
+backends, interrupts and hosts, which is what makes simulation campaign
+reports byte-identical under resume.
 
 Under ``scheduler="ssync"`` each round activates exactly one robot,
 round-robin (``t mod k``) — a deterministic, fair activation schedule
@@ -52,11 +73,13 @@ from typing import Optional, Sequence
 
 from repro.graph.topology import RingTopology, towerless_placements
 from repro.robots.algorithms.base import Algorithm
-from repro.scenarios.dynamics import build_schedule
+from repro.scenarios.dynamics import build_schedule, schedule_masks
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.engine import make_initial_configuration, step_fsync
 from repro.sim.semi_sync import step_ssync
 from repro.types import Chirality, EdgeId, NodeId, RobotId
+from repro.verification.compiled import CompiledTables
+from repro.verification.product import check_backend
 from repro.verification.sweeps import family_maker, family_plan
 
 _ChunkOutcome = tuple[int, int, list[str], int]
@@ -86,7 +109,7 @@ def _bounded_explores(
     chiralities: Sequence[Chirality],
     prop: str,
 ) -> tuple[bool, int]:
-    """One bounded run; returns ``(explored, rounds executed)``.
+    """One bounded run on the object engines; returns ``(explored, rounds)``.
 
     Early exits keep trapped tables cheap: a ``live`` run stops the round
     every node has been seen, and a ``perpetual`` run fails at mid-horizon
@@ -131,27 +154,111 @@ def _bounded_explores(
     return seen == nodes and late == nodes, horizon
 
 
-def simulate_chunk(spec: ScenarioSpec, bits_chunk: Sequence[int]) -> _ChunkOutcome:
+def _bounded_explores_packed(
+    tables: CompiledTables,
+    masks: Sequence[int],
+    ssync: bool,
+    placement: Sequence[NodeId],
+    prop: str,
+    full_nodes: int,
+) -> tuple[bool, int]:
+    """The packed twin of :func:`_bounded_explores`.
+
+    Identical early-exit structure, identical round counts — ``seen`` and
+    ``late`` are occupancy bitsets instead of node sets, and each round
+    consults the compiled flat tables
+    (:meth:`CompiledTables.simulation_tables`) on in-place per-robot
+    position/state arrays instead of stepping an engine over frozensets.
+    A robot's view reads only its own slot plus the precomputed
+    multiplicity bits, so slots update in place mid-round without
+    perturbing the simultaneous Look — the same order-independence
+    ``step_packed`` relies on.
+    """
+    transitions, dir_bits, robot_tables, initial_index = (
+        tables.simulation_tables()
+    )
+    k = tables.k
+    all_robots = tuple(range(k))
+    horizon = len(masks)
+    mid = horizon // 2
+    positions = list(placement)
+    states = [initial_index] * k
+    seen = 0
+    for position in positions:
+        seen |= 1 << position
+    late = 0
+    if prop == "live" and seen == full_nodes:
+        return True, 0
+    live = prop == "live"
+    for t in range(horizon):
+        mask = masks[t]
+        occupied = 0
+        towers = 0
+        for position in positions:
+            bit = 1 << position
+            if occupied & bit:
+                towers |= bit
+            occupied |= bit
+        occupancy = 0
+        if ssync:
+            # Round-robin SSYNC: exactly robot t mod k acts this round.
+            active = (t % k,)
+        else:
+            active = all_robots
+        for i in active:
+            left_masks, right_masks, move_masks, move_dests = robot_tables[i]
+            position = positions[i]
+            view = states[i] * 8
+            if mask & left_masks[position]:
+                view += 4
+            if mask & right_masks[position]:
+                view += 2
+            if towers >> position & 1:
+                view += 1
+            new_state = transitions[view]
+            pointer = position * 2 + dir_bits[new_state]
+            if mask & move_masks[pointer]:
+                positions[i] = move_dests[pointer]
+            states[i] = new_state
+        for position in positions:
+            occupancy |= 1 << position
+        if t < mid:
+            seen |= occupancy
+        else:
+            late |= occupancy
+        if live:
+            if seen | late == full_nodes:
+                return True, t + 1
+        else:
+            if t + 1 == mid and seen != full_nodes:
+                return False, t + 1
+            if seen == full_nodes and late == full_nodes:
+                return True, t + 1
+    if live:
+        return seen | late == full_nodes, horizon
+    return seen == full_nodes and late == full_nodes, horizon
+
+
+def simulate_chunk(
+    spec: ScenarioSpec, bits_chunk: Sequence[int], backend: str = "packed"
+) -> _ChunkOutcome:
     """Simulate one chunk of table bit-patterns against the spec's schedule.
 
     The simulation twin of :func:`repro.verification.sweeps.sweep_chunk`
     and the unit of work the campaign runner checkpoints for
     schedule-dynamics scenarios. Deterministic for a fixed
-    ``(spec, bits_chunk)`` pair — re-runnable on any worker, process or
-    host with an identical tally.
+    ``(spec, bits_chunk)`` pair — re-runnable on any backend, worker,
+    process or host with an identical tally (``backend`` trades the
+    compiled fast path against the object-engine oracle; see the module
+    docstring).
     """
+    check_backend(backend)
     topology = RingTopology(spec.n)
     schedule = build_schedule(
         spec.dynamics, spec.dynamics_params, spec.dynamics_seed, topology
     )
     assert spec.horizon is not None  # guaranteed by spec validation
-    steps = [schedule.present_edges(t) for t in range(spec.horizon)]
     k = spec.robots.k
-    activations = (
-        None
-        if spec.scheduler == "fsync"
-        else [frozenset({t % k}) for t in range(spec.horizon)]
-    )
     placements = simulation_placements(spec.starts, topology, k)
     maker = family_maker(spec.robots.family)
     vectors = [
@@ -161,6 +268,44 @@ def simulate_chunk(spec: ScenarioSpec, bits_chunk: Sequence[int]) -> _ChunkOutco
     ]
     total = trapped = rounds = 0
     explorers: list[str] = []
+
+    if backend == "packed":
+        # One schedule compilation per chunk: the horizon's present-edge
+        # sets become a flat edge-bitmask array; under SSYNC the
+        # round-robin activation is folded into the round body.
+        masks = schedule_masks(schedule, spec.horizon)
+        ssync = spec.scheduler == "ssync"
+        full_nodes = (1 << spec.n) - 1
+        for bits in bits_chunk:
+            algorithm = maker(bits)
+            hit = False
+            for chiralities in vectors:
+                tables = CompiledTables(
+                    topology, algorithm, chiralities, scheduler=spec.scheduler
+                )
+                for placement in placements:
+                    explored, executed = _bounded_explores_packed(
+                        tables, masks, ssync, placement, spec.prop, full_nodes
+                    )
+                    rounds += executed
+                    if not explored:
+                        hit = True
+                        break
+                if hit:
+                    break
+            total += 1
+            if hit:
+                trapped += 1
+            else:
+                explorers.append(algorithm.name)
+        return total, trapped, explorers, rounds
+
+    steps = [schedule.present_edges(t) for t in range(spec.horizon)]
+    activations = (
+        None
+        if spec.scheduler == "fsync"
+        else [frozenset({t % k}) for t in range(spec.horizon)]
+    )
     for bits in bits_chunk:
         algorithm = maker(bits)
         hit = False

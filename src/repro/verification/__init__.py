@@ -10,10 +10,14 @@ This subpackage decides it, through three mutually-checking layers:
 * :mod:`repro.verification.product` — the object-level product transition
   system, driven by the very same :func:`repro.sim.engine.step_fsync` the
   simulator uses (the semantics oracle);
-* :mod:`repro.verification.kernel` — the packed-state kernel: product
-  states as single ints, adversary moves as edge bitmasks, the whole
-  Look–Compute logic folded into flat integer tables. The default, fast
-  substrate; differentially tested against the other two layers;
+* :mod:`repro.verification.compiled` — the compiled-tables core: product
+  states as single ints, edge/activation sets as bitmasks, the whole
+  Look–Compute logic folded into flat integer tables, shared with the
+  simulation chunk runner (:mod:`repro.scenarios.simulate`);
+* :mod:`repro.verification.kernel` — the packed-state kernel: the game
+  solver's consumer of the compiled tables, adding adversarial move
+  enumeration and labeled reachability. The default, fast substrate;
+  differentially tested against the other two layers;
 * :mod:`repro.verification.game` — the solver: the adversary wins iff,
   from some well-initiated configuration, some reachable SCC of the
   target-node-avoiding subgraph leaves at most one ring edge never
@@ -42,6 +46,7 @@ from repro.verification.game import (
     synthesize_trap,
     verify_exploration,
 )
+from repro.verification.compiled import CompiledTables
 from repro.verification.kernel import PackedKernel, check_scheduler
 from repro.verification.product import BACKENDS, ProductSystem, SysState
 from repro.verification.enumeration import (
@@ -64,6 +69,7 @@ __all__ = [
     "PROPERTIES",
     "START_POLICIES",
     "TABLE_FAMILIES",
+    "CompiledTables",
     "PackedKernel",
     "ProductSystem",
     "SysState",

@@ -42,6 +42,7 @@ from repro.verification.enumeration import (
     sweep_single_robot_memoryless,
     sweep_two_robot_memoryless,
 )
+from repro.verification.compiled import CompiledTables
 from repro.verification.game import verify_exploration
 from repro.verification.kernel import PackedKernel
 from repro.verification.product import ProductSystem
@@ -151,6 +152,72 @@ class TestGraphIdentity:
         )
         with pytest.raises(VerificationError):
             system.reachable()
+
+
+class TestCompiledSplit:
+    """The compilation layer / game-consumer split: the kernel is the
+    compiled tables plus adversarial enumeration, nothing more."""
+
+    def test_kernel_is_a_compiled_tables_consumer(self) -> None:
+        assert issubclass(PackedKernel, CompiledTables)
+        # Adversary enumeration and reachability are kernel-only: the
+        # compilation layer must stay game-agnostic so the simulation
+        # runner can consume it without dragging in the solver.
+        for game_only in ("moves_for_occupied", "reachable", "decode_graph"):
+            assert not hasattr(CompiledTables, game_only)
+
+    def test_simulation_tables_replay_matches_step_packed(self) -> None:
+        # The flat tables handed to the simulation runner drive a round
+        # to the same outcome as the packed step (both schedulers' round
+        # shapes: everyone active, and a single active robot).
+        rng = random.Random(20170605)
+        for _ in range(25):
+            topology, algorithm, chiralities = _random_instance(rng)
+            tables = CompiledTables(topology, algorithm, chiralities)
+            transitions, dir_bits, robot_tables, initial_index = (
+                tables.simulation_tables()
+            )
+            k = tables.k
+            positions = [rng.randrange(topology.n) for _ in range(k)]
+            states = [initial_index] * k
+            mask = rng.randrange(1 << topology.edge_count)
+            active = (
+                None if rng.random() < 0.5 else (rng.randrange(k),)
+            )
+            packed = tables.encode_placement(positions)
+            act_mask = (
+                None if active is None else sum(1 << i for i in active)
+            )
+            expected, _moved = tables.step_packed(packed, mask, act_mask)
+            occupied = 0
+            towers = 0
+            for position in positions:
+                bit = 1 << position
+                if occupied & bit:
+                    towers |= bit
+                occupied |= bit
+            for i in range(k) if active is None else active:
+                left_masks, right_masks, move_masks, move_dests = (
+                    robot_tables[i]
+                )
+                position = positions[i]
+                view = states[i] * 8
+                if mask & left_masks[position]:
+                    view += 4
+                if mask & right_masks[position]:
+                    view += 2
+                if towers >> position & 1:
+                    view += 1
+                new_state = transitions[view]
+                pointer = position * 2 + dir_bits[new_state]
+                if mask & move_masks[pointer]:
+                    positions[i] = move_dests[pointer]
+                states[i] = new_state
+            base = tables.n * tables.state_count
+            repacked = 0
+            for position, s in zip(reversed(positions), reversed(states)):
+                repacked = repacked * base + position * tables.state_count + s
+            assert repacked == expected
 
 
 class TestKernelEncoding:

@@ -151,6 +151,11 @@ class TestHashGoldens:
         "bernoulli-two-n4": "fef63e81cb7896e9",
         "markov-live-two-n4": "81f9f0b3625bc638",
         "periodic-ssync-two-n4": "cdceec55f1670197",
+        # Packed-simulation-era families: n=6 rings and the memory-2
+        # simulated sample (PR 5).
+        "periodic-two-n6": "fbb7a1cb7a9553e8",
+        "tinterval-two-n6": "7dd3b8c0eca97e48",
+        "m2-bernoulli-two-n4": "8211840a6800f469",
     }
 
     @pytest.mark.parametrize("name,expected", sorted(GOLDENS.items()))
@@ -330,6 +335,10 @@ class TestRegistry:
         assert {s.scheduler for s in dynamic} == {"fsync", "ssync"}
         assert any(s.dynamics_seed is not None for s in dynamic)
         assert all(s.horizon is not None and s.horizon >= 1 for s in dynamic)
+        # Packed-simulation-era families: simulated n >= 6 rings and a
+        # simulated finite-memory (memory-2) sample.
+        assert any(s.n >= 6 for s in dynamic)
+        assert any(s.robots.family == "two-m2" for s in dynamic)
 
     def test_ids_are_unique_and_specs_valid(self) -> None:
         specs = list(iter_scenarios())

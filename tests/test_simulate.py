@@ -7,26 +7,32 @@ Covers the two halves of the simulation execution path:
   instantiation for every family of the schedule library;
 * :mod:`repro.scenarios.simulate` — the bounded-horizon exploration
   check's semantics (live vs perpetual, FSYNC vs SSYNC), the
-  non-rotation-reduced placement quantifier, and the determinism
+  non-rotation-reduced placement quantifier, the determinism
   contract (same tally for any chunk split — the invariant campaign
-  resume and jobs-independence rest on).
+  resume and jobs-independence rest on), and the backend contract:
+  the packed compiled-tables runner and the object engine oracle tally
+  every chunk byte-identically, on every registered simulation family
+  and on Hypothesis-drawn random schedules and tables.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from scenario_testlib import make_tiny_dynamics_scenario as dyn_spec
 from repro.errors import ScenarioError
 from repro.graph import schedules
 from repro.graph.topology import RingTopology
-from repro.scenarios import RobotClassSpec
+from repro.scenarios import RobotClassSpec, iter_scenarios
 from repro.scenarios.dynamics import (
     RANDOMIZED_FAMILIES,
     SCHEDULE_PARAMS,
     build_schedule,
     canonical_params,
     params_dict,
+    schedule_masks,
     validate_dynamics,
 )
 from repro.scenarios.simulate import simulate_chunk, simulation_placements
@@ -235,3 +241,91 @@ class TestSimulateChunk:
         chunk = well.expand_patterns()
         assert well.expand_patterns() == arbitrary.expand_patterns()
         assert simulate_chunk(well, chunk)[1] <= simulate_chunk(arbitrary, chunk)[1]
+
+    def test_unknown_backend_rejected(self) -> None:
+        with pytest.raises(Exception, match="backend"):
+            simulate_chunk(dyn_spec(), [0], backend="vectorized")
+
+
+class TestScheduleMasks:
+    def test_masks_match_present_edge_sets(self) -> None:
+        ring = RingTopology(5)
+        schedule = build_schedule(
+            "t-interval", canonical_params({"T": 2}), 99, ring
+        )
+        masks = schedule_masks(schedule, 12)
+        assert len(masks) == 12
+        for t, mask in enumerate(masks):
+            assert mask == sum(1 << e for e in schedule.present_edges(t))
+
+    def test_negative_horizon_rejected(self) -> None:
+        ring = RingTopology(3)
+        schedule = build_schedule("static", None, None, ring)
+        with pytest.raises(ScenarioError):
+            schedule_masks(schedule, -1)
+
+
+def _simulation_family_names() -> list[str]:
+    return [
+        spec.name
+        for spec in iter_scenarios()
+        if spec.dynamics != "highly-dynamic"
+    ]
+
+
+class TestBackendAgreement:
+    """The packed runner is an execution detail: on any chunk it must
+    tally byte-identically to the object engine oracle — the invariant
+    that makes campaign records and reports backend-portable."""
+
+    @pytest.mark.parametrize("name", _simulation_family_names())
+    def test_registered_families_first_chunk_identical(self, name: str) -> None:
+        # Every registered simulation family (both schedulers, both
+        # properties, n up to 6, memory-2 included), first chunk.
+        spec = next(s for s in iter_scenarios() if s.name == name)
+        chunk = spec.chunks()[0]
+        packed = simulate_chunk(spec, chunk, backend="packed")
+        obj = simulate_chunk(spec, chunk, backend="object")
+        assert packed == obj
+
+    def test_registry_spans_both_schedulers(self) -> None:
+        # Guard for the parametrization above: losing a scheduler from
+        # the registered simulation families would silently weaken it.
+        specs = [
+            s for s in iter_scenarios() if s.dynamics != "highly-dynamic"
+        ]
+        assert {s.scheduler for s in specs} == {"fsync", "ssync"}
+        assert any(s.n >= 6 for s in specs)
+        assert any(s.robots.family == "two-m2" for s in specs)
+
+    @given(
+        family=st.sampled_from(["bernoulli", "markov"]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        bits=st.lists(
+            st.integers(min_value=0, max_value=2**16 - 1),
+            min_size=1,
+            max_size=3,
+        ),
+        scheduler=st.sampled_from(["fsync", "ssync"]),
+        prop=st.sampled_from(["perpetual", "live"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_schedules_and_tables_agree(
+        self, family: str, seed: int, bits: list[int], scheduler: str, prop: str
+    ) -> None:
+        params = (
+            {"p": 0.7}
+            if family == "bernoulli"
+            else {"p_off": 0.3, "p_on": 0.6}
+        )
+        spec = dyn_spec(
+            dynamics=family,
+            dynamics_params=params,
+            dynamics_seed=seed,
+            scheduler=scheduler,
+            prop=prop,
+            horizon=20,
+        )
+        assert simulate_chunk(spec, bits, backend="packed") == simulate_chunk(
+            spec, bits, backend="object"
+        )
