@@ -18,11 +18,11 @@ Subcommands:
   ``--scheduler ssync`` plays every game against the semi-synchronous
   activation adversary; ``--json FILE`` dumps the machine-readable
   result;
-* ``campaign list|run|status|report`` — the scenario registry and the
-  persistent campaign runner: named workloads executed against an
-  append-only result store with chunk checkpointing, resume and dedup
-  (``campaign run NAME`` picks up exactly where an interrupted run
-  stopped and emits a byte-identical final report). ``highly-dynamic``
+* ``campaign list|run|status|report|fsck|retry-failed`` — the scenario
+  registry and the persistent campaign runner: named workloads executed
+  against an append-only result store with chunk checkpointing, resume
+  and dedup (``campaign run NAME`` picks up exactly where an interrupted
+  run stopped and emits a byte-identical final report). ``highly-dynamic``
   scenarios run on the exact game solver; schedule-dynamics scenarios
   (periodic, T-interval-connected, whack-a-mole, Bernoulli/Markov, …)
   run on the simulation chunk runner against their pinned schedule
@@ -30,7 +30,12 @@ Subcommands:
   packed|object`` picks the execution substrate on either path (packed
   kernel vs object product for the solver, compiled tables vs object
   engines for the simulation runner); backends tally byte-identically,
-  so reports and resume points are backend-portable;
+  so reports and resume points are backend-portable. Runs are supervised
+  (``--max-attempts``/``--chunk-timeout`` govern retries, deadlines and
+  quarantine — see ``docs/robustness.md``); ``fsck`` salvages a corrupt
+  checkpoint log and ``retry-failed`` re-executes quarantined chunks.
+  Exit codes: 0 OK, 1 incomplete, 2 usage, 3 corrupt store, 4 degraded,
+  130 interrupted;
 * ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
   construction and print its audit;
 * ``algos`` — list registered algorithms.
@@ -193,10 +198,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.errors import CampaignIncompleteError, ScenarioError
+    from repro.errors import (
+        EXIT_DEGRADED,
+        EXIT_INCOMPLETE,
+        EXIT_OK,
+        EXIT_USAGE,
+        ScenarioError,
+        exit_code_for,
+    )
     from repro.scenarios import (
         CampaignRunner,
         ResultStore,
+        RetryPolicy,
         get_scenario,
         iter_scenarios,
     )
@@ -204,40 +217,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.action == "list":
         for spec in iter_scenarios():
             print(spec.summary())
-        return 0
+        return EXIT_OK
     try:
         spec = get_scenario(args.name)
     except ScenarioError as exc:
         print(exc, file=sys.stderr)
-        return 2
-    runner = CampaignRunner(
-        ResultStore(args.store), backend=args.backend, jobs=args.jobs
-    )
-    if args.action == "run":
+        return EXIT_USAGE
+    try:
+        policy_fields = {}
+        if getattr(args, "max_attempts", None) is not None:
+            policy_fields["max_attempts"] = args.max_attempts
+        if getattr(args, "chunk_timeout", None) is not None:
+            policy_fields["chunk_timeout"] = args.chunk_timeout
+        runner = CampaignRunner(
+            ResultStore(args.store),
+            backend=args.backend,
+            jobs=args.jobs,
+            policy=RetryPolicy(**policy_fields),
+        )
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.action in ("run", "retry-failed"):
         try:
-            outcome = runner.run(spec, max_chunks=args.max_chunks)
+            if args.action == "run":
+                outcome = runner.run(spec, max_chunks=args.max_chunks)
+            else:
+                outcome = runner.retry_failed(spec, max_chunks=args.max_chunks)
         except ScenarioError as exc:
             print(exc, file=sys.stderr)
-            return 2
+            return exit_code_for(exc)
         print(outcome.summary())
-        return 0 if outcome.status.complete else 1
+        if outcome.status.complete:
+            return EXIT_OK
+        return EXIT_DEGRADED if outcome.status.degraded else EXIT_INCOMPLETE
     if args.action == "status":
         try:
             print(runner.status(spec).summary())
         except ScenarioError as exc:  # corrupt store: operator intervention
             print(exc, file=sys.stderr)
-            return 2
-        return 0
+            return exit_code_for(exc)
+        return EXIT_OK
+    if args.action == "fsck":
+        try:
+            recovery = runner.fsck(spec)
+        except ScenarioError as exc:
+            print(exc, file=sys.stderr)
+            return exit_code_for(exc)
+        print(recovery.summary())
+        return EXIT_OK
     try:
-        text = runner.report_text(spec)
-    except CampaignIncompleteError as exc:  # expected: keep running
+        text = runner.report_text(spec, allow_degraded=args.allow_degraded)
+    except ScenarioError as exc:
+        # Incomplete is the expected keep-running state; degraded wants
+        # `retry-failed` (or --allow-degraded); corruption wants `fsck`.
         print(exc, file=sys.stderr)
-        return 1
-    except ScenarioError as exc:  # corrupt store: operator intervention
-        print(exc, file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
     print(text, end="")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_trap(args: argparse.Namespace) -> int:
@@ -358,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
         ("run", "verify every pending chunk of a scenario (resumable)"),
         ("status", "show checkpointed progress of a scenario"),
         ("report", "print the final merged report (requires completion)"),
+        ("fsck", "salvage a corrupt checkpoint log (quarantines damage)"),
+        (
+            "retry-failed",
+            "re-execute exactly the quarantined chunks of a degraded "
+            "campaign",
+        ),
     ):
         c_action = campaign_sub.add_parser(action, help=description)
         c_action.add_argument("name", help="registered scenario name")
@@ -376,10 +419,25 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=None, metavar="J",
             help="worker processes (default: all available cores)",
         )
-        if action == "run":
+        if action in ("run", "retry-failed"):
             c_action.add_argument(
                 "--max-chunks", type=int, default=None, metavar="N",
                 help="verify at most N pending chunks this invocation",
+            )
+            c_action.add_argument(
+                "--max-attempts", type=int, default=None, metavar="K",
+                help="attempts per chunk before quarantine (default 3)",
+            )
+            c_action.add_argument(
+                "--chunk-timeout", type=float, default=None, metavar="SEC",
+                help="per-chunk deadline in seconds, enforced on the "
+                "supervised multi-process path (default: none)",
+            )
+        if action == "report":
+            c_action.add_argument(
+                "--allow-degraded", action="store_true",
+                help="emit the partial report of a degraded campaign "
+                "(it carries degraded/failed_chunks markers)",
             )
         c_action.set_defaults(fn=_cmd_campaign)
 

@@ -75,8 +75,104 @@ class CampaignIncompleteError(ScenarioError):
     The one *expected* mid-campaign failure: callers distinguishing
     "keep running" from genuine store corruption catch this subclass and
     the :class:`ScenarioError` base separately (the CLI maps them to
-    exit codes 1 and 2).
+    exit codes :data:`EXIT_INCOMPLETE` and :data:`EXIT_USAGE`).
     """
+
+
+class StoreCorruptionError(ScenarioError):
+    """A result store holds records the strict reader refuses.
+
+    Examples: an undecodable non-final checkpoint line, a record whose
+    content check does not match its body, conflicting completed records
+    for one chunk, a chunk digest that disagrees with the spec's own
+    chunking, or two different scenarios colliding on one directory.
+    The strict read path *always* raises on these — silent corruption
+    must never masquerade as success; ``campaign fsck``
+    (:meth:`repro.scenarios.store.ResultStore.recover`) is the explicit,
+    opt-in salvage path.
+    """
+
+
+class ChunkTimeoutError(ScenarioError):
+    """A campaign chunk exceeded its per-chunk deadline.
+
+    Raised by the supervised executor when a worker fails to deliver a
+    chunk tally within ``RetryPolicy.chunk_timeout`` seconds; the worker
+    is killed and the chunk is retried with backoff (then quarantined).
+    """
+
+
+class WorkerCrashError(ScenarioError):
+    """A campaign worker died without delivering its chunk tally.
+
+    Covers both real worker deaths (the supervisor observed an exit
+    without a result) and injected crashes from a
+    :class:`~repro.scenarios.faults.FaultPlan` on the in-process path.
+    """
+
+
+class ChunkPoisonedError(ScenarioError):
+    """A chunk failed every allowed attempt.
+
+    With quarantine enabled (the default) the failure is *recorded* in
+    the store instead and the campaign completes degraded; this error is
+    raised only under ``RetryPolicy(quarantine=False)`` — fail-fast
+    callers who prefer a crash over a degraded report.
+    """
+
+
+class CampaignDegradedError(ScenarioError):
+    """A clean report was requested from a degraded campaign.
+
+    A degraded campaign settled every chunk but quarantined at least
+    one; callers must either pass ``allow_degraded=True`` (the report
+    then names the failed chunks) or re-execute them via
+    ``campaign retry-failed``.
+    """
+
+
+class CampaignInterruptedError(ScenarioError):
+    """A campaign run was stopped by SIGINT/SIGTERM.
+
+    The runner's signal handlers finish fsyncing the in-flight chunk
+    record before raising this, so an interrupt never leaves a torn
+    non-final line; the CLI maps it to :data:`EXIT_INTERRUPTED`.
+    """
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes — the error taxonomy, visible to shell scripts.
+# ----------------------------------------------------------------------
+EXIT_OK = 0
+"""Success (for ``campaign run``: every chunk verified, none failed)."""
+
+EXIT_INCOMPLETE = 1
+"""Expected mid-campaign state: not every chunk has checkpointed yet."""
+
+EXIT_USAGE = 2
+"""Bad invocation or an inconsistent scenario/spec (generic error)."""
+
+EXIT_CORRUPT = 3
+"""Store corruption: operator intervention (``campaign fsck``) needed."""
+
+EXIT_DEGRADED = 4
+"""The campaign settled but quarantined chunks (partial results)."""
+
+EXIT_INTERRUPTED = 130
+"""The run was stopped cleanly by SIGINT/SIGTERM (128 + SIGINT)."""
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map a library exception onto the CLI exit-code taxonomy."""
+    if isinstance(exc, CampaignInterruptedError):
+        return EXIT_INTERRUPTED
+    if isinstance(exc, StoreCorruptionError):
+        return EXIT_CORRUPT
+    if isinstance(exc, (CampaignDegradedError, ChunkPoisonedError)):
+        return EXIT_DEGRADED
+    if isinstance(exc, CampaignIncompleteError):
+        return EXIT_INCOMPLETE
+    return EXIT_USAGE
 
 
 class CertificateError(ReproError):

@@ -15,7 +15,15 @@ paths run on a packed fast backend (the compiled-tables core of
 :mod:`repro.verification.compiled`) or the object oracle, with
 byte-identical tallies either way.
 
-The CLI surface is ``repro-rings campaign list|run|status|report``; the
+Campaigns are *crash-resilient*: chunks run under a supervisor with
+per-chunk deadlines, dead-worker respawn, backed-off retries and
+poisoned-chunk quarantine (:class:`RetryPolicy`); a corrupt checkpoint
+log is salvageable (:meth:`ResultStore.recover` — ``campaign fsck``);
+and the whole layer is exercised by a deterministic fault injector
+(:mod:`~repro.scenarios.faults`). See ``docs/robustness.md``.
+
+The CLI surface is
+``repro-rings campaign list|run|status|report|fsck|retry-failed``; the
 same machinery is importable::
 
     from repro.scenarios import CampaignRunner, ResultStore, get_scenario
@@ -48,11 +56,19 @@ from repro.scenarios.registry import (
     scenario_names,
     smallest_scenario,
 )
-from repro.scenarios.store import ResultStore, chunk_digest
+from repro.scenarios.faults import ENV_VAR as FAULT_PLAN_ENV_VAR
+from repro.scenarios.faults import KILL_EXIT_CODE, FaultPlan
+from repro.scenarios.store import (
+    RecoveryReport,
+    ResultStore,
+    chunk_digest,
+    is_failure_record,
+)
 from repro.scenarios.campaign import (
     CampaignRunner,
     CampaignRunOutcome,
     CampaignStatus,
+    RetryPolicy,
 )
 
 __all__ = [
@@ -74,9 +90,15 @@ __all__ = [
     "scenario_names",
     "iter_scenarios",
     "smallest_scenario",
+    "FAULT_PLAN_ENV_VAR",
+    "KILL_EXIT_CODE",
+    "FaultPlan",
+    "RecoveryReport",
     "ResultStore",
     "chunk_digest",
+    "is_failure_record",
     "CampaignRunner",
     "CampaignRunOutcome",
     "CampaignStatus",
+    "RetryPolicy",
 ]

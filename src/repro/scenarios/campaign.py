@@ -15,35 +15,70 @@ machinery below is shared — and backend-agnostic. The contract:
   stream cut into fixed-size chunks (never dependent on worker count), and
   the chunk runner of either path tallies each chunk identically on any
   backend, worker or host.
-* **Interrupt safety.** A chunk checkpoints only once fully verified;
-  killing a campaign loses at most the chunks in flight. Resuming verifies
-  exactly the missing chunks and produces a final report *byte-identical*
-  to an uninterrupted run's — the report is a pure function of the spec
-  and the per-chunk tallies, merged in chunk order.
+* **Interrupt safety.** A chunk checkpoints only once settled; killing a
+  campaign loses at most the chunks in flight. Resuming verifies exactly
+  the missing chunks and produces a final report *byte-identical* to an
+  uninterrupted run's — the report is a pure function of the spec and the
+  per-chunk tallies, merged in chunk order. SIGINT/SIGTERM are caught at
+  chunk boundaries, so a Ctrl-C never tears a non-final record.
 * **Dedup.** Re-running a completed campaign is a cache hit: zero chunks
   re-verified, the same report bytes re-emitted.
+* **Fault tolerance.** With ``jobs > 1`` every chunk runs in a
+  *supervised* worker process: the runner detects dead workers (a crash
+  is an event, not a hang), enforces the :class:`RetryPolicy` per-chunk
+  deadline, and respawns failed attempts with exponentially backed-off,
+  deterministically jittered retries. A chunk that exhausts its attempts
+  is *quarantined* — recorded as failed in the store — and the campaign
+  settles **degraded** instead of losing the run; ``campaign
+  retry-failed`` re-executes exactly the quarantined chunks.
 
-The runner parallelizes *across* chunks with a process pool (``jobs``),
-writing each record as its chunk lands; record order on disk is
-scheduling-dependent, merged order never is.
+The runner parallelizes *across* chunks (``jobs``), writing each record
+as its chunk lands; record order on disk is scheduling-dependent, merged
+order never is.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as connection_wait
 from pathlib import Path
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Iterator, Optional
 
-from repro.errors import CampaignIncompleteError, ScenarioError
+from repro.errors import (
+    CampaignDegradedError,
+    CampaignIncompleteError,
+    CampaignInterruptedError,
+    ChunkPoisonedError,
+    ScenarioError,
+    StoreCorruptionError,
+    WorkerCrashError,
+)
+from repro.scenarios import faults
+from repro.scenarios.faults import FaultPlan
 from repro.scenarios.simulate import simulate_chunk
 from repro.scenarios.spec import ScenarioSpec
-from repro.scenarios.store import ResultStore, chunk_digest
+from repro.scenarios.store import (
+    RecoveryReport,
+    ResultStore,
+    chunk_digest,
+    is_failure_record,
+)
 from repro.verification.product import check_backend
 from repro.verification.sweeps import resolve_jobs, sweep_chunk
 
 CAMPAIGN_REPORT_VERSION = 1
+
+# How long the supervisor blocks in one wait() round. Bounds the latency
+# of signal delivery (the flag is only *checked* between waits) and of
+# backoff-retry promotion, without busy-polling.
+_SUPERVISOR_TICK_SECONDS = 0.2
 
 _Payload = tuple[int, dict[str, Any], tuple[int, ...], str, bool]
 """(chunk index, spec encoding, bit patterns, backend, validate).
@@ -59,13 +94,59 @@ part of the spec payload, the chunk records or the report bytes.
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner treats a chunk that crashes, hangs, or errors.
+
+    ``chunk_timeout`` (seconds; ``None`` disables) is enforced on the
+    supervised multi-process path only — an in-process chunk cannot be
+    preempted. Backoff before attempt ``k+1`` is
+    ``min(cap, base * 2**(k-1))`` scaled by a deterministic jitter into
+    ``[0.5, 1.0)`` of itself (:func:`repro.scenarios.faults.backoff_delay`).
+    With ``quarantine`` (the default) a chunk that fails every attempt is
+    recorded as failed and the campaign settles degraded; without it the
+    run raises :class:`~repro.errors.ChunkPoisonedError` instead.
+    """
+
+    max_attempts: int = 3
+    chunk_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ScenarioError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ScenarioError(
+                f"chunk_timeout must be > 0 (or None), got {self.chunk_timeout!r}"
+            )
+        if self.backoff_base < 0:
+            raise ScenarioError(
+                f"backoff_base must be >= 0, got {self.backoff_base!r}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ScenarioError(
+                f"backoff_cap must be >= backoff_base, got {self.backoff_cap!r}"
+            )
+
+
+@dataclass(frozen=True)
 class CampaignStatus:
-    """Progress and partial tallies of one campaign."""
+    """Progress and partial tallies of one campaign.
+
+    ``chunks_done`` counts *verified* chunks only; quarantined chunks are
+    ``chunks_failed`` (their indices in ``failed_chunks``) and contribute
+    nothing to the tallies.
+    """
 
     name: str
     scenario_id: str
     chunks_total: int
     chunks_done: int
+    chunks_failed: int
+    failed_chunks: tuple[int, ...]
     total: int
     trapped: int
     explorers: tuple[str, ...]
@@ -73,28 +154,50 @@ class CampaignStatus:
 
     @property
     def complete(self) -> bool:
-        """Whether every chunk has checkpointed."""
+        """Whether every chunk verified successfully."""
         return self.chunks_done == self.chunks_total
+
+    @property
+    def settled(self) -> bool:
+        """Whether every chunk is accounted for (verified *or* failed)."""
+        return self.chunks_done + self.chunks_failed == self.chunks_total
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the campaign settled with quarantined chunks."""
+        return self.settled and self.chunks_failed > 0
 
     @property
     def all_trapped(self) -> bool:
         """Whether the campaign *completed* with every member trapped.
 
-        Deliberately false for partial campaigns, however unanimous the
-        tallies so far: the theorems' claim is about the whole class, and
-        a sliced or interrupted run must not read as a discharge.
+        Deliberately false for partial or degraded campaigns, however
+        unanimous the tallies so far: the theorems' claim is about the
+        whole class, and a sliced, interrupted or quarantine-holed run
+        must not read as a discharge.
         """
         return self.complete and self.trapped == self.total and not self.explorers
 
     def summary(self) -> str:
         """One-line human summary for the CLI."""
-        state = "complete" if self.complete else "in progress"
-        return (
+        if self.complete:
+            state = "complete"
+        elif self.degraded:
+            state = "degraded"
+        else:
+            state = "in progress"
+        line = (
             f"{self.name} [{self.scenario_id}] {state}: "
             f"{self.chunks_done}/{self.chunks_total} chunks, "
             f"{self.trapped}/{self.total} trapped"
             + (f", {len(self.explorers)} explorers" if self.explorers else "")
         )
+        if self.chunks_failed:
+            line += (
+                f"; {self.chunks_failed} chunks quarantined "
+                f"{list(self.failed_chunks)} — `campaign retry-failed`"
+            )
+        return line
 
 
 @dataclass(frozen=True)
@@ -140,8 +243,66 @@ def _campaign_chunk(payload: _Payload) -> tuple[int, tuple]:
     return index, simulate_chunk(spec, chunk, backend)
 
 
+def _worker_main(
+    conn: Connection,
+    payload: _Payload,
+    attempt: int,
+    plan_data: Optional[dict[str, Any]],
+) -> None:
+    """Supervised worker body: run one chunk, deliver ``("ok", tally)``.
+
+    First order of business is shedding the parent's flag-setting signal
+    handlers (inherited across ``fork``): SIGTERM back to the default
+    disposition so the supervisor's ``terminate()`` actually kills a hung
+    worker, SIGINT ignored so a terminal Ctrl-C (delivered group-wide)
+    interrupts only the supervisor, which then winds workers down
+    deliberately. Any exception is delivered as ``("error", message)``;
+    a worker that dies without delivering anything (injected ``os._exit``
+    or a real crash) is detected by the supervisor as EOF on the pipe.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    faults.clear()
+    if plan_data is not None:
+        faults.install(FaultPlan.from_dict(plan_data))
+    faults.mark_worker()
+    faults.set_context(payload[0], attempt)
+    try:
+        _, tally = _campaign_chunk(payload)
+    except BaseException as exc:  # delivered, not swallowed
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", tally))
+    conn.close()
+
+
+def _kill_process(process: multiprocessing.process.BaseProcess) -> None:
+    """Terminate a worker, escalating to SIGKILL if it lingers."""
+    if not process.is_alive():
+        process.join()
+        return
+    process.terminate()
+    process.join(timeout=1.0)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+@dataclass
+class _Slot:
+    """One running supervised worker."""
+
+    payload: _Payload
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    deadline: Optional[float]
+
+
 class CampaignRunner:
-    """Runs scenarios against a result store, resumably.
+    """Runs scenarios against a result store, resumably and supervised.
 
     ``backend`` picks the execution substrate of *both* dispatch paths:
     the exact solver's packed kernel vs object product, and the
@@ -152,6 +313,12 @@ class CampaignRunner:
     report bytes never depend on it, and a campaign checkpointed under
     one backend resumes cleanly under the other. ``validate`` applies to
     the exact-solver path only (certificate replay validation).
+
+    ``policy`` governs retries, per-chunk deadlines and quarantine
+    (:class:`RetryPolicy`); ``faults`` installs an explicit
+    :class:`~repro.scenarios.faults.FaultPlan` for this runner (tests and
+    the crash-loop harness — the ``REPRO_FAULT_PLAN`` environment
+    variable reaches workers without it). Both default to off.
     """
 
     def __init__(
@@ -160,11 +327,16 @@ class CampaignRunner:
         backend: str = "packed",
         jobs: Optional[int] = None,
         validate: bool = False,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.store = store
         self.backend = check_backend(backend)
         self.jobs = resolve_jobs(jobs)
         self.validate = validate
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.faults = faults
+        self._signal: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Status
@@ -176,13 +348,13 @@ class CampaignRunner:
         records = self.store.load_records(spec)
         for index, record in records.items():
             if not 0 <= index < len(chunks):
-                raise ScenarioError(
+                raise StoreCorruptionError(
                     f"store corruption: scenario {spec.scenario_id} has a "
                     f"record for chunk {index}, but the spec cuts "
                     f"{len(chunks)} chunks"
                 )
             if record["digest"] != chunk_digest(chunks[index]):
-                raise ScenarioError(
+                raise StoreCorruptionError(
                     f"store corruption: chunk {index} of scenario "
                     f"{spec.scenario_id} was checkpointed for different "
                     "bit patterns than the spec expands to"
@@ -198,8 +370,12 @@ class CampaignRunner:
         """Fold records in chunk order into a status (the report's core)."""
         total = trapped = states = 0
         explorers: list[str] = []
+        failed: list[int] = []
         for index in sorted(records):
             record = records[index]
+            if is_failure_record(record):
+                failed.append(index)
+                continue
             total += record["total"]
             trapped += record["trapped"]
             states += record["states"]
@@ -208,7 +384,9 @@ class CampaignRunner:
             name=spec.name,
             scenario_id=spec.scenario_id,
             chunks_total=len(chunks),
-            chunks_done=len(records),
+            chunks_done=len(records) - len(failed),
+            chunks_failed=len(failed),
+            failed_chunks=tuple(failed),
             total=total,
             trapped=trapped,
             explorers=tuple(explorers),
@@ -224,13 +402,19 @@ class CampaignRunner:
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, spec: ScenarioSpec, max_chunks: Optional[int] = None
+        self,
+        spec: ScenarioSpec,
+        max_chunks: Optional[int] = None,
+        include_failed: bool = False,
     ) -> CampaignRunOutcome:
-        """Verify every not-yet-checkpointed chunk; report on completion.
+        """Settle every not-yet-checkpointed chunk; report once settled.
 
-        ``max_chunks`` bounds how many pending chunks this call verifies
+        ``max_chunks`` bounds how many pending chunks this call attempts
         (operational lever: sliced runs, and the test harness's simulated
-        interrupts). Completed chunks are never re-verified.
+        interrupts). ``include_failed`` additionally re-executes chunks
+        quarantined by an earlier run (the ``retry-failed`` verb) — their
+        success records supersede the failure records in the store.
+        Verified chunks are never re-verified.
         """
         self.store.prepare(spec)
         chunks = spec.chunks()
@@ -239,6 +423,7 @@ class CampaignRunner:
             (index, chunk)
             for index, chunk in enumerate(chunks)
             if index not in records
+            or (include_failed and is_failure_record(records[index]))
         ]
         cached = len(chunks) - len(pending)
         if max_chunks is not None:
@@ -250,23 +435,44 @@ class CampaignRunner:
             (index, spec_data, chunk, self.backend, self.validate)
             for index, chunk in pending
         ]
-        for index, outcome in self._execute(payloads):
-            total, trapped, explorers, states = outcome
-            records[index] = record = {
-                "chunk": index,
-                "digest": chunk_digest(chunks[index]),
-                "total": total,
-                "trapped": trapped,
-                "explorers": explorers,
-                "states": states,
-            }
-            self.store.append_record(spec, record)
+        plan = self.faults if self.faults is not None else faults.active_plan()
+        previous_handlers = self._install_signal_handlers()
+        previous_plan = faults._STATE.plan
+        if self.faults is not None:
+            faults.install(self.faults)
+        try:
+            for index, outcome in self._execute(payloads, plan):
+                if outcome[0] == "ok":
+                    total, trapped, explorers, states = outcome[1]
+                    record = {
+                        "chunk": index,
+                        "digest": chunk_digest(chunks[index]),
+                        "total": total,
+                        "trapped": trapped,
+                        "explorers": explorers,
+                        "states": states,
+                    }
+                else:
+                    _, attempts, error = outcome
+                    record = {
+                        "chunk": index,
+                        "digest": chunk_digest(chunks[index]),
+                        "failed": True,
+                        "attempts": attempts,
+                        "error": error,
+                    }
+                records[index] = record
+                self._append_with_retry(spec, record, plan)
+        finally:
+            faults.install(previous_plan)
+            faults.set_context(-1, 0)
+            self._restore_signal_handlers(previous_handlers)
         status = self._merged_status(spec, chunks, records)
         report_path = None
-        if status.complete:
+        if status.settled:
             report_path = self.store.report_path(spec)
             # Cache-hit reruns stay write-free: only (re)publish the
-            # report when this call verified something or none exists.
+            # report when this call settled something or none exists.
             if payloads or not report_path.exists():
                 report_path = self.store.write_report(
                     spec, self._report_text(spec, status)
@@ -278,42 +484,344 @@ class CampaignRunner:
             report_path=report_path,
         )
 
-    def _execute(
-        self, payloads: list[_Payload]
-    ) -> Iterable[tuple[int, tuple]]:
-        """Run chunk payloads, in-process or on a pool.
+    def retry_failed(
+        self, spec: ScenarioSpec, max_chunks: Optional[int] = None
+    ) -> CampaignRunOutcome:
+        """Re-execute exactly the quarantined chunks of a degraded campaign."""
+        return self.run(spec, max_chunks=max_chunks, include_failed=True)
 
-        ``imap_unordered`` on purpose: every result is checkpointed the
-        moment it lands, so an interrupt preserves the fastest chunks
-        regardless of their index; merged results never depend on arrival
-        order.
+    def fsck(self, spec: ScenarioSpec) -> RecoveryReport:
+        """Salvage this scenario's checkpoint log (see ``ResultStore.recover``).
+
+        Passes the spec's own chunk digests down, so records for the
+        wrong chunking are dropped along with byte-level damage; after a
+        successful fsck the strict read path (and hence ``run``) works
+        again, re-executing exactly the lost chunks.
+        """
+        chunks = spec.chunks()
+        expected = {
+            index: chunk_digest(chunk) for index, chunk in enumerate(chunks)
+        }
+        return self.store.recover(spec, expected)
+
+    # ------------------------------------------------------------------
+    # Signal safety
+    # ------------------------------------------------------------------
+    def _install_signal_handlers(self) -> Optional[dict[int, Any]]:
+        """Trade SIGINT/SIGTERM for a flag checked at chunk boundaries.
+
+        The default SIGINT disposition raises ``KeyboardInterrupt`` at an
+        arbitrary bytecode — possibly mid-append, tearing a non-final
+        record. The flag handler defers the stop to the next boundary,
+        *after* the in-flight record is fsynced. Only possible on the
+        main thread; elsewhere the runner keeps the ambient dispositions.
+        """
+        self._signal = None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous: dict[int, Any] = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, self._on_signal)
+        return previous
+
+    def _restore_signal_handlers(
+        self, previous: Optional[dict[int, Any]]
+    ) -> None:
+        if previous is None:
+            return
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    def _on_signal(self, signum: int, frame: Any) -> None:
+        self._signal = signum
+
+    def _check_interrupt(self) -> None:
+        if self._signal is None:
+            return
+        name = signal.Signals(self._signal).name
+        raise CampaignInterruptedError(
+            f"campaign interrupted by {name}; every checkpointed chunk is "
+            "fsynced — resume with `campaign run`"
+        )
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+    def _execute(
+        self, payloads: list[_Payload], plan: Optional[FaultPlan]
+    ) -> Iterable[tuple[int, tuple]]:
+        """Settle chunk payloads, in-process or supervised.
+
+        Results stream out as chunks settle (``("ok", tally)`` or
+        ``("failed", attempts, error)``) so every record is checkpointed
+        the moment it lands; an interrupt preserves the fastest chunks
+        regardless of their index, and merged results never depend on
+        arrival order.
         """
         if self.jobs <= 1 or len(payloads) <= 1:
-            for payload in payloads:
-                yield _campaign_chunk(payload)
+            yield from self._execute_inprocess(payloads, plan)
             return
-        with multiprocessing.get_context().Pool(processes=self.jobs) as pool:
-            yield from pool.imap_unordered(_campaign_chunk, payloads)
+        yield from self._execute_supervised(payloads, plan)
+
+    def _execute_inprocess(
+        self, payloads: list[_Payload], plan: Optional[FaultPlan]
+    ) -> Iterator[tuple[int, tuple]]:
+        """Serial executor with the same retry/quarantine semantics.
+
+        No process boundary, so no preemption: ``chunk_timeout`` is not
+        enforced here, and only *injected* crashes
+        (:class:`WorkerCrashError`) are retryable — a genuine exception
+        from the chunk runner propagates, exactly as before.
+        """
+        policy = self.policy
+        seed = plan.seed if plan is not None else 0
+        for payload in payloads:
+            self._check_interrupt()
+            index = payload[0]
+            error = ""
+            for attempt in range(1, policy.max_attempts + 1):
+                faults.set_context(index, attempt)
+                try:
+                    _, tally = _campaign_chunk(payload)
+                except WorkerCrashError as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempt < policy.max_attempts:
+                        time.sleep(
+                            faults.backoff_delay(
+                                policy.backoff_base,
+                                policy.backoff_cap,
+                                attempt,
+                                f"chunk{index}",
+                                seed,
+                            )
+                        )
+                    continue
+                finally:
+                    faults.set_context(-1, 0)
+                yield index, ("ok", tally)
+                break
+            else:
+                if not policy.quarantine:
+                    raise ChunkPoisonedError(
+                        f"chunk {index} failed all {policy.max_attempts} "
+                        f"attempts; last error: {error}"
+                    )
+                yield index, ("failed", policy.max_attempts, error)
+
+    def _execute_supervised(
+        self, payloads: list[_Payload], plan: Optional[FaultPlan]
+    ) -> Iterator[tuple[int, tuple]]:
+        """Process-per-chunk supervisor: deadlines, respawn, quarantine.
+
+        A hand-rolled supervisor rather than ``multiprocessing.Pool``
+        because a pool treats a dead worker as a reason to hang; here a
+        worker death is an *event* — EOF on its result pipe — answered by
+        a backed-off respawn of that attempt's chunk. Deadlines are
+        enforced by the same ``wait()`` loop: an overdue worker is
+        killed and its chunk retried like a crash.
+        """
+        policy = self.policy
+        seed = plan.seed if plan is not None else 0
+        ctx = multiprocessing.get_context()
+        plan_data = plan.to_dict() if plan is not None else None
+        queue: deque[tuple[_Payload, int]] = deque(
+            (payload, 1) for payload in payloads
+        )
+        retries: list[tuple[float, _Payload, int]] = []
+        running: dict[Connection, _Slot] = {}
+        try:
+            while queue or retries or running:
+                self._check_interrupt()
+                now = time.monotonic()
+                if retries:
+                    due = [entry for entry in retries if entry[0] <= now]
+                    if due:
+                        retries = [e for e in retries if e[0] > now]
+                        # Retries jump the queue: an old chunk's tail
+                        # latency should not grow behind fresh work.
+                        for _, payload, attempt in due:
+                            queue.appendleft((payload, attempt))
+                while queue and len(running) < self.jobs:
+                    payload, attempt = queue.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, payload, attempt, plan_data),
+                    )
+                    process.start()
+                    child_conn.close()
+                    deadline = (
+                        time.monotonic() + policy.chunk_timeout
+                        if policy.chunk_timeout is not None
+                        else None
+                    )
+                    running[parent_conn] = _Slot(payload, attempt, process, deadline)
+                ready = (
+                    connection_wait(
+                        list(running), timeout=_SUPERVISOR_TICK_SECONDS
+                    )
+                    if running
+                    else []
+                )
+                if not running:
+                    # Everything is backing off; sleep one tick.
+                    time.sleep(
+                        min(
+                            _SUPERVISOR_TICK_SECONDS,
+                            max(0.0, min(e[0] for e in retries) - now),
+                        )
+                    )
+                for conn in ready:
+                    slot = running.pop(conn)  # type: ignore[arg-type]
+                    try:
+                        message = conn.recv()  # type: ignore[union-attr]
+                    except (EOFError, OSError):
+                        message = None
+                    conn.close()  # type: ignore[union-attr]
+                    slot.process.join()
+                    if message is not None and message[0] == "ok":
+                        yield slot.payload[0], ("ok", message[1])
+                        continue
+                    if message is not None:
+                        error = message[1]
+                    else:
+                        error = (
+                            f"WorkerCrashError: worker for chunk "
+                            f"{slot.payload[0]} died with exit code "
+                            f"{slot.process.exitcode} before delivering a "
+                            f"tally (attempt {slot.attempt})"
+                        )
+                    settled = self._settle_failure(slot, error, retries, seed)
+                    if settled is not None:
+                        yield settled
+                now = time.monotonic()
+                overdue = [
+                    conn
+                    for conn, slot in running.items()
+                    if slot.deadline is not None and slot.deadline <= now
+                ]
+                for conn in overdue:
+                    slot = running.pop(conn)
+                    _kill_process(slot.process)
+                    conn.close()
+                    error = (
+                        f"ChunkTimeoutError: chunk {slot.payload[0]} exceeded "
+                        f"the {policy.chunk_timeout:g}s per-chunk deadline "
+                        f"(attempt {slot.attempt})"
+                    )
+                    settled = self._settle_failure(slot, error, retries, seed)
+                    if settled is not None:
+                        yield settled
+        finally:
+            for conn, slot in running.items():
+                _kill_process(slot.process)
+                conn.close()
+
+    def _settle_failure(
+        self,
+        slot: _Slot,
+        error: str,
+        retries: list[tuple[float, _Payload, int]],
+        seed: int,
+    ) -> Optional[tuple[int, tuple]]:
+        """Retry a failed attempt with backoff, or settle the chunk.
+
+        Returns ``(index, ("failed", attempts, error))`` once the retry
+        budget is exhausted and quarantine is on; ``None`` while a retry
+        is still owed (it was pushed onto ``retries``).
+        """
+        policy = self.policy
+        index = slot.payload[0]
+        if slot.attempt < policy.max_attempts:
+            delay = faults.backoff_delay(
+                policy.backoff_base,
+                policy.backoff_cap,
+                slot.attempt,
+                f"chunk{index}",
+                seed,
+            )
+            retries.append((time.monotonic() + delay, slot.payload, slot.attempt + 1))
+            return None
+        if not policy.quarantine:
+            raise ChunkPoisonedError(
+                f"chunk {index} failed all {policy.max_attempts} attempts; "
+                f"last error: {error}"
+            )
+        return index, ("failed", policy.max_attempts, error)
+
+    def _append_with_retry(
+        self,
+        spec: ScenarioSpec,
+        record: dict[str, Any],
+        plan: Optional[FaultPlan],
+    ) -> None:
+        """Checkpoint one record, retrying failed fsyncs with backoff.
+
+        After a failed fsync the line's durability is unknown, so the
+        append simply runs again: if the first write did land, the rerun
+        produces an identical duplicate line, which the strict reader
+        dedups for free. Exhausting the budget raises
+        :class:`StoreCorruptionError` — the store cannot prove the work.
+        """
+        policy = self.policy
+        seed = plan.seed if plan is not None else 0
+        last: Optional[OSError] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                self.store.append_record(spec, record)
+                return
+            except OSError as exc:
+                last = exc
+                if attempt < policy.max_attempts:
+                    time.sleep(
+                        faults.backoff_delay(
+                            policy.backoff_base,
+                            policy.backoff_cap,
+                            attempt,
+                            f"append{record['chunk']}",
+                            seed,
+                        )
+                    )
+        raise StoreCorruptionError(
+            f"could not durably checkpoint chunk {record['chunk']} after "
+            f"{policy.max_attempts} attempts: {last}"
+        )
 
     # ------------------------------------------------------------------
     # Reports
     # ------------------------------------------------------------------
-    def report_dict(self, spec: ScenarioSpec) -> dict[str, Any]:
-        """The final report as a dict; raises until the campaign completes."""
-        return self._report_dict(spec, self._complete_status(spec))
+    def report_dict(
+        self, spec: ScenarioSpec, allow_degraded: bool = False
+    ) -> dict[str, Any]:
+        """The final report as a dict; raises until the campaign settles.
 
-    def report_text(self, spec: ScenarioSpec) -> str:
-        """The final report's exact bytes (as text); raises if incomplete."""
-        return self._report_text(spec, self._complete_status(spec))
+        A degraded campaign's report is withheld behind
+        ``allow_degraded`` (:class:`CampaignDegradedError` otherwise), so
+        partial results are always an explicit, visible choice.
+        """
+        return self._report_dict(spec, self._settled_status(spec, allow_degraded))
 
-    def _complete_status(self, spec: ScenarioSpec) -> CampaignStatus:
-        """Status of a campaign required to be complete (reporting gate)."""
+    def report_text(self, spec: ScenarioSpec, allow_degraded: bool = False) -> str:
+        """The final report's exact bytes (as text); raises if unsettled."""
+        return self._report_text(spec, self._settled_status(spec, allow_degraded))
+
+    def _settled_status(
+        self, spec: ScenarioSpec, allow_degraded: bool = False
+    ) -> CampaignStatus:
+        """Status of a campaign required to be settled (reporting gate)."""
         status = self.status(spec)
-        if not status.complete:
+        if not status.settled:
             raise CampaignIncompleteError(
                 f"campaign {spec.name!r} is incomplete "
                 f"({status.chunks_done}/{status.chunks_total} chunks); "
                 "run it to completion before reporting"
+            )
+        if status.degraded and not allow_degraded:
+            raise CampaignDegradedError(
+                f"campaign {spec.name!r} is degraded: chunks "
+                f"{list(status.failed_chunks)} are quarantined; re-execute "
+                "them with `campaign retry-failed` or request the partial "
+                "report explicitly"
             )
         return status
 
@@ -323,10 +831,12 @@ class CampaignRunner:
         """Report content: spec + merged tallies, nothing run-dependent.
 
         No timestamps, worker counts or backend names — the report must be
-        a pure function of (spec, verified tallies) so interrupted-and-
-        resumed and uninterrupted campaigns emit identical bytes.
+        a pure function of (spec, settled records) so interrupted-and-
+        resumed and uninterrupted campaigns emit identical bytes. The
+        degraded keys appear only when quarantined chunks exist, keeping
+        clean-run report bytes independent of the fault machinery.
         """
-        return {
+        data = {
             "format": "campaign-report",
             "version": CAMPAIGN_REPORT_VERSION,
             "scenario_id": spec.scenario_id,
@@ -338,6 +848,10 @@ class CampaignRunner:
             "states_explored": status.states_explored,
             "all_trapped": status.all_trapped,
         }
+        if status.chunks_failed:
+            data["degraded"] = True
+            data["failed_chunks"] = list(status.failed_chunks)
+        return data
 
     def _report_text(self, spec: ScenarioSpec, status: CampaignStatus) -> str:
         return (
@@ -351,4 +865,5 @@ __all__ = [
     "CampaignRunner",
     "CampaignRunOutcome",
     "CampaignStatus",
+    "RetryPolicy",
 ]

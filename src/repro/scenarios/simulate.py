@@ -72,6 +72,7 @@ import itertools
 from typing import Optional, Sequence
 
 from repro.graph.topology import RingTopology, towerless_placements
+from repro.scenarios import faults
 from repro.robots.algorithms.base import Algorithm
 from repro.scenarios.dynamics import build_schedule, schedule_masks
 from repro.scenarios.spec import ScenarioSpec
@@ -268,6 +269,8 @@ def simulate_chunk(
     ]
     total = trapped = rounds = 0
     explorers: list[str] = []
+    faults.fault_point("simulate-entry")
+    midpoint = len(bits_chunk) // 2
 
     if backend == "packed":
         # One schedule compilation per chunk: the horizon's present-edge
@@ -276,7 +279,9 @@ def simulate_chunk(
         masks = schedule_masks(schedule, spec.horizon)
         ssync = spec.scheduler == "ssync"
         full_nodes = (1 << spec.n) - 1
-        for bits in bits_chunk:
+        for position, bits in enumerate(bits_chunk):
+            if position == midpoint and position:
+                faults.fault_point("simulate-mid")
             algorithm = maker(bits)
             hit = False
             for chiralities in vectors:
@@ -306,7 +311,9 @@ def simulate_chunk(
         if spec.scheduler == "fsync"
         else [frozenset({t % k}) for t in range(spec.horizon)]
     )
-    for bits in bits_chunk:
+    for position, bits in enumerate(bits_chunk):
+        if position == midpoint and position:
+            faults.fault_point("simulate-mid")
         algorithm = maker(bits)
         hit = False
         for chiralities in vectors:

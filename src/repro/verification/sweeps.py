@@ -222,13 +222,21 @@ def sweep_chunk(
     chunk can be re-run anywhere (another worker, another process, another
     machine) and tally identically.
     """
+    # Imported here, not at module level: the scenarios package imports
+    # this module while initializing, so a top-level import would cycle.
+    from repro.scenarios import faults
+
     _check_family(family)
     k, maker, plan, _space = _FAMILIES[family]
     topology = RingTopology(n)
     placements = start_placements(starts, topology, k)
     total = trapped = states = 0
     explorers: list[str] = []
-    for bits in bits_chunk:
+    faults.fault_point("sweep-entry")
+    midpoint = len(bits_chunk) // 2
+    for position, bits in enumerate(bits_chunk):
+        if position == midpoint and position:
+            faults.fault_point("sweep-mid")
         algorithm = maker(bits)
         hit, explored = check_algorithm_class(
             algorithm, topology, k, plan, backend, validate,

@@ -258,8 +258,64 @@ class TestCampaign:
         lines = log.read_text().splitlines()
         log.write_text('{"torn\n' + "\n".join(lines) + "\n")
         code = main(["campaign", "status", "thm51-single-n3", *args])
-        assert code == 2
+        assert code == 3  # EXIT_CORRUPT: operator intervention (fsck)
         assert "corrupt" in capsys.readouterr().err
+
+    def test_fsck_salvages_corrupt_store_and_run_resumes(
+        self, tmp_path, capsys
+    ) -> None:
+        store = str(tmp_path / "campaigns")
+        args = ["--store", store, "--jobs", "1"]
+        assert main(
+            ["campaign", "run", "thm51-single-n3", "--max-chunks", "2", *args]
+        ) == 1
+        capsys.readouterr()
+        from repro.scenarios import ResultStore, get_scenario
+
+        log = ResultStore(store).chunks_path(get_scenario("thm51-single-n3"))
+        lines = log.read_text().splitlines()
+        log.write_text('{"torn\n' + "\n".join(lines) + "\n")
+        assert main(["campaign", "fsck", "thm51-single-n3", *args]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out and ".corrupt-1" in out
+        # The strict paths work again, and the run completes cleanly.
+        assert main(["campaign", "status", "thm51-single-n3", *args]) == 0
+        assert main(["campaign", "run", "thm51-single-n3", *args]) == 0
+
+    def test_degraded_run_report_and_retry_failed(
+        self, tmp_path, capsys, monkeypatch
+    ) -> None:
+        import json
+
+        from repro.scenarios import FAULT_PLAN_ENV_VAR
+
+        store = str(tmp_path / "campaigns")
+        args = ["--store", store, "--jobs", "1"]
+        monkeypatch.setenv(
+            FAULT_PLAN_ENV_VAR, json.dumps({"seed": 1, "crash_chunks": [5]})
+        )
+        code = main(
+            ["campaign", "run", "thm51-single-n3", "--max-attempts", "2", *args]
+        )
+        assert code == 4  # EXIT_DEGRADED, not a crash
+        assert "quarantined [5]" in capsys.readouterr().out
+        # A clean report is withheld; the partial one is explicit.
+        assert main(["campaign", "report", "thm51-single-n3", *args]) == 4
+        assert "retry-failed" in capsys.readouterr().err
+        assert main(
+            ["campaign", "report", "thm51-single-n3", "--allow-degraded", *args]
+        ) == 0
+        partial = json.loads(capsys.readouterr().out)
+        assert partial["degraded"] is True
+        assert partial["failed_chunks"] == [5]
+        assert partial["all_trapped"] is False
+        # retry-failed under no plan heals exactly the quarantined chunk.
+        monkeypatch.delenv(FAULT_PLAN_ENV_VAR)
+        assert main(["campaign", "retry-failed", "thm51-single-n3", *args]) == 0
+        assert "ran 1 chunks, 7 cached" in capsys.readouterr().out
+        assert main(["campaign", "report", "thm51-single-n3", *args]) == 0
+        healed = json.loads(capsys.readouterr().out)
+        assert healed["all_trapped"] is True and "degraded" not in healed
 
 
 class TestTrap:

@@ -1,0 +1,270 @@
+"""The crash-loop acceptance harness and the supervised executor.
+
+Headline acceptance criterion of the robustness layer: a registry
+campaign killed at fault-plan-chosen points **dozens of times** — every
+kill a real ``os._exit`` mid-append in a real child process, tearing the
+checkpoint log's final record — converges, cycle by resumed cycle, on a
+final report *byte-identical* to an uninterrupted run's. Alongside it:
+the supervised executor's dead-worker respawn, per-chunk deadlines,
+quarantine/degraded semantics, and the signal path (SIGTERM lands as
+exit code 130 with a store the strict reader still accepts).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.errors import (
+    EXIT_INTERRUPTED,
+    CampaignInterruptedError,
+    ChunkPoisonedError,
+    exit_code_for,
+)
+from repro.scenarios import (
+    CampaignRunner,
+    FaultPlan,
+    ResultStore,
+    RetryPolicy,
+    get_scenario,
+)
+from repro.scenarios.faults import KILL_EXIT_CODE
+from scenario_testlib import make_tiny_scenario
+
+REGISTRY_FAMILY = "thm51-single-n3"  # 256 tables, 8 chunks of 32
+
+
+@pytest.fixture(scope="module")
+def clean_report(tmp_path_factory):
+    """The uninterrupted run's exact report bytes (the reference)."""
+    root = tmp_path_factory.mktemp("clean")
+    spec = get_scenario(REGISTRY_FAMILY)
+    store = ResultStore(root)
+    CampaignRunner(store, jobs=1).run(spec)
+    report = store.read_report(spec)
+    assert report is not None
+    return report
+
+
+def _crashloop_cycle(root: str, cycle: int) -> None:
+    """One child cycle: resume the campaign under a killing fault plan.
+
+    ``max_appends`` is the deterministic kill switch: most cycles die on
+    their very first checkpoint append (no progress), every fourth cycle
+    lands one chunk first — so the campaign crawls to completion through
+    dozens of genuine kill/resume cycles. The crash rate adds in-process
+    mid-chunk crashes on top (retried under the generous attempt
+    budget, so they perturb timing without poisoning chunks).
+    """
+    plan = FaultPlan(
+        seed=cycle,
+        crash=0.15,
+        max_appends=1 if cycle % 4 == 3 else 0,
+    )
+    runner = CampaignRunner(
+        ResultStore(root),
+        jobs=1,
+        policy=RetryPolicy(max_attempts=100, backoff_base=0.001),
+        faults=plan,
+    )
+    runner.run(get_scenario(REGISTRY_FAMILY))
+    os._exit(0)  # only reached by the cycle that settles the last chunk
+
+
+class TestCrashLoop:
+    def test_25_plus_kill_resume_cycles_converge_byte_identically(
+        self, tmp_path, clean_report
+    ):
+        spec = get_scenario(REGISTRY_FAMILY)
+        store = ResultStore(tmp_path / "store")
+        context = multiprocessing.get_context()
+        kills = 0
+        for cycle in range(200):
+            child = context.Process(
+                target=_crashloop_cycle, args=(str(tmp_path / "store"), cycle)
+            )
+            child.start()
+            child.join()
+            if child.exitcode == 0:
+                break
+            # Every non-final cycle must die by the injected kill —
+            # anything else is a genuine failure of the runner.
+            assert child.exitcode == KILL_EXIT_CODE, (
+                f"cycle {cycle} died with unexpected exit code "
+                f"{child.exitcode}"
+            )
+            kills += 1
+        else:
+            pytest.fail("crash loop never converged in 200 cycles")
+        assert kills >= 25, f"only {kills} kill/resume cycles"
+        assert store.read_report(spec) == clean_report
+        # The survivor store holds exactly the 8 clean-run records, each
+        # strict-readable — the torn tails of 25+ kills all healed.
+        records = store.load_records(spec)
+        assert sorted(records) == list(range(8))
+
+    def test_poisoned_chunk_degrades_instead_of_crashing(
+        self, tmp_path, clean_report
+    ):
+        spec = get_scenario(REGISTRY_FAMILY)
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            store,
+            jobs=1,
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.001),
+            faults=FaultPlan(seed=1, crash_chunks=(2, 6)),
+        )
+        outcome = runner.run(spec)
+        status = outcome.status
+        assert status.settled and status.degraded and not status.complete
+        assert status.failed_chunks == (2, 6)
+        assert "quarantined [2, 6]" in status.summary()
+        # The report exists, is explicit about the damage, and never
+        # claims the theorem discharged.
+        report = json.loads(store.read_report(spec))
+        assert report["degraded"] is True
+        assert report["failed_chunks"] == [2, 6]
+        assert report["all_trapped"] is False
+        # Healing the quarantined chunks restores the clean bytes.
+        healed = CampaignRunner(store, jobs=1).retry_failed(spec)
+        assert healed.status.complete and healed.chunks_run == 2
+        assert store.read_report(spec) == clean_report
+
+
+class TestSupervisedExecutor:
+    def test_dead_workers_are_respawned_to_completion(self, tmp_path):
+        # Every crash here is a hard os._exit in a real worker process;
+        # the supervisor must observe the death and respawn the attempt.
+        spec = make_tiny_scenario()
+        store = ResultStore(tmp_path / "faulty")
+        outcome = CampaignRunner(
+            store,
+            jobs=2,
+            policy=RetryPolicy(max_attempts=50, backoff_base=0.001),
+            faults=FaultPlan(seed=7, crash=0.4),
+        ).run(spec)
+        assert outcome.status.complete
+        reference = ResultStore(tmp_path / "reference")
+        CampaignRunner(reference, jobs=2).run(spec)
+        assert store.read_report(spec) == reference.read_report(spec)
+
+    def test_hung_chunk_hits_deadline_and_quarantines(self, tmp_path):
+        spec = make_tiny_scenario()
+        store = ResultStore(tmp_path / "store")
+        outcome = CampaignRunner(
+            store,
+            jobs=2,
+            policy=RetryPolicy(
+                max_attempts=2, chunk_timeout=0.5, backoff_base=0.01
+            ),
+            # Chunk 1 sleeps far past the deadline on every attempt; the
+            # supervisor must kill it rather than wait it out.
+            faults=FaultPlan(seed=0, delay_chunks=(1,), delay_seconds=30.0),
+        ).run(spec)
+        status = outcome.status
+        assert status.degraded and status.failed_chunks == (1,)
+        record = store.load_records(spec)[1]
+        assert record["failed"] is True and record["attempts"] == 2
+        assert "ChunkTimeoutError" in record["error"]
+
+    def test_quarantine_off_raises_chunk_poisoned(self, tmp_path):
+        spec = make_tiny_scenario()
+        runner = CampaignRunner(
+            ResultStore(tmp_path / "store"),
+            jobs=1,
+            policy=RetryPolicy(
+                max_attempts=2, backoff_base=0.001, quarantine=False
+            ),
+            faults=FaultPlan(seed=0, crash_chunks=(0,)),
+        )
+        with pytest.raises(ChunkPoisonedError, match="chunk 0 failed all 2"):
+            runner.run(spec)
+
+    def test_fsync_failures_are_retried_transparently(self, tmp_path):
+        spec = make_tiny_scenario()
+        store = ResultStore(tmp_path / "store")
+        outcome = CampaignRunner(
+            store,
+            jobs=1,
+            policy=RetryPolicy(max_attempts=50, backoff_base=0.001),
+            faults=FaultPlan(seed=3, fsync_fail=0.5),
+        ).run(spec)
+        assert outcome.status.complete
+        # Retried appends may leave identical duplicate lines; the
+        # strict reader dedups them, the tallies never double-count.
+        assert outcome.status.total == 24
+
+
+def _interruptible_campaign(root: str) -> None:
+    """Child body for the signal test: a deliberately slow campaign."""
+    spec = make_tiny_scenario()
+    runner = CampaignRunner(
+        ResultStore(root),
+        jobs=1,
+        faults=FaultPlan(
+            seed=0, delay_chunks=(0, 1, 2, 3), delay_seconds=0.3
+        ),
+    )
+    try:
+        runner.run(spec)
+    except CampaignInterruptedError as exc:
+        os._exit(exit_code_for(exc))
+    os._exit(0)  # pragma: no cover — the parent kills us first
+
+
+class TestSignalSafety:
+    def test_sigterm_exits_130_with_a_clean_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        context = multiprocessing.get_context()
+        child = context.Process(target=_interruptible_campaign, args=(root,))
+        child.start()
+        time.sleep(0.45)  # well inside the ~2.4s the four chunks take
+        os.kill(child.pid, signal.SIGTERM)
+        child.join(timeout=10)
+        assert child.exitcode == EXIT_INTERRUPTED == 130
+        # The interrupt landed at a chunk boundary: whatever checkpointed
+        # is strict-readable, and the resumed run converges byte-for-byte
+        # with a never-interrupted one.
+        spec = make_tiny_scenario()
+        store = ResultStore(root)
+        store.load_records(spec)  # must not raise
+        CampaignRunner(store, jobs=1).run(spec)
+        reference = ResultStore(tmp_path / "reference")
+        CampaignRunner(reference, jobs=1).run(spec)
+        assert store.read_report(spec) == reference.read_report(spec)
+
+    def test_handlers_are_restored_after_run(self, tmp_path):
+        before = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        CampaignRunner(ResultStore(tmp_path / "s"), jobs=1).run(
+            make_tiny_scenario()
+        )
+        after = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        assert after == before
+
+
+class TestExitTaxonomy:
+    def test_exception_to_exit_code_mapping(self):
+        from repro import errors
+
+        cases = [
+            (errors.CampaignInterruptedError("x"), 130),
+            (errors.StoreCorruptionError("x"), 3),
+            (errors.CampaignDegradedError("x"), 4),
+            (errors.ChunkPoisonedError("x"), 4),
+            (errors.CampaignIncompleteError("x"), 1),
+            (errors.ScenarioError("x"), 2),
+        ]
+        for exc, expected in cases:
+            assert exit_code_for(exc) == expected

@@ -1,0 +1,247 @@
+"""The fault injector itself: determinism, encodings, hook semantics.
+
+The injector is the test harness of the whole robustness layer
+(``tests/test_recovery.py``, ``tests/test_crashloop.py``), so its own
+contract — decisions pure in ``(seed, site, key)``, exact no-op when no
+plan is active, hard kill only in marked workers — is tested first.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ScenarioError, WorkerCrashError
+from repro.scenarios import faults
+from repro.scenarios.faults import ENV_VAR, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Every test starts and ends with no plan installed and no env var."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFaultPlan:
+    def test_default_plan_is_disabled(self):
+        assert not FaultPlan().enabled()
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"crash": 0.1},
+            {"delay": 1.0},
+            {"tear": 0.5},
+            {"fsync_fail": 0.01},
+            {"max_appends": 0},
+            {"crash_chunks": (3,)},
+            {"delay_chunks": (0, 1)},
+        ],
+    )
+    def test_any_lever_enables(self, fields):
+        assert FaultPlan(**fields).enabled()
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"crash": -0.1},
+            {"tear": 1.5},
+            {"delay_seconds": -1.0},
+            {"max_appends": -1},
+        ],
+    )
+    def test_invalid_fields_refused(self, fields):
+        with pytest.raises(ScenarioError):
+            FaultPlan(**fields)
+
+    def test_roll_is_deterministic_and_uniform_ish(self):
+        plan = FaultPlan(seed=42)
+        draws = [plan.roll("site", str(i)) for i in range(200)]
+        assert draws == [plan.roll("site", str(i)) for i in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        # Not all identical, and roughly centred — a hash, not a constant.
+        assert 0.3 < sum(draws) / len(draws) < 0.7
+
+    def test_roll_depends_on_seed_site_and_key(self):
+        base = FaultPlan(seed=1).roll("a", "k")
+        assert FaultPlan(seed=2).roll("a", "k") != base
+        assert FaultPlan(seed=1).roll("b", "k") != base
+        assert FaultPlan(seed=1).roll("a", "k2") != base
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=9, crash=0.25, crash_chunks=(1, 4), max_appends=2)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip_via_env_format(self):
+        import json
+
+        plan = FaultPlan(seed=3, tear=0.5, delay_chunks=(0,))
+        assert FaultPlan.from_json(json.dumps(plan.to_dict())) == plan
+
+    def test_unknown_fields_refused(self):
+        with pytest.raises(ScenarioError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+    def test_undecodable_json_refused(self):
+        with pytest.raises(ScenarioError, match="undecodable fault plan"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ScenarioError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_flip_bytes_is_deterministic(self, tmp_path):
+        target = tmp_path / "log"
+        payload = b"0123456789" * 20
+        target.write_bytes(payload)
+        offsets = FaultPlan(seed=5).flip_bytes(target, count=3)
+        mutated = target.read_bytes()
+        assert mutated != payload and len(mutated) == len(payload)
+        target.write_bytes(payload)
+        assert FaultPlan(seed=5).flip_bytes(target, count=3) == offsets
+        assert target.read_bytes() == mutated
+
+    def test_flip_bytes_empty_file_is_noop(self, tmp_path):
+        target = tmp_path / "empty"
+        target.write_bytes(b"")
+        assert FaultPlan(seed=5).flip_bytes(target) == []
+
+
+class TestActivePlan:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+
+    def test_installed_plan_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, '{"seed": 1, "crash": 0.5}')
+        installed = FaultPlan(seed=2)
+        faults.install(installed)
+        assert faults.active_plan() is installed
+
+    def test_env_plan_decoded_and_cached(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, '{"seed": 7, "tear": 0.25}')
+        first = faults.active_plan()
+        assert first == FaultPlan(seed=7, tear=0.25)
+        assert faults.active_plan() is first  # cached decode
+
+    def test_env_plan_change_is_picked_up(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, '{"seed": 1}')
+        faults.active_plan()
+        monkeypatch.setenv(ENV_VAR, '{"seed": 2}')
+        assert faults.active_plan() == FaultPlan(seed=2)
+
+
+class TestFaultPoint:
+    def test_noop_without_plan(self):
+        faults.fault_point("anywhere")  # must not raise
+
+    def test_targeted_crash_raises_in_process(self):
+        faults.install(FaultPlan(seed=0, crash_chunks=(3,)))
+        faults.set_context(chunk=3, attempt=1)
+        with pytest.raises(WorkerCrashError, match="chunk 3"):
+            faults.fault_point("site")
+
+    def test_untargeted_chunk_survives(self):
+        faults.install(FaultPlan(seed=0, crash_chunks=(3,)))
+        faults.set_context(chunk=2, attempt=1)
+        faults.fault_point("site")
+
+    def test_rate_crash_keys_on_attempt(self):
+        # With a 50% rate some attempts crash and some survive — the
+        # attempt number is part of the key, which is what lets a
+        # retried chunk eventually pass under the same plan.
+        faults.install(FaultPlan(seed=11, crash=0.5))
+        outcomes = []
+        for attempt in range(1, 21):
+            faults.set_context(chunk=0, attempt=attempt)
+            try:
+                faults.fault_point("site")
+            except WorkerCrashError:
+                outcomes.append(True)
+            else:
+                outcomes.append(False)
+        assert True in outcomes and False in outcomes
+
+    def test_targeted_delay_sleeps(self):
+        import time
+
+        faults.install(
+            FaultPlan(seed=0, delay_chunks=(1,), delay_seconds=0.02)
+        )
+        faults.set_context(chunk=1, attempt=1)
+        before = time.monotonic()
+        faults.fault_point("site")
+        assert time.monotonic() - before >= 0.02
+
+
+class TestTaintedAppend:
+    def test_plain_append_without_plan(self, tmp_path):
+        target = tmp_path / "log"
+        with open(target, "a", encoding="utf-8") as handle:
+            faults.tainted_append(handle, "hello\n", chunk=0)
+        assert target.read_text() == "hello\n"
+
+    def test_injected_fsync_failure_raises_oserror(self, tmp_path):
+        faults.install(FaultPlan(seed=0, fsync_fail=1.0))
+        target = tmp_path / "log"
+        with open(target, "a", encoding="utf-8") as handle:
+            with pytest.raises(OSError, match="injected fsync failure"):
+                faults.tainted_append(handle, "hello\n", chunk=0)
+        # The write itself landed; only durability was denied.
+        assert target.read_text() == "hello\n"
+
+
+class TestBackoffDelay:
+    def test_grows_exponentially_and_caps(self):
+        kwargs = dict(key="chunk0", seed=0)
+        delays = [
+            faults.backoff_delay(0.1, 1.0, attempt, **kwargs)
+            for attempt in range(1, 10)
+        ]
+        # Jitter scales into [0.5, 1.0) of the raw value, so the raw
+        # doubling still shows through as a growing-then-capped envelope.
+        raws = [min(1.0, 0.1 * 2 ** (a - 1)) for a in range(1, 10)]
+        for delay, raw in zip(delays, raws):
+            assert raw * 0.5 <= delay < raw
+
+    def test_deterministic_per_key(self):
+        a = faults.backoff_delay(0.1, 1.0, 3, "chunk1", seed=5)
+        assert a == faults.backoff_delay(0.1, 1.0, 3, "chunk1", seed=5)
+        assert a != faults.backoff_delay(0.1, 1.0, 3, "chunk2", seed=5)
+
+
+class TestKillExitCode:
+    def test_distinct_from_cli_taxonomy(self):
+        from repro import errors
+
+        assert faults.KILL_EXIT_CODE not in {
+            errors.EXIT_OK,
+            errors.EXIT_INCOMPLETE,
+            errors.EXIT_USAGE,
+            errors.EXIT_CORRUPT,
+            errors.EXIT_DEGRADED,
+            errors.EXIT_INTERRUPTED,
+        }
+
+    def test_worker_tear_kills_with_kill_exit_code(self, tmp_path):
+        # The only safe way to observe os._exit is from a real child.
+        import multiprocessing
+
+        def child(path):
+            faults.install(FaultPlan(seed=0, max_appends=0))
+            faults.mark_worker()
+            with open(path, "a", encoding="utf-8") as handle:
+                faults.tainted_append(handle, '{"x": 1}\n', chunk=0)
+            os._exit(0)  # pragma: no cover — the append must kill us
+
+        target = tmp_path / "log"
+        process = multiprocessing.get_context().Process(
+            target=child, args=(str(target),)
+        )
+        process.start()
+        process.join()
+        assert process.exitcode == faults.KILL_EXIT_CODE
+        # Half the line hit the disk: a torn tail, not a full record.
+        content = target.read_text()
+        assert content and not content.endswith("\n")

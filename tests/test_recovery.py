@@ -1,0 +1,220 @@
+"""Store recovery: sealed records, strict refusal, fsck salvage.
+
+The invariant under test, end to end: whatever damage a checkpoint log
+suffers — truncation anywhere, byte flips anywhere, both — ``recover()``
+leaves behind a log the strict reader accepts, containing only records
+byte-identical to authentic ones, and a resumed run then re-executes
+exactly the lost chunks and emits the same report bytes as a run that
+was never damaged. The Hypothesis sweep drives that property over
+machine-chosen corruption; the unit tests pin the individual behaviours
+(prefix semantics, quarantine naming, torn-tail repair, digest
+cross-checks).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreCorruptionError
+from repro.scenarios import CampaignRunner, ResultStore, chunk_digest
+from repro.scenarios.store import canonical_line, record_check, seal_record
+from scenario_testlib import make_tiny_scenario
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """One completed tiny campaign: (store root, spec, log bytes, report)."""
+    root = tmp_path_factory.mktemp("pristine")
+    spec = make_tiny_scenario()
+    store = ResultStore(root)
+    CampaignRunner(store, jobs=1).run(spec)
+    log_bytes = store.chunks_path(spec).read_bytes()
+    report = store.read_report(spec)
+    assert report is not None
+    return root, spec, log_bytes, report
+
+
+def _fork(pristine, tmp_path):
+    """A private mutable copy of the pristine campaign directory."""
+    root, spec, _log, _report = pristine
+    copy = tmp_path / "store"
+    shutil.copytree(root, copy)
+    return ResultStore(copy), spec
+
+
+class TestSealedRecords:
+    def test_record_check_covers_every_field(self):
+        record = seal_record(
+            {"chunk": 0, "digest": "d", "total": 1, "trapped": 1,
+             "explorers": [], "states": 5}
+        )
+        assert record["check"] == record_check(record)
+        for key in ("chunk", "digest", "total", "trapped", "states"):
+            altered = dict(record)
+            altered[key] = 999
+            assert record_check(altered) != record["check"]
+
+    def test_any_single_byte_flip_is_detected(self, pristine, tmp_path):
+        # The strict reader must refuse *every* one-byte corruption of a
+        # real record line — this is what the `check` field buys.
+        store, spec = _fork(pristine, tmp_path)
+        log = store.chunks_path(spec)
+        original = log.read_bytes()
+        line_end = original.index(b"\n")
+        for offset in range(line_end):  # every byte of the first record
+            mutated = bytearray(original)
+            mutated[offset] ^= 0x04
+            log.write_bytes(bytes(mutated))
+            with pytest.raises(StoreCorruptionError):
+                store.load_records(spec)
+
+
+class TestRecoverUnit:
+    def test_clean_log_untouched(self, pristine, tmp_path):
+        store, spec = _fork(pristine, tmp_path)
+        before = store.chunks_path(spec).read_bytes()
+        report = store.recover(spec)
+        assert report.clean and not report.torn_tail
+        assert report.salvaged == 4 and report.dropped == 0
+        assert store.chunks_path(spec).read_bytes() == before
+
+    def test_torn_tail_repaired_without_quarantine(self, pristine, tmp_path):
+        store, spec = _fork(pristine, tmp_path)
+        log = store.chunks_path(spec)
+        raw = log.read_bytes()
+        log.write_bytes(raw + b'{"chunk": 99, "half')
+        report = store.recover(spec)
+        assert report.clean and report.torn_tail
+        assert log.read_bytes() == raw
+        assert len(store.load_records(spec)) == 4
+
+    def test_corrupt_middle_quarantined_prefix_salvaged(
+        self, pristine, tmp_path
+    ):
+        store, spec = _fork(pristine, tmp_path)
+        log = store.chunks_path(spec)
+        lines = log.read_text().splitlines()
+        # Damage the second of four records.
+        lines[1] = lines[1][:-3] + 'X"}'
+        log.write_text("\n".join(lines) + "\n")
+        report = store.recover(spec)
+        assert not report.clean
+        assert report.quarantined is not None
+        assert report.quarantined.name == "chunks.jsonl.corrupt-1"
+        # Prefix semantics: only the records *before* the damage survive.
+        assert report.salvaged == 1 and report.chunks == (0,)
+        assert report.quarantined.exists()
+        records = store.load_records(spec)
+        assert set(records) == {0}
+
+    def test_quarantine_names_do_not_collide(self, pristine, tmp_path):
+        store, spec = _fork(pristine, tmp_path)
+        log = store.chunks_path(spec)
+        for expected in ("chunks.jsonl.corrupt-1", "chunks.jsonl.corrupt-2"):
+            log.write_text("garbage\ngarbage\n")
+            report = store.recover(spec)
+            assert report.quarantined is not None
+            assert report.quarantined.name == expected
+
+    def test_expected_digests_drop_foreign_records(self, pristine, tmp_path):
+        # A structurally valid, correctly sealed record for the *wrong*
+        # chunking is only droppable with the spec's own digests in hand.
+        store, spec = _fork(pristine, tmp_path)
+        log = store.chunks_path(spec)
+        foreign = seal_record(
+            {"chunk": 0, "digest": "0" * 16, "total": 7, "trapped": 7,
+             "explorers": [], "states": 1}
+        )
+        log.write_text(canonical_line(foreign) + "\n")
+        chunks = spec.chunks()
+        expected = {i: chunk_digest(c) for i, c in enumerate(chunks)}
+        report = store.recover(spec, expected)
+        assert not report.clean and report.salvaged == 0
+        assert store.load_records(spec) == {}
+
+    def test_missing_log_is_a_clean_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "fresh")
+        spec = make_tiny_scenario()
+        report = store.recover(spec)
+        assert report.clean and report.lines == 0 and report.chunks == ()
+
+    def test_failure_records_survive_recovery(self, pristine, tmp_path):
+        store, spec = _fork(pristine, tmp_path)
+        log = store.chunks_path(spec)
+        failure = seal_record(
+            {"chunk": 1, "digest": chunk_digest(spec.chunks()[1]),
+             "failed": True, "attempts": 3, "error": "ChunkTimeoutError: x"}
+        )
+        log.write_text(
+            canonical_line(failure) + "\n" + "damaged beyond repair\n"
+        )
+        report = store.recover(spec)
+        assert report.salvaged == 1 and report.chunks == (1,)
+        records = store.load_records(spec)
+        assert records[1]["failed"] is True
+
+
+class TestRecoverProperty:
+    """The Hypothesis sweep: salvage is sound under arbitrary damage."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_recover_never_returns_a_record_strict_would_reject(
+        self, data, pristine, tmp_path_factory
+    ):
+        root, spec, log_bytes, report_text = pristine
+        authentic = {
+            line: True for line in log_bytes.decode().splitlines()
+        }
+        workdir = tmp_path_factory.mktemp("case")
+        copy = workdir / "store"
+        shutil.copytree(root, copy)
+        store = ResultStore(copy)
+        log = store.chunks_path(spec)
+
+        # Machine-chosen damage: a truncation and/or a handful of flips.
+        raw = bytearray(log_bytes)
+        if data.draw(st.booleans(), label="truncate?"):
+            cut = data.draw(
+                st.integers(min_value=0, max_value=len(raw)), label="cut"
+            )
+            raw = raw[:cut]
+        for _ in range(data.draw(st.integers(0, 4), label="flips")):
+            if not raw:
+                break
+            offset = data.draw(
+                st.integers(0, len(raw) - 1), label="offset"
+            )
+            mask = data.draw(st.integers(1, 255), label="mask")
+            raw[offset] ^= mask
+        log.write_bytes(bytes(raw))
+
+        chunks = spec.chunks()
+        expected = {i: chunk_digest(c) for i, c in enumerate(chunks)}
+        recovery = store.recover(spec, expected)
+
+        # 1. The strict reader accepts whatever recover left behind…
+        records = store.load_records(spec)
+        assert set(records) == set(recovery.chunks)
+        # 2. …and every salvaged record is byte-identical to an
+        #    authentic one — salvage never invents or mutates data.
+        #    (A forgiven torn tail may linger in the file, but it is
+        #    never *returned*; the returned records are what matters.)
+        for record in records.values():
+            assert canonical_line(record) in authentic
+        # 3. Damage beyond a torn tail was quarantined, never dropped
+        #    silently.
+        if recovery.dropped:
+            assert recovery.quarantined is not None
+            assert recovery.quarantined.exists()
+
+        # 4. Resuming re-executes exactly the lost chunks and converges
+        #    on the uninterrupted run's exact report bytes.
+        outcome = CampaignRunner(store, jobs=1).run(spec)
+        assert outcome.chunks_run == len(chunks) - len(recovery.chunks)
+        assert store.read_report(spec) == report_text
