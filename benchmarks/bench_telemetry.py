@@ -1,0 +1,69 @@
+"""Benchmark + artifact: the telemetry metrics baseline for CI gating.
+
+Runs fully traced campaigns over one family per dispatch path — the
+exact-solver family ``thm51-single-n3`` and the simulation-backed
+``bernoulli-two-n4`` — aggregates the trace with the same code
+``campaign analyze`` uses, and regenerates the checked-in
+``benchmarks/results/BASELINE_metrics.json``. That file is the floor the
+CI metrics-regression step gates against (``campaign analyze --baseline
+… --threshold 0.30``), which is what turns the per-PR BENCH snapshot
+ritual into continuous regression tracking.
+
+The baseline is written with ``derate=0.5``: the recorded throughput
+floors are *half* the measured tables/s, so with CI's 30% threshold the
+gate trips only when throughput falls below ~35% of the recording
+machine's — an order-of-magnitude regression detector that survives
+ordinary hardware variance between the machine that regenerated the
+baseline and the CI runner.
+
+Regenerate after perf-relevant changes with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry.py -q
+
+and commit the refreshed ``BASELINE_metrics.json``.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.scenarios import CampaignRunner, ResultStore, get_scenario
+
+BASELINE_DERATE = 0.5
+
+#: One family per dispatch path: exact game solver + bounded-horizon
+#: simulation — the two chunk runners whose phases the trace splits.
+BASELINE_FAMILIES = ("thm51-single-n3", "bernoulli-two-n4")
+
+
+def test_regenerate_metrics_baseline(tmp_path, results_dir, save_artifact):
+    trace_dir = tmp_path / "trace"
+    store = ResultStore(tmp_path / "store")
+    for name in BASELINE_FAMILIES:
+        spec = get_scenario(name)
+        outcome = CampaignRunner(store, jobs=2, telemetry=trace_dir).run(spec)
+        assert outcome.status.complete, outcome.summary()
+
+    summary = telemetry.summarize(telemetry.load_trace(trace_dir))
+    for name in BASELINE_FAMILIES:
+        scenario = summary["scenarios"][name]
+        assert scenario["chunks_failed"] == 0
+        assert scenario["tables"] > 0 and scenario["throughput_tables_per_s"] > 0
+
+    baseline_path = telemetry.write_baseline(
+        results_dir / "BASELINE_metrics.json", summary, derate=BASELINE_DERATE
+    )
+
+    # Self-check: the summary that produced the baseline must pass its
+    # own derated gate with CI's threshold — a baseline that fails the
+    # machine that wrote it would make the CI step meaningless.
+    ok, lines = telemetry.diff_baseline(
+        summary, telemetry.load_baseline(baseline_path), threshold=0.30
+    )
+    assert ok, "\n".join(lines)
+
+    save_artifact(
+        "telemetry_baseline",
+        telemetry.render_summary(summary)
+        + f"\n\nbaseline (derate {BASELINE_DERATE}): {baseline_path.name}\n"
+        + "\n".join(lines),
+    )

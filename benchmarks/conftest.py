@@ -19,6 +19,28 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+ARTIFACT_SCHEMA_VERSION = 2
+"""Version stamped on every benchmark artifact this harness writes.
+
+v1 artifacts were bare renders with ad-hoc naming; v2 artifacts carry a
+provenance header (text) or top-level ``schema``/``git`` keys (JSON), so
+a checked-in result can always be traced to the commit that produced it.
+"""
+
+
+def artifact_provenance() -> dict[str, str]:
+    """Git commit/branch of the tree writing an artifact (best-effort)."""
+    # The telemetry module owns the one git-stamping helper; benchmarks
+    # reuse it so every artifact format carries identical provenance.
+    import sys
+
+    src = str(Path(__file__).parent.parent / "src")
+    if src not in sys.path:  # direct pytest benchmarks/ invocation
+        sys.path.insert(0, src)
+    from repro.telemetry import git_metadata
+
+    return git_metadata()
+
 
 @pytest.fixture
 def timed_best_of():
@@ -62,7 +84,15 @@ def merge_bench_sweeps(results_dir: Path):
                 if entry.get("sweep") not in owned
             ]
         snapshot.write_text(
-            json.dumps({"entries": existing + entries}, indent=2) + "\n"
+            json.dumps(
+                {
+                    "schema": ARTIFACT_SCHEMA_VERSION,
+                    "git": artifact_provenance(),
+                    "entries": existing + entries,
+                },
+                indent=2,
+            )
+            + "\n"
         )
         return snapshot
 
@@ -78,11 +108,22 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def save_artifact(results_dir: Path):
-    """Write a named artifact file and echo it to stdout."""
+    """Write a named artifact file and echo it to stdout.
+
+    The one writer every benchmark's text artifact goes through: each
+    file opens with a provenance header naming the artifact schema
+    version and the git commit/branch that produced it (the rendered
+    content below the header is what EXPERIMENTS.md cross-checks).
+    """
+    provenance = artifact_provenance()
+    header = (
+        f"# repro-bench-artifact v{ARTIFACT_SCHEMA_VERSION}\n"
+        f"# git: {provenance['commit']} ({provenance['branch']})\n"
+    )
 
     def save(name: str, content: str) -> Path:
         path = results_dir / f"{name}.txt"
-        path.write_text(content + "\n")
+        path.write_text(header + content + "\n")
         print(f"\n===== {name} =====")
         print(content)
         return path

@@ -18,7 +18,7 @@ Subcommands:
   ``--scheduler ssync`` plays every game against the semi-synchronous
   activation adversary; ``--json FILE`` dumps the machine-readable
   result;
-* ``campaign list|run|status|report|fsck|retry-failed`` — the scenario
+* ``campaign list|run|status|report|fsck|retry-failed|analyze`` — the scenario
   registry and the persistent campaign runner: named workloads executed
   against an append-only result store with chunk checkpointing, resume
   and dedup (``campaign run NAME`` picks up exactly where an interrupted
@@ -33,9 +33,17 @@ Subcommands:
   so reports and resume points are backend-portable. Runs are supervised
   (``--max-attempts``/``--chunk-timeout`` govern retries, deadlines and
   quarantine — see ``docs/robustness.md``); ``fsck`` salvages a corrupt
-  checkpoint log and ``retry-failed`` re-executes quarantined chunks.
-  Exit codes: 0 OK, 1 incomplete, 2 usage, 3 corrupt store, 4 degraded,
-  130 interrupted;
+  checkpoint log and ``retry-failed`` re-executes quarantined chunks,
+  first explaining each poisoning from the stored retry diagnostics.
+  ``--trace-dir DIR`` (or ``REPRO_TRACE_DIR``) arms span/counter
+  telemetry for a run — strictly observational, reports stay
+  byte-identical — and ``campaign analyze TRACE_DIR`` aggregates a trace
+  into per-phase latency percentiles and throughput, with ``--json``
+  output and ``--baseline FILE [--threshold T]`` regression gating (see
+  ``docs/observability.md``). ``status --json`` / ``report --json``
+  emit the machine-readable forms.
+  Exit codes: 0 OK, 1 incomplete (or analyze regression), 2 usage,
+  3 corrupt store, 4 degraded, 130 interrupted;
 * ``trap --kind fig2|fig3 --algo NAME --n N`` — run an impossibility
   construction and print its audit;
 * ``algos`` — list registered algorithms.
@@ -234,6 +242,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             backend=args.backend,
             jobs=args.jobs,
             policy=RetryPolicy(**policy_fields),
+            telemetry=getattr(args, "trace_dir", None),
         )
     except ScenarioError as exc:
         print(exc, file=sys.stderr)
@@ -243,6 +252,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if args.action == "run":
                 outcome = runner.run(spec, max_chunks=args.max_chunks)
             else:
+                # Explain each poisoning from the stored retry
+                # diagnostics before re-executing the chunk.
+                for index, record in runner.failure_details(spec).items():
+                    print(
+                        f"chunk {index} was quarantined after "
+                        f"{record['attempts']} attempts: {record['error']}"
+                    )
+                    diagnostics = record.get("diagnostics") or {}
+                    for entry in diagnostics.get("attempts", []):
+                        delay = entry.get("delay")
+                        deadline = entry.get("deadline")
+                        print(
+                            f"  attempt {entry['attempt']}: {entry['error']}"
+                            + (
+                                f" (deadline {deadline:g}s)"
+                                if deadline is not None
+                                else ""
+                            )
+                            + (
+                                f"; backed off {delay:.3f}s"
+                                if delay is not None
+                                else "; retry budget exhausted"
+                            )
+                        )
                 outcome = runner.retry_failed(spec, max_chunks=args.max_chunks)
         except ScenarioError as exc:
             print(exc, file=sys.stderr)
@@ -253,7 +286,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return EXIT_DEGRADED if outcome.status.degraded else EXIT_INCOMPLETE
     if args.action == "status":
         try:
-            print(runner.status(spec).summary())
+            if getattr(args, "json", False):
+                import json
+
+                print(
+                    json.dumps(
+                        runner.status_dict(spec), indent=2, sort_keys=True
+                    )
+                )
+            else:
+                print(runner.status(spec).summary())
         except ScenarioError as exc:  # corrupt store: operator intervention
             print(exc, file=sys.stderr)
             return exit_code_for(exc)
@@ -267,6 +309,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(recovery.summary())
         return EXIT_OK
     try:
+        # The report *is* canonical JSON; --json emits the same bytes
+        # (kept as an explicit flag so scripted consumers can state the
+        # contract they rely on).
         text = runner.report_text(spec, allow_degraded=args.allow_degraded)
     except ScenarioError as exc:
         # Incomplete is the expected keep-running state; degraded wants
@@ -275,6 +320,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return exit_code_for(exc)
     print(text, end="")
     return EXIT_OK
+
+
+def _cmd_campaign_analyze(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.errors import EXIT_OK, EXIT_USAGE, ScenarioError
+
+    try:
+        events = telemetry.load_trace(args.trace_dir)
+        summary = telemetry.summarize(events)
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.write_baseline is not None:
+        try:
+            path = telemetry.write_baseline(
+                args.write_baseline, summary, derate=args.derate
+            )
+        except ScenarioError as exc:
+            print(exc, file=sys.stderr)
+            return EXIT_USAGE
+        print(f"baseline written to {path}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(telemetry.render_summary(summary))
+    if args.baseline is None:
+        return EXIT_OK
+    try:
+        baseline = telemetry.load_baseline(args.baseline)
+        ok, lines = telemetry.diff_baseline(summary, baseline, args.threshold)
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    # With --json the summary on stdout must stay parseable; the diff
+    # verdict goes to stderr in that case.
+    sink = sys.stderr if args.json else sys.stdout
+    print(
+        f"baseline {args.baseline}: "
+        + ("ok" if ok else "REGRESSION beyond threshold"),
+        file=sink,
+    )
+    for line in lines:
+        print(line, file=sink)
+    return EXIT_OK if ok else 1
 
 
 def _cmd_trap(args: argparse.Namespace) -> int:
@@ -433,6 +524,19 @@ def build_parser() -> argparse.ArgumentParser:
                 help="per-chunk deadline in seconds, enforced on the "
                 "supervised multi-process path (default: none)",
             )
+            c_action.add_argument(
+                "--trace-dir", default=None, metavar="DIR", dest="trace_dir",
+                help="write a JSONL telemetry trace of this run to DIR "
+                "(REPRO_TRACE_DIR is the equivalent env channel); "
+                "observational only — records and report bytes are "
+                "byte-identical with or without it",
+            )
+        if action in ("status", "report"):
+            c_action.add_argument(
+                "--json", action="store_true",
+                help="machine-readable output (for report this emits "
+                "exactly the canonical report bytes)",
+            )
         if action == "report":
             c_action.add_argument(
                 "--allow-degraded", action="store_true",
@@ -440,6 +544,41 @@ def build_parser() -> argparse.ArgumentParser:
                 "(it carries degraded/failed_chunks markers)",
             )
         c_action.set_defaults(fn=_cmd_campaign)
+    c_analyze = campaign_sub.add_parser(
+        "analyze",
+        help="aggregate a telemetry trace directory: per-phase latency "
+        "percentiles, throughput, retry/crash tallies, store cache "
+        "ratios; optionally gate against a checked-in baseline",
+    )
+    c_analyze.add_argument(
+        "trace_dir", metavar="TRACE_DIR",
+        help="trace directory written by `campaign run --trace-dir` "
+        "(or REPRO_TRACE_DIR)",
+    )
+    c_analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON (the telemetry-summary document)",
+    )
+    c_analyze.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="diff against a telemetry-baseline file; exits 1 when any "
+        "scenario's throughput regresses beyond --threshold",
+    )
+    c_analyze.add_argument(
+        "--threshold", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional throughput regression (default 0.30)",
+    )
+    c_analyze.add_argument(
+        "--write-baseline", default=None, metavar="FILE", dest="write_baseline",
+        help="distill this trace's summary into a baseline file "
+        "(stamped with git metadata)",
+    )
+    c_analyze.add_argument(
+        "--derate", type=float, default=1.0, metavar="FRAC",
+        help="scale recorded baseline throughput floors by FRAC "
+        "(checked-in cross-machine baselines use 0.5)",
+    )
+    c_analyze.set_defaults(fn=_cmd_campaign_analyze)
 
     p_trap = sub.add_parser("trap", help="run an impossibility construction")
     p_trap.add_argument("--kind", choices=["fig2", "fig3"], required=True)

@@ -60,8 +60,10 @@ from repro.errors import (
     StoreCorruptionError,
     WorkerCrashError,
 )
+from repro import telemetry
 from repro.scenarios import faults
 from repro.scenarios.faults import FaultPlan
+from repro.telemetry import TelemetryConfig
 from repro.scenarios.simulate import simulate_chunk
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import (
@@ -199,6 +201,29 @@ class CampaignStatus:
             )
         return line
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form (``campaign status --json``).
+
+        Fields plus the derived predicates, so consumers never
+        re-implement the settled/degraded logic.
+        """
+        return {
+            "name": self.name,
+            "scenario_id": self.scenario_id,
+            "chunks_total": self.chunks_total,
+            "chunks_done": self.chunks_done,
+            "chunks_failed": self.chunks_failed,
+            "failed_chunks": list(self.failed_chunks),
+            "total": self.total,
+            "trapped": self.trapped,
+            "explorers": list(self.explorers),
+            "states_explored": self.states_explored,
+            "complete": self.complete,
+            "settled": self.settled,
+            "degraded": self.degraded,
+            "all_trapped": self.all_trapped,
+        }
+
 
 @dataclass(frozen=True)
 class CampaignRunOutcome:
@@ -248,6 +273,7 @@ def _worker_main(
     payload: _Payload,
     attempt: int,
     plan_data: Optional[dict[str, Any]],
+    telemetry_data: Optional[dict[str, Any]] = None,
 ) -> None:
     """Supervised worker body: run one chunk, deliver ``("ok", tally)``.
 
@@ -259,6 +285,13 @@ def _worker_main(
     deliberately. Any exception is delivered as ``("error", message)``;
     a worker that dies without delivering anything (injected ``os._exit``
     or a real crash) is detected by the supervisor as EOF on the pipe.
+
+    Telemetry follows the fault plan's delivery model: the supervisor
+    ships an explicit config (same trace id) rather than the worker
+    self-arming from the environment, so one campaign run is exactly one
+    trace however many workers it respawns. The worker's own
+    ``chunk.attempt`` span brackets the chunk's true execution time —
+    pipe and spawn latency stay in the supervisor's accounting.
     """
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -267,8 +300,21 @@ def _worker_main(
         faults.install(FaultPlan.from_dict(plan_data))
     faults.mark_worker()
     faults.set_context(payload[0], attempt)
+    telemetry.install(
+        TelemetryConfig.from_dict(telemetry_data)
+        if telemetry_data is not None
+        else None
+    )
+    telemetry.set_context(chunk=payload[0], attempt=attempt)
     try:
-        _, tally = _campaign_chunk(payload)
+        with telemetry.span(
+            "chunk.attempt",
+            chunk=payload[0],
+            attempt=attempt,
+            tables=len(payload[2]),
+        ) as span_attrs:
+            _, tally = _campaign_chunk(payload)
+            span_attrs["ok"] = True
     except BaseException as exc:  # delivered, not swallowed
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -319,6 +365,15 @@ class CampaignRunner:
     :class:`~repro.scenarios.faults.FaultPlan` for this runner (tests and
     the crash-loop harness — the ``REPRO_FAULT_PLAN`` environment
     variable reaches workers without it). Both default to off.
+
+    ``telemetry`` arms span/counter tracing (:mod:`repro.telemetry`): a
+    trace directory (``str``/``Path``; the ``REPRO_TRACE_DIR``
+    environment variable is the equivalent ambient channel) gets a fresh
+    trace id per :meth:`run` call, while an explicit
+    :class:`~repro.telemetry.TelemetryConfig` pins the trace id (tests).
+    Telemetry is observational only — scenario hashes, chunk records and
+    report bytes are byte-identical armed or not, the same contract as
+    ``backend``.
     """
 
     def __init__(
@@ -329,6 +384,7 @@ class CampaignRunner:
         validate: bool = False,
         policy: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        telemetry: Optional[str | Path | TelemetryConfig] = None,
     ) -> None:
         self.store = store
         self.backend = check_backend(backend)
@@ -336,7 +392,29 @@ class CampaignRunner:
         self.validate = validate
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults
+        self.telemetry = telemetry
         self._signal: Optional[int] = None
+
+    def _telemetry_config(self, spec: ScenarioSpec) -> Optional[TelemetryConfig]:
+        """Resolve this run's trace config: explicit arg beats environment."""
+        configured = self.telemetry
+        if configured is None:
+            ambient = os.environ.get(telemetry.TRACE_DIR_ENV_VAR)
+            if ambient:
+                configured = ambient
+        if configured is None:
+            return None
+        context = {
+            "scenario": spec.name,
+            "scenario_id": spec.scenario_id,
+            "backend": self.backend,
+            "jobs": self.jobs,
+        }
+        if isinstance(configured, TelemetryConfig):
+            return configured.with_context(
+                **{**context, **dict(configured.context)}
+            )
+        return TelemetryConfig(trace_dir=Path(configured), context=context)
 
     # ------------------------------------------------------------------
     # Status
@@ -398,6 +476,40 @@ class CampaignRunner:
         chunks = spec.chunks()
         return self._merged_status(spec, chunks, self._checked_records(spec, chunks))
 
+    def failure_details(self, spec: ScenarioSpec) -> dict[int, dict[str, Any]]:
+        """The stored failure records of quarantined chunks, by index.
+
+        Each carries ``attempts``, ``error`` and (for records written
+        since diagnostics landed) the ``diagnostics`` retry schedule —
+        what ``retry-failed`` prints to explain a poisoning.
+        """
+        chunks = spec.chunks()
+        records = self._checked_records(spec, chunks)
+        return {
+            index: record
+            for index, record in sorted(records.items())
+            if is_failure_record(record)
+        }
+
+    def status_dict(self, spec: ScenarioSpec) -> dict[str, Any]:
+        """Status plus per-chunk failure diagnostics, JSON-ready."""
+        chunks = spec.chunks()
+        records = self._checked_records(spec, chunks)
+        data = self._merged_status(spec, chunks, records).to_dict()
+        failures = [
+            {
+                "chunk": index,
+                "attempts": record["attempts"],
+                "error": record["error"],
+                "diagnostics": record.get("diagnostics"),
+            }
+            for index, record in sorted(records.items())
+            if is_failure_record(record)
+        ]
+        if failures:
+            data["failures"] = failures
+        return data
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -415,7 +527,32 @@ class CampaignRunner:
         quarantined by an earlier run (the ``retry-failed`` verb) — their
         success records supersede the failure records in the store.
         Verified chunks are never re-verified.
+
+        When telemetry is armed the whole call is one ``campaign`` span
+        (measured wall-to-wall, so traces account for effectively all of
+        the run's clock time); the previous process-local telemetry state
+        is restored on exit, mirroring the fault-plan save/restore.
         """
+        config = self._telemetry_config(spec)
+        if config is None:
+            return self._run(spec, max_chunks, include_failed)
+        previous = telemetry.active()
+        telemetry.install(config)
+        try:
+            with telemetry.span("campaign") as span_attrs:
+                outcome = self._run(spec, max_chunks, include_failed)
+                span_attrs["chunks_run"] = outcome.chunks_run
+                span_attrs["settled"] = outcome.status.settled
+            return outcome
+        finally:
+            telemetry.install(previous)
+
+    def _run(
+        self,
+        spec: ScenarioSpec,
+        max_chunks: Optional[int],
+        include_failed: bool,
+    ) -> CampaignRunOutcome:
         self.store.prepare(spec)
         chunks = spec.chunks()
         records = self._checked_records(spec, chunks)
@@ -435,6 +572,9 @@ class CampaignRunner:
             (index, spec_data, chunk, self.backend, self.validate)
             for index, chunk in pending
         ]
+        if telemetry.armed():
+            telemetry.counter("store.cache_hit", cached)
+            telemetry.counter("store.cache_miss", len(pending))
         plan = self.faults if self.faults is not None else faults.active_plan()
         previous_handlers = self._install_signal_handlers()
         previous_plan = faults._STATE.plan
@@ -453,13 +593,14 @@ class CampaignRunner:
                         "states": states,
                     }
                 else:
-                    _, attempts, error = outcome
+                    _, attempts, error, diagnostics = outcome
                     record = {
                         "chunk": index,
                         "digest": chunk_digest(chunks[index]),
                         "failed": True,
                         "attempts": attempts,
                         "error": error,
+                        "diagnostics": diagnostics,
                     }
                 records[index] = record
                 self._append_with_retry(spec, record, plan)
@@ -468,6 +609,11 @@ class CampaignRunner:
             faults.set_context(-1, 0)
             self._restore_signal_handlers(previous_handlers)
         status = self._merged_status(spec, chunks, records)
+        if status.degraded and telemetry.armed():
+            telemetry.event(
+                "campaign.degraded",
+                failed_chunks=list(status.failed_chunks),
+            )
         report_path = None
         if status.settled:
             report_path = self.store.report_path(spec)
@@ -579,34 +725,73 @@ class CampaignRunner:
             self._check_interrupt()
             index = payload[0]
             error = ""
+            attempt_log: list[dict[str, Any]] = []
             for attempt in range(1, policy.max_attempts + 1):
                 faults.set_context(index, attempt)
+                telemetry.set_context(chunk=index, attempt=attempt)
+                crash: Optional[WorkerCrashError] = None
+                tally: tuple = ()
                 try:
-                    _, tally = _campaign_chunk(payload)
-                except WorkerCrashError as exc:
-                    error = f"{type(exc).__name__}: {exc}"
-                    if attempt < policy.max_attempts:
-                        time.sleep(
-                            faults.backoff_delay(
-                                policy.backoff_base,
-                                policy.backoff_cap,
-                                attempt,
-                                f"chunk{index}",
-                                seed,
-                            )
-                        )
-                    continue
+                    with telemetry.span(
+                        "chunk.attempt",
+                        chunk=index,
+                        attempt=attempt,
+                        tables=len(payload[2]),
+                    ) as span_attrs:
+                        try:
+                            _, tally = _campaign_chunk(payload)
+                            span_attrs["ok"] = True
+                        except WorkerCrashError as exc:
+                            span_attrs["ok"] = False
+                            span_attrs["error"] = type(exc).__name__
+                            crash = exc
                 finally:
                     faults.set_context(-1, 0)
-                yield index, ("ok", tally)
-                break
+                    telemetry.set_context(chunk=None, attempt=None)
+                if crash is None:
+                    yield index, ("ok", tally)
+                    break
+                error = f"{type(crash).__name__}: {crash}"
+                delay: Optional[float] = None
+                if attempt < policy.max_attempts:
+                    delay = faults.backoff_delay(
+                        policy.backoff_base,
+                        policy.backoff_cap,
+                        attempt,
+                        f"chunk{index}",
+                        seed,
+                    )
+                attempt_log.append(
+                    {
+                        "attempt": attempt,
+                        "error": error,
+                        "delay": delay,
+                        "deadline": None,  # no preemption in-process
+                    }
+                )
+                if delay is not None:
+                    telemetry.event(
+                        "chunk.retry",
+                        chunk=index,
+                        next_attempt=attempt + 1,
+                        delay=delay,
+                    )
+                    time.sleep(delay)
             else:
                 if not policy.quarantine:
                     raise ChunkPoisonedError(
                         f"chunk {index} failed all {policy.max_attempts} "
                         f"attempts; last error: {error}"
                     )
-                yield index, ("failed", policy.max_attempts, error)
+                telemetry.event(
+                    "chunk.quarantine", chunk=index, attempts=policy.max_attempts
+                )
+                yield index, (
+                    "failed",
+                    policy.max_attempts,
+                    error,
+                    self._failure_diagnostics(attempt_log),
+                )
 
     def _execute_supervised(
         self, payloads: list[_Payload], plan: Optional[FaultPlan]
@@ -624,11 +809,14 @@ class CampaignRunner:
         seed = plan.seed if plan is not None else 0
         ctx = multiprocessing.get_context()
         plan_data = plan.to_dict() if plan is not None else None
+        trace = telemetry.active()
+        telemetry_data = trace.to_dict() if trace is not None else None
         queue: deque[tuple[_Payload, int]] = deque(
             (payload, 1) for payload in payloads
         )
         retries: list[tuple[float, _Payload, int]] = []
         running: dict[Connection, _Slot] = {}
+        history: dict[int, list[dict[str, Any]]] = {}
         try:
             while queue or retries or running:
                 self._check_interrupt()
@@ -646,10 +834,16 @@ class CampaignRunner:
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     process = ctx.Process(
                         target=_worker_main,
-                        args=(child_conn, payload, attempt, plan_data),
+                        args=(child_conn, payload, attempt, plan_data, telemetry_data),
                     )
                     process.start()
                     child_conn.close()
+                    telemetry.event(
+                        "worker.spawn",
+                        chunk=payload[0],
+                        attempt=attempt,
+                        worker_pid=process.pid,
+                    )
                     deadline = (
                         time.monotonic() + policy.chunk_timeout
                         if policy.chunk_timeout is not None
@@ -691,7 +885,15 @@ class CampaignRunner:
                             f"{slot.process.exitcode} before delivering a "
                             f"tally (attempt {slot.attempt})"
                         )
-                    settled = self._settle_failure(slot, error, retries, seed)
+                        telemetry.event(
+                            "worker.crash",
+                            chunk=slot.payload[0],
+                            attempt=slot.attempt,
+                            exitcode=slot.process.exitcode,
+                        )
+                    settled = self._settle_failure(
+                        slot, error, retries, seed, history
+                    )
                     if settled is not None:
                         yield settled
                 now = time.monotonic()
@@ -709,7 +911,15 @@ class CampaignRunner:
                         f"the {policy.chunk_timeout:g}s per-chunk deadline "
                         f"(attempt {slot.attempt})"
                     )
-                    settled = self._settle_failure(slot, error, retries, seed)
+                    telemetry.event(
+                        "chunk.timeout",
+                        chunk=slot.payload[0],
+                        attempt=slot.attempt,
+                        deadline=policy.chunk_timeout,
+                    )
+                    settled = self._settle_failure(
+                        slot, error, retries, seed, history
+                    )
                     if settled is not None:
                         yield settled
         finally:
@@ -723,15 +933,27 @@ class CampaignRunner:
         error: str,
         retries: list[tuple[float, _Payload, int]],
         seed: int,
+        history: dict[int, list[dict[str, Any]]],
     ) -> Optional[tuple[int, tuple]]:
         """Retry a failed attempt with backoff, or settle the chunk.
 
-        Returns ``(index, ("failed", attempts, error))`` once the retry
-        budget is exhausted and quarantine is on; ``None`` while a retry
-        is still owed (it was pushed onto ``retries``).
+        Returns ``(index, ("failed", attempts, error, diagnostics))``
+        once the retry budget is exhausted and quarantine is on; ``None``
+        while a retry is still owed (it was pushed onto ``retries``).
+        Every failed attempt is logged to ``history`` — attempt number,
+        error, computed backoff delay, per-attempt deadline — which
+        becomes the quarantined record's ``diagnostics``, so fsck and
+        ``retry-failed`` can explain the poisoning without re-running it.
         """
         policy = self.policy
         index = slot.payload[0]
+        entry = {
+            "attempt": slot.attempt,
+            "error": error,
+            "delay": None,
+            "deadline": policy.chunk_timeout,
+        }
+        history.setdefault(index, []).append(entry)
         if slot.attempt < policy.max_attempts:
             delay = faults.backoff_delay(
                 policy.backoff_base,
@@ -740,6 +962,13 @@ class CampaignRunner:
                 f"chunk{index}",
                 seed,
             )
+            entry["delay"] = delay
+            telemetry.event(
+                "chunk.retry",
+                chunk=index,
+                next_attempt=slot.attempt + 1,
+                delay=delay,
+            )
             retries.append((time.monotonic() + delay, slot.payload, slot.attempt + 1))
             return None
         if not policy.quarantine:
@@ -747,7 +976,37 @@ class CampaignRunner:
                 f"chunk {index} failed all {policy.max_attempts} attempts; "
                 f"last error: {error}"
             )
-        return index, ("failed", policy.max_attempts, error)
+        telemetry.event(
+            "chunk.quarantine", chunk=index, attempts=policy.max_attempts
+        )
+        return index, (
+            "failed",
+            policy.max_attempts,
+            error,
+            self._failure_diagnostics(history[index]),
+        )
+
+    def _failure_diagnostics(
+        self, attempt_log: list[dict[str, Any]]
+    ) -> dict[str, Any]:
+        """The retry schedule a quarantined chunk actually exhausted.
+
+        Deterministic given the spec, policy and fault seed —
+        ``backoff_delay`` is a pure function — so quarantine records stay
+        reproducible; stored under the failure record's ``diagnostics``
+        key (the strict reader accepts records with or without it, so
+        pre-existing logs still load).
+        """
+        policy = self.policy
+        return {
+            "attempts": attempt_log,
+            "policy": {
+                "max_attempts": policy.max_attempts,
+                "backoff_base": policy.backoff_base,
+                "backoff_cap": policy.backoff_cap,
+                "chunk_timeout": policy.chunk_timeout,
+            },
+        }
 
     def _append_with_retry(
         self,

@@ -41,6 +41,7 @@ from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import IO, Any, Mapping, Optional
 
+from repro import telemetry
 from repro.errors import ScenarioError, WorkerCrashError
 
 ENV_VAR = "REPRO_FAULT_PLAN"
@@ -257,13 +258,23 @@ def fault_point(site: str) -> None:
         return
     chunk, attempt = _STATE.chunk, _STATE.attempt
     key = f"{chunk}:{attempt}"
-    if chunk in plan.delay_chunks:
-        time.sleep(plan.delay_seconds)
-    elif plan.delay and plan.roll(f"delay@{site}", key) < plan.delay:
+    if chunk in plan.delay_chunks or (
+        plan.delay and plan.roll(f"delay@{site}", key) < plan.delay
+    ):
+        telemetry.event(
+            "fault.injected", kind="delay", site=site,
+            chunk=chunk, attempt=attempt, seconds=plan.delay_seconds,
+        )
         time.sleep(plan.delay_seconds)
     if chunk in plan.crash_chunks or (
         plan.crash and plan.roll(f"crash@{site}", key) < plan.crash
     ):
+        # Emitted *before* the kill; the sink flushes per event, so a
+        # fault-plan run is self-describing even across os._exit.
+        telemetry.event(
+            "fault.injected", kind="crash", site=site,
+            chunk=chunk, attempt=attempt,
+        )
         if _STATE.in_worker:
             os._exit(KILL_EXIT_CODE)
         raise WorkerCrashError(
@@ -290,6 +301,10 @@ def tainted_append(handle: IO[str], line: str, chunk: int) -> None:
             plan.max_appends is not None and _STATE.appends > plan.max_appends
         )
         if exhausted or (plan.tear and plan.roll("tear", key) < plan.tear):
+            telemetry.event(
+                "fault.injected", kind="tear", site="store.append",
+                chunk=chunk, append=_STATE.appends,
+            )
             handle.write(line[: max(1, len(line) // 2)])
             handle.flush()
             os.fsync(handle.fileno())
@@ -301,6 +316,10 @@ def tainted_append(handle: IO[str], line: str, chunk: int) -> None:
         and plan.fsync_fail
         and plan.roll("fsync", f"{chunk}:{_STATE.appends}") < plan.fsync_fail
     ):
+        telemetry.event(
+            "fault.injected", kind="fsync_fail", site="store.append",
+            chunk=chunk, append=_STATE.appends,
+        )
         raise OSError(
             f"injected fsync failure (chunk {chunk}, "
             f"append {_STATE.appends})"

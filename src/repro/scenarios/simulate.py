@@ -69,8 +69,10 @@ solver's adversarial activation subsets.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.graph.topology import RingTopology, towerless_placements
 from repro.scenarios import faults
 from repro.robots.algorithms.base import Algorithm
@@ -272,11 +274,32 @@ def simulate_chunk(
     faults.fault_point("simulate-entry")
     midpoint = len(bits_chunk) // 2
 
+    # Phase accounting, armed-gated so the untraced hot loop pays one
+    # boolean. Compile time is accumulated around the explicit
+    # compilation work (schedule masks / step precompute, per-table
+    # CompiledTables construction); simulate time is the chunk remainder.
+    # Emitted once per chunk as phase.* spans — purely observational, the
+    # tally below never depends on it.
+    traced = telemetry.armed()
+    compile_s = 0.0
+    chunk_start = time.perf_counter() if traced else 0.0
+
+    def _emit_phases() -> None:
+        if not traced:
+            return
+        simulate_s = max(0.0, time.perf_counter() - chunk_start - compile_s)
+        telemetry.phase("compile", compile_s, tables=len(bits_chunk))
+        telemetry.phase("simulate", simulate_s, tables=len(bits_chunk))
+
     if backend == "packed":
         # One schedule compilation per chunk: the horizon's present-edge
         # sets become a flat edge-bitmask array; under SSYNC the
         # round-robin activation is folded into the round body.
+        if traced:
+            mark = time.perf_counter()
         masks = schedule_masks(schedule, spec.horizon)
+        if traced:
+            compile_s += time.perf_counter() - mark
         ssync = spec.scheduler == "ssync"
         full_nodes = (1 << spec.n) - 1
         for position, bits in enumerate(bits_chunk):
@@ -285,9 +308,13 @@ def simulate_chunk(
             algorithm = maker(bits)
             hit = False
             for chiralities in vectors:
+                if traced:
+                    mark = time.perf_counter()
                 tables = CompiledTables(
                     topology, algorithm, chiralities, scheduler=spec.scheduler
                 )
+                if traced:
+                    compile_s += time.perf_counter() - mark
                 for placement in placements:
                     explored, executed = _bounded_explores_packed(
                         tables, masks, ssync, placement, spec.prop, full_nodes
@@ -303,14 +330,19 @@ def simulate_chunk(
                 trapped += 1
             else:
                 explorers.append(algorithm.name)
+        _emit_phases()
         return total, trapped, explorers, rounds
 
+    if traced:
+        mark = time.perf_counter()
     steps = [schedule.present_edges(t) for t in range(spec.horizon)]
     activations = (
         None
         if spec.scheduler == "fsync"
         else [frozenset({t % k}) for t in range(spec.horizon)]
     )
+    if traced:
+        compile_s += time.perf_counter() - mark
     for position, bits in enumerate(bits_chunk):
         if position == midpoint and position:
             faults.fault_point("simulate-mid")
@@ -338,6 +370,7 @@ def simulate_chunk(
             trapped += 1
         else:
             explorers.append(algorithm.name)
+    _emit_phases()
     return total, trapped, explorers, rounds
 
 

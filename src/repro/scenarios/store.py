@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
+from repro import telemetry
 from repro.errors import ScenarioError, StoreCorruptionError
 from repro.scenarios import faults
 from repro.scenarios.spec import ScenarioSpec
@@ -59,6 +60,9 @@ _RESULT_KEYS = frozenset(
 _FAILURE_KEYS = frozenset(
     {"check", "chunk", "digest", "failed", "attempts", "error"}
 )
+# Failure records written since the retry-schedule diagnostics landed
+# carry one extra key; records without it (older logs) stay valid.
+_FAILURE_KEYS_DIAGNOSED = _FAILURE_KEYS | {"diagnostics"}
 
 
 def chunk_digest(patterns: Sequence[int]) -> str:
@@ -101,7 +105,7 @@ def _validate_record(record: Any) -> bool:
     keys = set(record)
     if keys == _RESULT_KEYS:
         pass
-    elif keys == _FAILURE_KEYS:
+    elif keys in (_FAILURE_KEYS, _FAILURE_KEYS_DIAGNOSED):
         if record["failed"] is not True:
             return False
     else:
@@ -132,6 +136,7 @@ def _merge_record(
         return None
     if previous != record:
         return f"conflicting records for chunk {index}"
+    telemetry.counter("store.dedup", chunk=index)
     return None  # identical duplicate: no-op
 
 
@@ -304,12 +309,13 @@ class ResultStore:
         fail the fsync here (``OSError`` — the caller must retry).
         """
         path = self.chunks_path(spec)
-        self._repair_torn_tail(path)
-        sealed = seal_record(record)
-        with open(path, "a", encoding="utf-8") as handle:
-            faults.tainted_append(
-                handle, canonical_line(sealed) + "\n", int(sealed["chunk"])
-            )
+        with telemetry.span("store.append", chunk=int(record["chunk"])):
+            self._repair_torn_tail(path)
+            sealed = seal_record(record)
+            with open(path, "a", encoding="utf-8") as handle:
+                faults.tainted_append(
+                    handle, canonical_line(sealed) + "\n", int(sealed["chunk"])
+                )
 
     @staticmethod
     def _repair_torn_tail(path: Path) -> None:

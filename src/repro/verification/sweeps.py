@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.errors import VerificationError
 from repro.graph.topology import RingTopology, arbitrary_placements
 from repro.robots.algorithms.base import Algorithm
@@ -228,8 +230,18 @@ def sweep_chunk(
 
     _check_family(family)
     k, maker, plan, _space = _FAMILIES[family]
+    # Phase accounting when telemetry is armed (one boolean otherwise).
+    # Setup — placement expansion and table construction inputs — is the
+    # "compile" phase; the verification loop is "simulate" (the solver
+    # folds its own kernel compilation into solving, so the split is
+    # coarser than the simulation runner's — see docs/observability.md).
+    traced = telemetry.armed()
+    mark = time.perf_counter() if traced else 0.0
     topology = RingTopology(n)
     placements = start_placements(starts, topology, k)
+    if traced:
+        compile_s = time.perf_counter() - mark
+        mark = time.perf_counter()
     total = trapped = states = 0
     explorers: list[str] = []
     faults.fault_point("sweep-entry")
@@ -248,6 +260,11 @@ def sweep_chunk(
             trapped += 1
         else:
             explorers.append(algorithm.name)
+    if traced:
+        telemetry.phase("compile", compile_s, tables=len(bits_chunk))
+        telemetry.phase(
+            "simulate", time.perf_counter() - mark, tables=len(bits_chunk)
+        )
     return total, trapped, explorers, states
 
 
