@@ -9,11 +9,15 @@ has the same two-substrate shape as the exact solver, and this benchmark
 tracks it the same way ``bench_enumeration.py`` tracks the solver:
 
 * ``test_packed_vs_object_simulation`` times the same families on both
-  simulation backends, asserts *identical tallies* (the differential
-  invariant campaigns rest on) and a ≥10× packed speedup floor, and
-  appends the pair to ``benchmarks/results/BENCH_sweeps.json``;
-* ``test_simulation_path_throughput`` records tables/s of the default
-  (packed) backend per registered family — including the n=6 family the
+  scalar simulation backends, asserts *identical tallies* (the
+  differential invariant campaigns rest on) and a ≥10× packed speedup
+  floor, and appends the pair to ``benchmarks/results/BENCH_sweeps.json``;
+* ``test_vector_vs_packed_simulation`` holds the NumPy lockstep kernel
+  (:mod:`repro.verification.batch`) to the same convention one tier up:
+  vector vs scalar packed on identical work, identical tallies, and a
+  ≥10× vector speedup floor at n=4;
+* ``test_simulation_path_throughput`` records tables/s per registered
+  family and per available backend — including the n=6 family the
   packed backend unlocked — with a chunk-split determinism cross-check
   riding along.
 """
@@ -22,7 +26,10 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro.scenarios import get_scenario, simulate_chunk
+from repro.verification.batch import have_numpy
 
 
 def _merged(spec, patterns, size: int, backend: str = "packed"):
@@ -41,39 +48,49 @@ def _merged(spec, patterns, size: int, backend: str = "packed"):
 def test_simulation_path_throughput(
     timed_best_of, merge_bench_sweeps, save_artifact
 ) -> None:
-    """Tables/s of the packed simulation runner, per registered family."""
+    """Tables/s per registered family, per available simulation backend."""
+    backends = ["packed"] + (["vector"] if have_numpy() else [])
     entries = []
     lines = []
     for name in ("periodic-two-n4", "bernoulli-two-n4", "periodic-two-n6"):
         spec = get_scenario(name)
         patterns = spec.expand_patterns()
-        result, seconds = timed_best_of(
-            lambda spec=spec, patterns=patterns: simulate_chunk(spec, patterns)
-        )
-        total, trapped, _explorers, rounds = result
-        assert total == spec.table_count
-        # Chunk-split invariance: the merged tally is the timed tally.
-        assert _merged(spec, patterns, spec.chunk_size) == result
-        tables_per_sec = total / seconds
-        entries.append(
-            {
-                "sweep": f"dynamics_{spec.dynamics}_two_n{spec.n}_sim",
-                "backend": "packed",
-                "n": spec.n,
-                "k": spec.robots.k,
-                "total": total,
-                "trapped": trapped,
-                "horizon": spec.horizon,
-                "rounds_simulated": rounds,
-                "seconds": round(seconds, 4),
-                "tables_per_sec": round(tables_per_sec, 1),
-            }
-        )
-        lines.append(
-            f"{name}: {total} tables in {seconds:.3f}s "
-            f"({tables_per_sec:.0f} tables/s, {rounds} rounds simulated, "
-            f"{trapped}/{total} trapped)"
-        )
+        reference = None
+        for backend in backends:
+            result, seconds = timed_best_of(
+                lambda spec=spec, patterns=patterns, backend=backend: (
+                    simulate_chunk(spec, patterns, backend)
+                )
+            )
+            total, trapped, _explorers, rounds = result
+            assert total == spec.table_count
+            if reference is None:
+                reference = result
+                # Chunk-split invariance: the merged tally is the timed
+                # tally (chunk boundaries are not workload identity).
+                assert _merged(spec, patterns, spec.chunk_size) == result
+            else:
+                assert result == reference
+            tables_per_sec = total / seconds
+            entries.append(
+                {
+                    "sweep": f"dynamics_{spec.dynamics}_two_n{spec.n}_sim",
+                    "backend": backend,
+                    "n": spec.n,
+                    "k": spec.robots.k,
+                    "total": total,
+                    "trapped": trapped,
+                    "horizon": spec.horizon,
+                    "rounds_simulated": rounds,
+                    "seconds": round(seconds, 4),
+                    "tables_per_sec": round(tables_per_sec, 1),
+                }
+            )
+            lines.append(
+                f"{name} [{backend}]: {total} tables in {seconds:.3f}s "
+                f"({tables_per_sec:.0f} tables/s, {rounds} rounds simulated, "
+                f"{trapped}/{total} trapped)"
+            )
     merge_bench_sweeps(entries)
     save_artifact("dynamics_simulation_throughput", "\n".join(lines))
 
@@ -137,3 +154,69 @@ def test_packed_vs_object_simulation(
         )
     merge_bench_sweeps(entries)
     save_artifact("dynamics_simulation_backends", "\n".join(lines))
+
+
+@pytest.mark.skipif(not have_numpy(), reason="vector backend needs numpy")
+def test_vector_vs_packed_simulation(
+    timed_best_of, merge_bench_sweeps, save_artifact
+) -> None:
+    """Vector-vs-packed simulation pair; extends BENCH_sweeps.json.
+
+    The NumPy lockstep kernel's acceptance bar, one tier above the
+    packed-vs-object pair: on the n=4 Bernoulli family the vector
+    backend must tally byte-identically to scalar packed *and* clear a
+    ≥10× speedup over it (≥10,000 tables/s in absolute terms on an
+    unloaded runner; ``REPRO_BENCH_MIN_SPEEDUP`` overrides the relative
+    floor on contended ones). A warm-up run precedes timing so NumPy
+    import and per-table batch-array caches are excluded, matching how
+    campaigns amortise them across chunks.
+    """
+    entries = []
+    lines = []
+    for name in ("bernoulli-two-n4",):
+        spec = get_scenario(name)
+        patterns = spec.expand_patterns()
+
+        def run(backend, spec=spec, patterns=patterns):
+            return simulate_chunk(spec, patterns, backend)
+
+        run("vector")  # warm NumPy + batch-table caches before timing
+        packed_result, packed_seconds = timed_best_of(lambda: run("packed"))
+        vector_result, vector_seconds = timed_best_of(lambda: run("vector"))
+        assert vector_result == packed_result
+        total, trapped, _explorers, rounds = vector_result
+        speedup = packed_seconds / vector_seconds
+        sweep = f"dynamics_{spec.dynamics}_two_n{spec.n}_sim_vector"
+        for backend, seconds in (
+            ("packed", packed_seconds),
+            ("vector", vector_seconds),
+        ):
+            entries.append(
+                {
+                    "sweep": sweep,
+                    "backend": backend,
+                    "n": spec.n,
+                    "k": spec.robots.k,
+                    "total": total,
+                    "trapped": trapped,
+                    "horizon": spec.horizon,
+                    "rounds_simulated": rounds,
+                    "seconds": round(seconds, 4),
+                    "tables_per_sec": round(total / seconds, 1),
+                }
+            )
+        entries.append({"sweep": sweep, "speedup": round(speedup, 1)})
+        lines.append(
+            f"{name}: packed {packed_seconds:.3f}s, vector "
+            f"{vector_seconds:.3f}s — {speedup:.1f}x "
+            f"({total / vector_seconds:.0f} tables/s, "
+            f"{trapped}/{total} trapped)"
+        )
+        floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10"))
+        assert speedup >= floor, (
+            f"{name}: vector simulation is only {speedup:.1f}x faster "
+            f"(packed {packed_seconds:.3f}s, vector {vector_seconds:.3f}s; "
+            f"floor {floor}x — set REPRO_BENCH_MIN_SPEEDUP to adjust)"
+        )
+    merge_bench_sweeps(entries)
+    save_artifact("dynamics_simulation_vector", "\n".join(lines))

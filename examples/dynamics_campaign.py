@@ -15,18 +15,20 @@ This script walks the full pipeline on the built-in
 ``repro-rings campaign run periodic-two-n4`` does — including the
 operational guarantees shared with the verification path: a simulated
 interrupt, a resume that emits a byte-identical report, and a repeat run
-that is a pure cache hit. It then races the two simulation backends
-(``--backend packed|object`` here and on the CLI): the packed one runs
-each table on the compiled tables the game solver's kernel shares,
-against a precompiled edge-bitmask schedule; the object one drives the
-``repro.sim`` engines — same tallies, an order of magnitude apart. It
-closes with the live-vs-perpetual contrast on the bursty Markov family,
-and — with ``--trace-dir DIR`` — re-runs the walk-through campaign
-fully traced and prints the ``campaign analyze`` phase breakdown,
-demonstrating that telemetry is free to arm: the traced report is
-byte-identical to the untraced one.
+that is a pure cache hit. It then races the simulation backends
+(``--backend`` here and on the CLI): the object one drives the
+``repro.sim`` engines; the packed one runs each table on the compiled
+tables the game solver's kernel shares, against a precompiled
+edge-bitmask schedule; and the vector one (when NumPy is installed)
+stacks the whole chunk's tables into ndarrays and advances every run in
+lockstep — same tallies every time, each tier an order of magnitude
+apart. It closes with the live-vs-perpetual contrast on the bursty
+Markov family, and — with ``--trace-dir DIR`` — re-runs the
+walk-through campaign fully traced and prints the ``campaign analyze``
+phase breakdown, demonstrating that telemetry is free to arm: the
+traced report is byte-identical to the untraced one.
 
-Run:  python examples/dynamics_campaign.py [--backend packed|object]
+Run:  python examples/dynamics_campaign.py [--backend BACKEND]
                                            [--trace-dir DIR]
 """
 
@@ -37,14 +39,15 @@ import time
 
 from repro import telemetry
 from repro.scenarios import CampaignRunner, ResultStore, get_scenario, simulate_chunk
+from repro.verification.backends import AUTO_BACKEND, BACKEND_CHOICES, vector_available
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--backend", choices=["packed", "object"], default="packed",
+        "--backend", choices=list(BACKEND_CHOICES), default=AUTO_BACKEND,
         help="execution substrate for the campaign walk-through "
-        "(the backend race below always times both)",
+        "(the backend race below always times every available backend)",
     )
     parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
@@ -82,11 +85,14 @@ def main() -> None:
             "chirality vector and every towerless start)"
         )
 
-    print("\n=== One semantics, two speeds: the backend race ===\n")
+    print("\n=== One semantics, three speeds: the backend race ===\n")
     patterns = spec.expand_patterns()
+    racers = ["object", "packed"] + (["vector"] if vector_available() else [])
+    if "vector" in racers:
+        simulate_chunk(spec, patterns, "vector")  # warm NumPy + caches
     tallies = {}
     seconds = {}
-    for backend in ("object", "packed"):
+    for backend in racers:
         start = time.perf_counter()
         tallies[backend] = simulate_chunk(spec, patterns, backend)
         seconds[backend] = time.perf_counter() - start
@@ -95,12 +101,20 @@ def main() -> None:
             f"  {backend:>6}: {total} tables in {seconds[backend]:.3f}s "
             f"({total / seconds[backend]:,.0f} tables/s)"
         )
-    assert tallies["packed"] == tallies["object"], "backends must agree"
+    assert all(t == tallies["packed"] for t in tallies.values()), (
+        "backends must agree"
+    )
     print(
-        f"\n  identical tallies, {seconds['object'] / seconds['packed']:.1f}x "
-        "apart — which is why the packed backend is the default and the\n"
-        "  object engines remain the differential oracle "
-        "(and why n=6 families like periodic-two-n6 are now practical)."
+        f"\n  identical tallies, object→packed "
+        f"{seconds['object'] / seconds['packed']:.1f}x apart"
+        + (
+            f", packed→vector {seconds['packed'] / seconds['vector']:.1f}x "
+            "on top" if "vector" in seconds else
+            " (install numpy to race the vector backend too)"
+        )
+        + " —\n  each tier stays the differential oracle of the one above"
+        " (and n=6 families\n  like periodic-two-n6 are practical on"
+        " either fast tier)."
     )
 
     print("\n=== Live vs perpetual on a bursty Markov ring ===\n")

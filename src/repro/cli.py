@@ -27,9 +27,13 @@ Subcommands:
   (periodic, T-interval-connected, whack-a-mole, Bernoulli/Markov, …)
   run on the simulation chunk runner against their pinned schedule
   parameterization — same store, same guarantees. ``--backend
-  packed|object`` picks the execution substrate on either path (packed
-  kernel vs object product for the solver, compiled tables vs object
-  engines for the simulation runner); backends tally byte-identically,
+  auto|vector|packed|object`` picks the execution substrate on either
+  path (packed kernel vs object product for the solver; NumPy vector
+  lockstep vs compiled tables vs object engines for the simulation
+  runner); ``auto`` (default) resolves to the fastest available, and
+  the choice list is derived from one registry
+  (``repro.verification.backends``) shared with ``simulate_chunk`` and
+  the sweep path. Backends tally byte-identically,
   so reports and resume points are backend-portable. Runs are supervised
   (``--max-attempts``/``--chunk-timeout`` govern retries, deadlines and
   quarantine — see ``docs/robustness.md``); ``fsck`` salvages a corrupt
@@ -63,6 +67,11 @@ from repro.analysis.towers import tower_report
 from repro.graph.topology import RingTopology
 from repro.robots.algorithms.base import get_algorithm, registry
 from repro.sim.engine import run_fsync
+from repro.verification.backends import (
+    AUTO_BACKEND,
+    BACKEND_CHOICES,
+    SOLVER_BACKENDS,
+)
 from repro.verification.game import verify_exploration
 from repro.viz.ascii_art import render_space_time
 
@@ -419,7 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trap certificate (if any) as JSON",
     )
     p_verify.add_argument(
-        "--backend", choices=["packed", "object"], default="packed",
+        "--backend", choices=list(SOLVER_BACKENDS), default=SOLVER_BACKENDS[0],
         help="verification substrate: packed int kernel (default) or "
         "the object-path semantics oracle",
     )
@@ -455,7 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic sampling seed (defaults to --seed)",
     )
     p_sweep.add_argument(
-        "--backend", choices=["packed", "object"], default="packed"
+        "--backend", choices=list(SOLVER_BACKENDS), default=SOLVER_BACKENDS[0]
     )
     p_sweep.add_argument(
         "--scheduler", choices=["fsync", "ssync"], default="fsync",
@@ -500,10 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="result-store root directory (default: ./campaigns)",
         )
         c_action.add_argument(
-            "--backend", choices=["packed", "object"], default="packed",
-            help="execution substrate for either dispatch path: the "
-            "compiled fast path (default) or the object semantics "
-            "oracle; tallies, reports and resume points are identical "
+            "--backend", choices=list(BACKEND_CHOICES), default=AUTO_BACKEND,
+            help="execution substrate for either dispatch path; 'auto' "
+            "(default) resolves to the fastest available per path "
+            "(vector needs NumPy and exists only on the simulation "
+            "path); tallies, reports and resume points are identical "
             "across backends",
         )
         c_action.add_argument(

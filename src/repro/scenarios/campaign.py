@@ -7,9 +7,12 @@ exact game solver (:func:`~repro.verification.sweeps.sweep_chunk`), and
 schedule-family scenarios run on the simulation chunk runner
 (:func:`~repro.scenarios.simulate.simulate_chunk`) against their pinned
 schedule parameterization. Both paths produce the same record schema and
-both offer a packed fast backend and an object oracle backend with
-byte-identical tallies, so the store, resume, dedup and reporting
-machinery below is shared — and backend-agnostic. The contract:
+both offer multiple execution backends with byte-identical tallies — the
+exact solver's packed kernel and object oracle, plus the simulation
+path's NumPy ``vector`` kernel (``auto``, the default choice, resolves
+to the fastest one available per path) — so the store, resume, dedup and
+reporting machinery below is shared — and backend-agnostic. The
+contract:
 
 * **Deterministic work units.** The scenario expands to a fixed pattern
   stream cut into fixed-size chunks (never dependent on worker count), and
@@ -58,6 +61,7 @@ from repro.errors import (
     ChunkPoisonedError,
     ScenarioError,
     StoreCorruptionError,
+    VerificationError,
     WorkerCrashError,
 )
 from repro import telemetry
@@ -72,7 +76,11 @@ from repro.scenarios.store import (
     chunk_digest,
     is_failure_record,
 )
-from repro.verification.product import check_backend
+from repro.verification.backends import (
+    check_backend_choice,
+    resolve_simulation_backend,
+    resolve_solver_backend,
+)
 from repro.verification.sweeps import resolve_jobs, sweep_chunk
 
 CAMPAIGN_REPORT_VERSION = 1
@@ -89,9 +97,11 @@ The spec rides along as its :meth:`ScenarioSpec.to_dict` form — plainly
 picklable, and the worker re-validates it on decode, so a chunk can never
 execute against a spec its own construction-time gate would refuse.
 ``backend`` selects the execution substrate on *both* dispatch paths
-(packed kernel vs object oracle for the exact solver, compiled tables vs
-object engines for the simulation runner); it is hash-neutral — never
-part of the spec payload, the chunk records or the report bytes.
+(packed kernel vs object oracle for the exact solver; vector lockstep
+vs compiled tables vs object engines for the simulation runner), always
+as a *concrete* name — ``auto`` is resolved by the parent before
+dispatch. It is hash-neutral — never part of the spec payload, the
+chunk records or the report bytes.
 """
 
 
@@ -352,13 +362,17 @@ class CampaignRunner:
 
     ``backend`` picks the execution substrate of *both* dispatch paths:
     the exact solver's packed kernel vs object product, and the
-    simulation runner's compiled tables vs object engines
-    (``"packed"``, the default, is the fast path on each). The backend
-    is an execution detail, not workload identity — both backends tally
-    every chunk byte-identically, so scenario hashes, chunk records and
-    report bytes never depend on it, and a campaign checkpointed under
-    one backend resumes cleanly under the other. ``validate`` applies to
-    the exact-solver path only (certificate replay validation).
+    simulation runner's NumPy lockstep kernel vs compiled tables vs
+    object engines. ``"auto"`` (the default) resolves per scenario to
+    the fastest backend available on this host — ``packed`` for the
+    exact solver, ``vector`` → ``packed`` by NumPy availability for
+    simulation (the one registry: :mod:`repro.verification.backends`).
+    The backend is an execution detail, not workload identity — all
+    backends tally every chunk byte-identically, so scenario hashes,
+    chunk records and report bytes never depend on it, and a campaign
+    checkpointed under one backend resumes cleanly under any other.
+    ``validate`` applies to the exact-solver path only (certificate
+    replay validation).
 
     ``policy`` governs retries, per-chunk deadlines and quarantine
     (:class:`RetryPolicy`); ``faults`` installs an explicit
@@ -379,7 +393,7 @@ class CampaignRunner:
     def __init__(
         self,
         store: ResultStore,
-        backend: str = "packed",
+        backend: str = "auto",
         jobs: Optional[int] = None,
         validate: bool = False,
         policy: Optional[RetryPolicy] = None,
@@ -387,7 +401,7 @@ class CampaignRunner:
         telemetry: Optional[str | Path | TelemetryConfig] = None,
     ) -> None:
         self.store = store
-        self.backend = check_backend(backend)
+        self.backend = check_backend_choice(backend)
         self.jobs = resolve_jobs(jobs)
         self.validate = validate
         self.policy = policy if policy is not None else RetryPolicy()
@@ -395,7 +409,26 @@ class CampaignRunner:
         self.telemetry = telemetry
         self._signal: Optional[int] = None
 
-    def _telemetry_config(self, spec: ScenarioSpec) -> Optional[TelemetryConfig]:
+    def _resolve_backend(self, spec: ScenarioSpec) -> str:
+        """The concrete backend this spec's chunks will execute on.
+
+        Resolved once in the parent before any chunk is dispatched
+        (workers receive the concrete name): ``auto`` picks the fastest
+        substrate available for the spec's dispatch path. Asking the
+        exact solver for ``vector``, or for ``vector`` without NumPy,
+        fails loudly here as a usage error rather than poisoning chunks
+        retry by retry.
+        """
+        try:
+            if spec.dynamics == "highly-dynamic":
+                return resolve_solver_backend(self.backend)
+            return resolve_simulation_backend(self.backend)
+        except VerificationError as exc:
+            raise ScenarioError(str(exc)) from exc
+
+    def _telemetry_config(
+        self, spec: ScenarioSpec, backend: str
+    ) -> Optional[TelemetryConfig]:
         """Resolve this run's trace config: explicit arg beats environment."""
         configured = self.telemetry
         if configured is None:
@@ -407,7 +440,7 @@ class CampaignRunner:
         context = {
             "scenario": spec.name,
             "scenario_id": spec.scenario_id,
-            "backend": self.backend,
+            "backend": backend,
             "jobs": self.jobs,
         }
         if isinstance(configured, TelemetryConfig):
@@ -533,14 +566,15 @@ class CampaignRunner:
         the run's clock time); the previous process-local telemetry state
         is restored on exit, mirroring the fault-plan save/restore.
         """
-        config = self._telemetry_config(spec)
+        backend = self._resolve_backend(spec)
+        config = self._telemetry_config(spec, backend)
         if config is None:
-            return self._run(spec, max_chunks, include_failed)
+            return self._run(spec, max_chunks, include_failed, backend)
         previous = telemetry.active()
         telemetry.install(config)
         try:
             with telemetry.span("campaign") as span_attrs:
-                outcome = self._run(spec, max_chunks, include_failed)
+                outcome = self._run(spec, max_chunks, include_failed, backend)
                 span_attrs["chunks_run"] = outcome.chunks_run
                 span_attrs["settled"] = outcome.status.settled
             return outcome
@@ -552,6 +586,7 @@ class CampaignRunner:
         spec: ScenarioSpec,
         max_chunks: Optional[int],
         include_failed: bool,
+        backend: str,
     ) -> CampaignRunOutcome:
         self.store.prepare(spec)
         chunks = spec.chunks()
@@ -569,7 +604,7 @@ class CampaignRunner:
             pending = pending[:max_chunks]
         spec_data = spec.to_dict()
         payloads: list[_Payload] = [
-            (index, spec_data, chunk, self.backend, self.validate)
+            (index, spec_data, chunk, backend, self.validate)
             for index, chunk in pending
         ]
         if telemetry.armed():

@@ -25,10 +25,16 @@ resume, dedup and report machinery apply unchanged:
   halves of the horizon (a finite recurrence proxy: visits that stop
   after the first half fail it).
 
-**Backends.** Like the exact path, the simulation path has two execution
-substrates with one semantics:
+**Backends.** Like the exact path, the simulation path has multiple
+execution substrates with one semantics:
 
-* ``backend="packed"`` (the default) compiles each table once per
+* ``backend="vector"`` (the fastest; requires NumPy, an *optional*
+  dependency) stacks every table's flat compiled tables into one array
+  and steps all (table, chirality-vector, placement) runs of a chunk in
+  NumPy lockstep — structure-of-arrays rows, one fancy-index gather per
+  robot per round, per-row done masks with periodic compaction
+  (:mod:`repro.verification.batch`);
+* ``backend="packed"`` compiles each table once per
   chirality vector into flat integer tables
   (:class:`~repro.verification.compiled.CompiledTables` — the same
   compilation the game solver's :class:`~repro.verification.kernel
@@ -40,11 +46,15 @@ substrates with one semantics:
   :func:`repro.sim.semi_sync.step_ssync` per round — the semantics
   oracle, kept as the differential reference.
 
-Both backends produce byte-identical tallies (differentially tested in
-``tests/test_simulate.py``), so the backend is an execution detail, never
-part of a scenario's identity: scenario hashes, chunk records and
-campaign report bytes are backend-independent, and a campaign
-checkpointed under one backend resumes cleanly under the other.
+All backends produce byte-identical tallies (differentially tested in
+``tests/test_simulate.py`` and ``tests/test_batch.py``), so the backend
+is an execution detail, never part of a scenario's identity: scenario
+hashes, chunk records and campaign report bytes are backend-independent,
+and a campaign checkpointed under one backend resumes cleanly under any
+other. ``backend="auto"`` (the default) resolves vector → packed by
+NumPy availability; the backend registry
+(:mod:`repro.verification.backends`) is the single source of the choice
+set shared with the CLI and the campaign runner.
 
 Start placements are **not** rotation-reduced here: a concrete schedule
 names absolute edges at absolute times, so ring rotations are *not*
@@ -81,8 +91,8 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.sim.engine import make_initial_configuration, step_fsync
 from repro.sim.semi_sync import step_ssync
 from repro.types import Chirality, EdgeId, NodeId, RobotId
+from repro.verification.backends import resolve_simulation_backend
 from repro.verification.compiled import CompiledTables
-from repro.verification.product import check_backend
 from repro.verification.sweeps import family_maker, family_plan
 
 _ChunkOutcome = tuple[int, int, list[str], int]
@@ -243,7 +253,7 @@ def _bounded_explores_packed(
 
 
 def simulate_chunk(
-    spec: ScenarioSpec, bits_chunk: Sequence[int], backend: str = "packed"
+    spec: ScenarioSpec, bits_chunk: Sequence[int], backend: str = "auto"
 ) -> _ChunkOutcome:
     """Simulate one chunk of table bit-patterns against the spec's schedule.
 
@@ -251,11 +261,12 @@ def simulate_chunk(
     and the unit of work the campaign runner checkpoints for
     schedule-dynamics scenarios. Deterministic for a fixed
     ``(spec, bits_chunk)`` pair — re-runnable on any backend, worker,
-    process or host with an identical tally (``backend`` trades the
-    compiled fast path against the object-engine oracle; see the module
-    docstring).
+    process or host with an identical tally. ``backend`` picks the
+    execution substrate (``"vector"``/``"packed"``/``"object"``; see the
+    module docstring); ``"auto"`` resolves to the fastest available one
+    (:func:`repro.verification.backends.resolve_simulation_backend`).
     """
-    check_backend(backend)
+    backend = resolve_simulation_backend(backend)
     topology = RingTopology(spec.n)
     schedule = build_schedule(
         spec.dynamics, spec.dynamics_params, spec.dynamics_seed, topology
@@ -290,6 +301,50 @@ def simulate_chunk(
         simulate_s = max(0.0, time.perf_counter() - chunk_start - compile_s)
         telemetry.phase("compile", compile_s, tables=len(bits_chunk))
         telemetry.phase("simulate", simulate_s, tables=len(bits_chunk))
+
+    if backend == "vector":
+        # The NumPy lockstep kernel: compile every table of the chunk
+        # into one stacked flat-table array, then step all
+        # (table, chirality-vector, placement) runs at once. The kernel
+        # reproduces the scalar first-failure accounting exactly
+        # (see repro.verification.batch), so the tally below is
+        # byte-identical to the packed path's.
+        from repro.verification import batch
+
+        mark = time.perf_counter()
+        masks = schedule_masks(schedule, spec.horizon)
+        compiled = [
+            CompiledTables(
+                topology, maker(bits), vectors[0], scheduler=spec.scheduler
+            )
+            for bits in bits_chunk
+        ]
+        compile_s = time.perf_counter() - mark
+        if midpoint:
+            faults.fault_point("simulate-mid")
+        trapped_flags, rounds, timings = batch.simulate_batch(
+            topology,
+            compiled,
+            vectors,
+            placements,
+            masks,
+            spec.scheduler == "ssync",
+            spec.prop,
+        )
+        total = len(bits_chunk)
+        trapped = sum(trapped_flags)
+        explorers = [
+            tables.algorithm.name
+            for tables, hit in zip(compiled, trapped_flags)
+            if not hit
+        ]
+        if traced:
+            telemetry.phase(
+                "compile", compile_s + timings["compile"], tables=total
+            )
+            telemetry.phase("gather", timings["gather"], tables=total)
+            telemetry.phase("compact", timings["compact"], tables=total)
+        return total, trapped, explorers, rounds
 
     if backend == "packed":
         # One schedule compilation per chunk: the horizon's present-edge

@@ -54,7 +54,10 @@ Span taxonomy (see ``docs/observability.md``): ``campaign`` wraps one
 attempt of one chunk (in-process or in a supervised worker);
 ``phase.compile`` / ``phase.simulate`` split an attempt into table
 compilation vs execution time (on the exact-solver path "simulate" is
-game solving); ``store.append`` covers one durable checkpoint append
+game solving); the vector simulation backend replaces ``simulate`` with
+``phase.gather`` / ``phase.compact`` (NumPy lockstep rounds vs pending-row
+compaction — ``summarize`` treats any ``phase.*`` name generically);
+``store.append`` covers one durable checkpoint append
 including its fsync. Events: ``worker.spawn``, ``worker.crash``,
 ``chunk.timeout``, ``chunk.retry``, ``chunk.quarantine``,
 ``campaign.degraded``, ``fault.injected``. Counters:
@@ -92,7 +95,7 @@ BASELINE_FORMAT = "telemetry-baseline"
 SUMMARY_VERSION = 1
 BASELINE_VERSION = 1
 
-_PHASE_NAMES = ("compile", "simulate")
+_PHASE_NAMES = ("compile", "simulate", "gather", "compact")
 _PERCENTILES = (("p50_s", 0.50), ("p90_s", 0.90), ("p99_s", 0.99))
 
 

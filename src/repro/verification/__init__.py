@@ -14,6 +14,13 @@ This subpackage decides it, through three mutually-checking layers:
   states as single ints, edge/activation sets as bitmasks, the whole
   Look–Compute logic folded into flat integer tables, shared with the
   simulation chunk runner (:mod:`repro.scenarios.simulate`);
+* :mod:`repro.verification.batch` — the vector backend: whole chunks of
+  simulated tables stepped in NumPy lockstep (structure-of-arrays rows,
+  one gather per robot per round); NumPy is optional, so this backend
+  degrades to unavailable rather than making it a hard dependency;
+* :mod:`repro.verification.backends` — the one registry of backend
+  names (solver vs simulation families, ``auto`` resolution) that the
+  CLI, the chunk runners and the campaign runner all derive from;
 * :mod:`repro.verification.kernel` — the packed-state kernel: the game
   solver's consumer of the compiled tables, adding adversarial move
   enumeration and labeled reachability. The default, fast substrate;
@@ -34,6 +41,15 @@ This subpackage decides it, through three mutually-checking layers:
   table class across a process pool with deterministic chunk merging.
 """
 
+from repro.verification.backends import (
+    AUTO_BACKEND,
+    BACKEND_CHOICES,
+    SIMULATION_BACKENDS,
+    SOLVER_BACKENDS,
+    resolve_simulation_backend,
+    resolve_solver_backend,
+    vector_available,
+)
 from repro.verification.certificates import (
     TrapCertificate,
     certificate_schedule,
@@ -65,8 +81,15 @@ from repro.verification.sweeps import (
 )
 
 __all__ = [
+    "AUTO_BACKEND",
     "BACKENDS",
+    "BACKEND_CHOICES",
+    "SIMULATION_BACKENDS",
+    "SOLVER_BACKENDS",
     "PROPERTIES",
+    "resolve_simulation_backend",
+    "resolve_solver_backend",
+    "vector_available",
     "START_POLICIES",
     "TABLE_FAMILIES",
     "CompiledTables",

@@ -1,0 +1,109 @@
+"""The one registry of execution backends.
+
+Every layer that lets a caller pick an execution substrate — the CLI
+(``campaign run --backend``, ``verify --backend``, ``sweep --backend``),
+:func:`repro.scenarios.simulate.simulate_chunk`,
+:func:`repro.verification.sweeps.sweep_chunk` and
+:class:`repro.scenarios.campaign.CampaignRunner` — derives its choices
+from this module, so a new backend cannot drift out of a help text or an
+error message.
+
+Two backend families exist because the two dispatch paths have different
+capabilities:
+
+* **Solver backends** (:data:`SOLVER_BACKENDS`) drive the exact game
+  solver over the highly-dynamic adversary: ``packed`` (flat int
+  tables) and ``object`` (the differential oracle).
+* **Simulation backends** (:data:`SIMULATION_BACKENDS`) drive the
+  bounded-horizon schedule-dynamics runner: ``vector`` (NumPy
+  structure-of-arrays lockstep over a whole chunk,
+  :mod:`repro.verification.batch`), ``packed`` and ``object``.
+
+``auto`` (:data:`AUTO_BACKEND`) is the CLI-facing default: it resolves
+to the fastest backend *available on this host* for the dispatch path at
+hand — vector → packed → object for simulation (NumPy is an optional
+dependency), packed for the solver. Backend choice is an execution
+detail, never workload identity: all backends tally byte-identically
+and scenario hashes, chunk records and report bytes never record which
+one ran.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+
+SOLVER_BACKENDS = ("packed", "object")
+"""Backends of the exact game solver path, fastest first."""
+
+SIMULATION_BACKENDS = ("vector", "packed", "object")
+"""Backends of the schedule-simulation path, fastest first."""
+
+AUTO_BACKEND = "auto"
+"""Sentinel choice: resolve to the fastest available backend."""
+
+BACKEND_CHOICES = (AUTO_BACKEND,) + SIMULATION_BACKENDS
+"""Every name a caller may pass (CLI ``--backend`` choices)."""
+
+
+def vector_available() -> bool:
+    """True when the ``vector`` backend's NumPy dependency is importable."""
+    from repro.verification import batch
+
+    return batch.have_numpy()
+
+
+def check_backend_choice(backend: str) -> str:
+    """Validate a backend *choice* (``auto`` allowed, not yet resolved)."""
+    if backend not in BACKEND_CHOICES:
+        raise VerificationError(
+            f"unknown backend {backend!r}; choose from {BACKEND_CHOICES}"
+        )
+    return backend
+
+
+def check_solver_backend(backend: str) -> str:
+    """Validate a concrete solver backend (shared by product, game, sweeps)."""
+    if backend not in SOLVER_BACKENDS:
+        raise VerificationError(
+            f"unknown backend {backend!r}; choose from {SOLVER_BACKENDS}"
+        )
+    return backend
+
+
+def resolve_solver_backend(backend: str) -> str:
+    """Resolve a backend choice for the exact solver path.
+
+    ``auto`` picks ``packed`` (always available, fastest). ``vector``
+    is simulation-only and is rejected with a message that says so
+    rather than falling back silently — the caller asked for a specific
+    substrate the solver does not have.
+    """
+    if backend == AUTO_BACKEND:
+        return SOLVER_BACKENDS[0]
+    if backend == "vector":
+        raise VerificationError(
+            "backend 'vector' only exists on the simulation path; the "
+            f"exact solver offers {SOLVER_BACKENDS} (or 'auto')"
+        )
+    return check_solver_backend(backend)
+
+
+def resolve_simulation_backend(backend: str) -> str:
+    """Resolve a backend choice for the simulation path.
+
+    ``auto`` picks ``vector`` when NumPy is importable and ``packed``
+    otherwise; asking for ``vector`` explicitly without NumPy is an
+    error (the caller wanted that substrate, not a silent fallback).
+    """
+    if backend == AUTO_BACKEND:
+        return "vector" if vector_available() else "packed"
+    if backend == "vector" and not vector_available():
+        raise VerificationError(
+            "backend 'vector' requires numpy, which is not installed; "
+            "pass backend='auto' to fall back to 'packed' automatically"
+        )
+    if backend not in SIMULATION_BACKENDS:
+        raise VerificationError(
+            f"unknown backend {backend!r}; choose from {BACKEND_CHOICES}"
+        )
+    return backend

@@ -1,0 +1,405 @@
+"""The vector backend: whole chunks of tables simulated in NumPy lockstep.
+
+The scalar packed simulation loop
+(:func:`repro.scenarios.simulate._bounded_explores_packed`) runs one
+``(table, chirality-vector, placement)`` run at a time — pure-Python int
+arithmetic, ~1,200–2,200 tables/s at n=4. But every run of a chunk
+shares the topology, the schedule's edge-bitmask array and the
+activation discipline, and the runs are *independent*: nothing one run
+computes feeds another. So this module simulates **all of them at
+once** as structure-of-arrays NumPy state:
+
+* one *run* per ``(table, chirality-vector, placement)`` triple —
+  ``runs = tables × vectors × placements``, a few thousand for a
+  192-table chunk at n=4 — and one *row* per ``(robot, run)`` pair,
+  laid out robot-major so each robot's block is a contiguous slice
+  (``rows = k × runs``); per-row position and state-index columns,
+  exactly the ISSUE's ``(batch, k)`` state flattened so that one
+  fancy-index **gather** covers every robot of every run per round;
+* occupancy / ``seen`` / ``late`` visited bitsets as int64 columns per
+  run (rings are tiny — n < 63 bits — and int64 avoids NumPy's
+  uint64-with-Python-int float-promotion trap);
+* every table's flat Look–Compute tables
+  (:meth:`~repro.verification.compiled.CompiledTables.batch_tables`)
+  stacked into one ``(tables, S*8)`` array with the per-state direction
+  bit folded in (``value = successor*2 + dir_bit``), so Compute is a
+  single gather and the Move destination a second;
+* per-run done masks give the live/perpetual early exits, and finished
+  runs are **compacted** away (boolean-filter of the state columns)
+  whenever enough of the batch has settled, so a chunk whose tables
+  mostly trap early costs little more than the scalar early-exit path;
+* under SSYNC only the active robot's contiguous block is stepped —
+  the round-robin discipline becomes a slice, not a mask.
+
+**Exact tally reproduction.** The scalar path breaks out of the
+chirality/placement loops at a table's *first failing run* and counts
+only the rounds it actually executed. Simulating the skipped runs is
+semantically harmless (runs are independent) but would change the
+``rounds`` tally, which must stay byte-identical across backends. The
+kernel therefore simulates everything and reproduces the scalar
+accounting *post hoc*: per table, runs are ordered exactly as the
+scalar loops nest (chirality-vector major, placement minor), the first
+failed run is located, and only the executed-round counts up to and
+including it are summed. Trapped flags and round totals match the
+scalar path exactly — differentially tested in ``tests/test_batch.py``.
+
+NumPy is an **optional** dependency (same guarded-import pattern as
+:mod:`repro.analysis.stats`): without it this module imports fine,
+:func:`have_numpy` returns False, and the ``vector`` backend is simply
+unavailable (``backend="auto"`` falls back to ``packed``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+try:  # NumPy is optional — the vector backend degrades to unavailable.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI leg
+    _np = None
+
+from repro.errors import VerificationError
+from repro.graph.topology import Topology
+from repro.types import Chirality, NodeId
+from repro.verification.compiled import CompiledTables, _node_tables
+
+#: Compact the row arrays once the finished fraction reaches this.
+COMPACT_THRESHOLD = 0.5
+
+BatchTables = tuple
+"""``(transitions, dir_bits, initial_index)`` — see :func:`as_batch_arrays`."""
+
+# Per-(topology, chirality) ndarray twins of the compiled node tables,
+# cached process-wide like the scalar tables they mirror.
+_np_node_cache: dict = {}
+
+
+def have_numpy() -> bool:
+    """True when the optional NumPy dependency imported."""
+    return _np is not None
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise VerificationError(
+            "backend 'vector' requires numpy, which is not installed; "
+            "pass backend='auto' to fall back to 'packed' automatically"
+        )
+
+
+def as_batch_arrays(
+    transitions: Sequence[int], dir_bits: Sequence[int], initial_index: int
+) -> BatchTables:
+    """ndarray views of one table's flat Look–Compute tables.
+
+    The conversion behind
+    :meth:`~repro.verification.compiled.CompiledTables.batch_tables`
+    (which caches the result per instance, like the scalar tables).
+    """
+    _require_numpy()
+    return (
+        _np.array(transitions, dtype=_np.int64),
+        _np.array(dir_bits, dtype=_np.int64),
+        initial_index,
+    )
+
+
+def _np_node_tables(topology: Topology, chirality: Chirality) -> tuple:
+    """ndarray node tables per (topology, chirality), process-cached.
+
+    ``(left_masks, right_masks, move_masks, move_dests, stay_dests)`` —
+    the first four mirror :func:`repro.verification.compiled._node_tables`;
+    ``stay_dests[pointer] = pointer >> 1`` is the landing node of a move
+    whose pointed edge is absent (the robot stays put).
+    """
+    key = (topology, chirality)
+    cached = _np_node_cache.get(key)
+    if cached is None:
+        left, right, move_masks, move_dests = _node_tables(topology, chirality)
+        cached = (
+            _np.array(left, dtype=_np.int64),
+            _np.array(right, dtype=_np.int64),
+            _np.array(move_masks, dtype=_np.int64),
+            _np.array(move_dests, dtype=_np.int64),
+            _np.arange(2 * topology.n, dtype=_np.int64) >> 1,
+        )
+        _np_node_cache[key] = cached
+    return cached
+
+
+def _mask_tables(mask: int, node_tables: list[tuple], n: int) -> tuple:
+    """Flat edge-view and move-destination tables for one edge mask.
+
+    ``node_tables`` is the (robot, chirality-vector) cross product in
+    row-block order; the returned ``ev`` is indexed by ``block*n + node``
+    (value ``4*left_present + 2*right_present``) and ``dest`` by
+    ``block*2n + node*2 + dir_bit`` (the landing node of a move attempt
+    under this mask). Schedules repeat masks heavily (periodic families
+    cycle through a handful), so the caller memoizes per distinct mask.
+    """
+    ev_parts = []
+    dest_parts = []
+    for left, right, move_masks, move_dests, stay in node_tables:
+        ev_parts.append(
+            ((mask & left) != 0).astype(_np.int64) * 4
+            + ((mask & right) != 0).astype(_np.int64) * 2
+        )
+        dest_parts.append(_np.where((mask & move_masks) != 0, move_dests, stay))
+    return _np.concatenate(ev_parts), _np.concatenate(dest_parts)
+
+
+def simulate_batch(
+    topology: Topology,
+    tables: Sequence[CompiledTables],
+    vectors: Sequence[Sequence[Chirality]],
+    placements: Sequence[Sequence[NodeId]],
+    masks: Sequence[int],
+    ssync: bool,
+    prop: str,
+) -> tuple[list[bool], int, dict[str, float]]:
+    """Run every (table, chirality-vector, placement) run in lockstep.
+
+    Returns ``(trapped, rounds, timings)``: per-table trapped flags in
+    input order, the total executed-round count under the scalar path's
+    first-failure accounting (see the module docstring), and wall-clock
+    seconds per kernel phase (``compile``/``gather``/``compact`` — the
+    caller decides whether to emit them as telemetry).
+    """
+    _require_numpy()
+    timings = {"compile": 0.0, "gather": 0.0, "compact": 0.0}
+    if not tables:
+        return [], 0, timings
+
+    start = time.perf_counter()
+    n = topology.n
+    k = tables[0].k
+    batch = len(tables)
+    n_vectors = len(vectors)
+    n_placements = len(placements)
+    runs_per_table = n_vectors * n_placements
+    state_count = tables[0].state_count
+    s8 = state_count * 8
+    one = _np.int64(1)
+    full = _np.int64((1 << n) - 1)
+
+    # -- compile: stack every table's flat tables into one folded array.
+    # transitions[s*8+view] and dir_bits[s] collapse into one table
+    # whose value is successor*2 + dir_bit: Compute and the move
+    # direction come out of a single gather.
+    trans_rows = []
+    dir_rows = []
+    initials = []
+    for compiled in tables:
+        transitions, dir_bits, initial_index = compiled.batch_tables()
+        if transitions.shape[0] != s8:
+            raise VerificationError(
+                "vector backend needs a uniform state count per batch; "
+                f"got {transitions.shape[0] // 8} and {state_count}"
+            )
+        trans_rows.append(transitions)
+        dir_rows.append(dir_bits)
+        initials.append(initial_index)
+    trans2 = _np.stack(trans_rows)
+    dir2 = _np.stack(dir_rows)
+    td_flat = (trans2 * 2 + _np.take_along_axis(dir2, trans2, axis=1)).ravel()
+
+    # Run layout: run = table * runs_per_table + vector * placements +
+    # placement — exactly the scalar loop nesting, which the post-hoc
+    # first-failure accounting below depends on. Row layout: row =
+    # robot * runs + run (robot-major blocks, so a robot's — or under
+    # SSYNC, the active robot's — rows are one contiguous slice).
+    runs = batch * runs_per_table
+    vec_of_run = _np.tile(
+        _np.repeat(_np.arange(n_vectors, dtype=_np.int64), n_placements), batch
+    )
+    td_base = _np.repeat(_np.arange(batch, dtype=_np.int64) * s8, runs_per_table)
+    place2 = _np.array(placements, dtype=_np.int64)  # (P, k)
+
+    # The (robot, chirality-vector) node-table blocks, in row-block
+    # order; per-row offsets select each row's block in the per-mask
+    # ev/dest tables built by _mask_tables.
+    node_tables = [
+        _np_node_tables(topology, vector[i])
+        for i in range(k)
+        for vector in vectors
+    ]
+    block_of_row = _np.concatenate(
+        [vec_of_run + i * n_vectors for i in range(k)]
+    )
+    ev_off = block_of_row * n
+    dest_off = block_of_row * (2 * n)
+    td_base_rows = _np.tile(td_base, k)
+
+    pos = _np.concatenate(
+        [_np.tile(place2[:, i], batch * n_vectors) for i in range(k)]
+    )
+    st = _np.tile(
+        _np.repeat(_np.array(initials, dtype=_np.int64), runs_per_table), k
+    )
+
+    seen = _np.zeros(runs, dtype=_np.int64)
+    pos2 = pos.reshape(k, runs)
+    for i in range(k):
+        seen |= one << pos2[i]
+    late = _np.zeros(runs, dtype=_np.int64)
+    explored = _np.zeros(runs, dtype=bool)
+    executed = _np.zeros(runs, dtype=_np.int64)
+    orig = _np.arange(runs, dtype=_np.int64)
+    timings["compile"] = time.perf_counter() - start
+
+    horizon = len(masks)
+    mid = horizon // 2
+    live = prop == "live"
+
+    def compact(keep) -> None:
+        nonlocal pos, st, seen, late, ev_off, dest_off, td_base_rows, orig
+        mark = time.perf_counter()
+        keep_rows = _np.tile(keep, k)
+        pos = pos[keep_rows]
+        st = st[keep_rows]
+        ev_off = ev_off[keep_rows]
+        dest_off = dest_off[keep_rows]
+        td_base_rows = td_base_rows[keep_rows]
+        seen = seen[keep]
+        late = late[keep]
+        orig = orig[keep]
+        timings["compact"] += time.perf_counter() - mark
+
+    if live:
+        # The scalar pre-check: a placement that already covers the ring
+        # satisfies "live" in 0 rounds.
+        done = seen == full
+        if done.any():
+            explored[orig[done]] = True
+            compact(~done)
+
+    mark = time.perf_counter()
+    mask_cache: dict[int, tuple] = {}
+    # Runs already decided but not yet compacted away: their tally was
+    # written the round they finished; they keep stepping harmlessly
+    # (runs are independent) until the next compaction drops them.
+    pending = _np.zeros(orig.size, dtype=bool)
+    for t in range(horizon):
+        r = orig.size
+        if r == 0:
+            break
+        mask = masks[t]
+        cached = mask_cache.get(mask)
+        if cached is None:
+            cached = _mask_tables(mask, node_tables, n)
+            mask_cache[mask] = cached
+        ev_table, dest_table = cached
+
+        pos2 = pos.reshape(k, r)
+        if k == 1:
+            tower_bit = None
+        elif k == 2:
+            tower_bit = _np.tile((pos2[0] == pos2[1]).astype(_np.int64), 2)
+        else:
+            bits = one << pos2
+            occupied = _np.zeros(r, dtype=_np.int64)
+            towers = _np.zeros(r, dtype=_np.int64)
+            for i in range(k):
+                towers |= occupied & bits[i]
+                occupied |= bits[i]
+            tower_bit = ((towers >> pos2) & one).ravel()
+
+        if ssync:
+            # Round-robin SSYNC: exactly robot t mod k acts this round.
+            lo = (t % k) * r
+            sl = slice(lo, lo + r)
+            view = (st[sl] << 3) + ev_table[ev_off[sl] + pos[sl]]
+            if tower_bit is not None:
+                view += tower_bit[sl]
+            td = td_flat[td_base_rows[sl] + view]
+            pos[sl] = dest_table[dest_off[sl] + (pos[sl] << one) + (td & one)]
+            st[sl] = td >> one
+        else:
+            view = (st << 3) + ev_table[ev_off + pos]
+            if tower_bit is not None:
+                view += tower_bit
+            td = td_flat[td_base_rows + view]
+            pos = dest_table[dest_off + (pos << one) + (td & one)]
+            st = td >> one
+
+        pos2 = pos.reshape(k, r)
+        occupancy = one << pos2[0]
+        for i in range(1, k):
+            occupancy |= one << pos2[i]
+        if t < mid:
+            seen |= occupancy
+        else:
+            late |= occupancy
+
+        if live:
+            done = (seen | late) == full
+            won = None
+        elif t + 1 < mid:
+            # Nothing can finish before the mid-horizon gate: the
+            # perpetual predicate needs the late window, which is empty.
+            continue
+        elif t + 1 == mid:
+            # The perpetual mid-horizon gate: a run whose first window
+            # starved a node fails now (the second window cannot repair
+            # it); one that already covered both windows succeeds now.
+            covered = seen == full
+            won = covered & (late == full)
+            done = ~covered | won
+        else:
+            done = (seen == full) & (late == full)
+            won = None
+        fresh = done & ~pending
+        if fresh.any():
+            rows = orig[fresh]
+            executed[rows] = t + 1
+            if won is None:
+                explored[rows] = True
+            else:
+                explored[orig[won & fresh]] = True
+            pending |= fresh
+            # Compaction is a full copy of the state columns — only
+            # worth it once enough runs settled; finished runs keep
+            # stepping in place meanwhile (harmless: runs are
+            # independent, and their tally is already written).
+            if pending.mean() >= COMPACT_THRESHOLD:
+                timings["gather"] += time.perf_counter() - mark
+                compact(~pending)
+                pending = _np.zeros(orig.size, dtype=bool)
+                mark = time.perf_counter()
+    timings["gather"] += time.perf_counter() - mark
+
+    alive = ~pending
+    if alive.any():
+        rows = orig[alive]
+        executed[rows] = horizon
+        if live:
+            explored[rows] = ((seen | late) == full)[alive]
+        else:
+            explored[rows] = ((seen == full) & (late == full))[alive]
+
+    # -- post-hoc scalar accounting: first failing run per table --------
+    explored2 = explored.reshape(batch, runs_per_table)
+    executed2 = executed.reshape(batch, runs_per_table)
+    fail = ~explored2
+    trapped = fail.any(axis=1)
+    first_fail = fail.argmax(axis=1)
+    cumulative = executed2.cumsum(axis=1)
+    counted = _np.where(
+        trapped,
+        cumulative[_np.arange(batch), first_fail],
+        cumulative[:, -1],
+    )
+    return (
+        [bool(flag) for flag in trapped],
+        int(counted.sum()),
+        timings,
+    )
+
+
+__all__ = [
+    "as_batch_arrays",
+    "have_numpy",
+    "simulate_batch",
+    "COMPACT_THRESHOLD",
+]

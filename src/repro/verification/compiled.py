@@ -266,6 +266,7 @@ class CompiledTables:
         self._mask_edges_cache = _mask_edges_cache_by_topology.setdefault(
             topology, {}
         )
+        self._batch_tables: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Encoding
@@ -493,6 +494,26 @@ class CompiledTables:
             self._robot_tables,
             self._state_index[self.algorithm.initial_state()],
         )
+
+    def batch_tables(self) -> tuple:
+        """ndarray views of the flat tables, for the vector backend.
+
+        Returns ``(transitions, dir_bits, initial_index)`` with the two
+        tables as int64 ndarrays ready to be stacked into a batch
+        (:func:`repro.verification.batch.simulate_batch`), cached per
+        instance like the scalar tables. Raises
+        :class:`~repro.errors.VerificationError` when NumPy — an
+        optional dependency — is absent.
+        """
+        if self._batch_tables is None:
+            from repro.verification import batch
+
+            self._batch_tables = batch.as_batch_arrays(
+                self._transitions,
+                self._dir_bits,
+                self._state_index[self.algorithm.initial_state()],
+            )
+        return self._batch_tables
 
     def step(
         self,

@@ -44,17 +44,12 @@ from repro.sim.semi_sync import step_ssync
 from repro.types import Chirality, EdgeId, NodeId, RobotId
 from repro.verification.kernel import PackedKernel, check_scheduler
 
-BACKENDS = ("packed", "object")
-"""Known verification backends, fastest first."""
-
-
-def check_backend(backend: str) -> str:
-    """Validate a backend name (shared by product, game and sweeps)."""
-    if backend not in BACKENDS:
-        raise VerificationError(
-            f"unknown backend {backend!r}; choose from {BACKENDS}"
-        )
-    return backend
+# Backend names live in the one registry shared with the CLI and the
+# simulation path; the solver aliases keep this module's historical API.
+from repro.verification.backends import (  # noqa: E402  (re-export)
+    SOLVER_BACKENDS as BACKENDS,
+    check_solver_backend as check_backend,
+)
 
 SysState = tuple[tuple[NodeId, ...], tuple[Hashable, ...]]
 """A product state: (robot positions, robot algorithm states)."""

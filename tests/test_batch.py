@@ -1,0 +1,357 @@
+"""Tests for the vector (NumPy lockstep) backend and the backend registry.
+
+Three contracts:
+
+* **Differential** — the vector kernel is an execution detail: on every
+  registered simulation family's first chunk, and on Hypothesis-drawn
+  random schedules × tables × schedulers × properties, it tallies
+  byte-identically to the scalar packed runner and the object engine
+  oracle (including the ``rounds`` work proxy, which the kernel
+  reproduces via post-hoc first-failure accounting).
+* **Registry** — one source of backend names shared by the CLI, the
+  chunk runners and the campaign runner; ``auto`` resolves
+  vector → packed by NumPy availability, and asking for ``vector``
+  without NumPy (or on the exact-solver path) fails loudly. The whole
+  module must pass with NumPy absent — vector-only tests skip.
+* **Hash-neutrality** — a campaign checkpointed under ``packed``
+  resumes under ``vector`` into a byte-identical report, and a traced
+  vector run emits per-phase spans without changing a report byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from scenario_testlib import make_tiny_dynamics_scenario as dyn_spec
+from repro import telemetry
+from repro.cli import build_parser
+from repro.errors import ScenarioError, VerificationError
+from repro.graph.topology import RingTopology
+from repro.scenarios import (
+    CampaignRunner,
+    ResultStore,
+    get_scenario,
+    iter_scenarios,
+)
+from repro.scenarios.simulate import simulate_chunk, simulation_placements
+from repro.types import Chirality
+from repro.verification import backends, batch, product
+from repro.verification.backends import (
+    AUTO_BACKEND,
+    BACKEND_CHOICES,
+    SIMULATION_BACKENDS,
+    SOLVER_BACKENDS,
+    check_backend_choice,
+    resolve_simulation_backend,
+    resolve_solver_backend,
+    vector_available,
+)
+from repro.verification.compiled import CompiledTables
+from repro.verification.sweeps import family_maker
+
+HAVE_NUMPY = batch.have_numpy()
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed (vector backend unavailable)"
+)
+
+
+def _simulation_family_names() -> list[str]:
+    return [
+        spec.name
+        for spec in iter_scenarios()
+        if spec.dynamics != "highly-dynamic"
+    ]
+
+
+def _find_backend_action(parser):
+    for action in parser._actions:  # noqa: SLF001 - introspection on purpose
+        if "--backend" in action.option_strings:
+            return action
+    raise AssertionError("parser has no --backend option")
+
+
+def _subparser(parser, name):
+    for action in parser._actions:  # noqa: SLF001
+        if hasattr(action, "choices") and name in (action.choices or {}):
+            return action.choices[name]
+    raise AssertionError(f"no {name!r} subparser")
+
+
+class TestRegistry:
+    """One backend registry; nothing can drift out of the CLI help."""
+
+    def test_choice_sets(self) -> None:
+        assert BACKEND_CHOICES == (AUTO_BACKEND,) + SIMULATION_BACKENDS
+        assert set(SOLVER_BACKENDS) < set(BACKEND_CHOICES)
+        assert "vector" in SIMULATION_BACKENDS
+        assert "vector" not in SOLVER_BACKENDS
+
+    def test_product_aliases_are_the_registry(self) -> None:
+        # The historical solver API re-exports the registry, not a copy.
+        assert product.BACKENDS is SOLVER_BACKENDS
+        assert product.check_backend is backends.check_solver_backend
+
+    def test_campaign_cli_choices_derive_from_registry(self) -> None:
+        parser = build_parser()
+        campaign = _subparser(parser, "campaign")
+        run = _subparser(campaign, "run")
+        action = _find_backend_action(run)
+        assert tuple(action.choices) == BACKEND_CHOICES
+        assert action.default == AUTO_BACKEND
+
+    @pytest.mark.parametrize("command", ["verify", "sweep"])
+    def test_solver_cli_choices_derive_from_registry(self, command: str) -> None:
+        action = _find_backend_action(_subparser(build_parser(), command))
+        assert tuple(action.choices) == SOLVER_BACKENDS
+        assert action.default == SOLVER_BACKENDS[0]
+
+    def test_unknown_choice_message_lists_registry(self) -> None:
+        with pytest.raises(VerificationError, match="auto"):
+            check_backend_choice("simd")
+        with pytest.raises(VerificationError, match="backend"):
+            resolve_simulation_backend("vectorized")
+
+    def test_solver_resolution(self) -> None:
+        assert resolve_solver_backend("auto") == "packed"
+        assert resolve_solver_backend("object") == "object"
+        with pytest.raises(VerificationError, match="simulation"):
+            resolve_solver_backend("vector")
+
+    def test_simulation_resolution_tracks_numpy(self) -> None:
+        resolved = resolve_simulation_backend("auto")
+        assert resolved == ("vector" if HAVE_NUMPY else "packed")
+        assert resolve_simulation_backend("packed") == "packed"
+
+
+class TestNumpyAbsent:
+    """The suite's no-NumPy contract, forced via monkeypatch so it is
+    exercised even on hosts where NumPy is installed (the CI no-NumPy
+    leg exercises the real thing)."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch, "_np", None)
+
+    def test_auto_falls_back_to_packed(self, no_numpy) -> None:
+        assert not vector_available()
+        assert resolve_simulation_backend("auto") == "packed"
+
+    def test_explicit_vector_raises_clearly(self, no_numpy) -> None:
+        with pytest.raises(VerificationError, match="requires numpy"):
+            resolve_simulation_backend("vector")
+        spec = dyn_spec()
+        with pytest.raises(VerificationError, match="requires numpy"):
+            simulate_chunk(spec, spec.chunks()[0], backend="vector")
+
+    def test_auto_chunk_equals_packed_chunk(self, no_numpy) -> None:
+        spec = dyn_spec()
+        chunk = spec.chunks()[0]
+        assert simulate_chunk(spec, chunk, backend="auto") == simulate_chunk(
+            spec, chunk, backend="packed"
+        )
+
+    def test_campaign_vector_request_is_a_usage_error(
+        self, no_numpy, tmp_path: Path
+    ) -> None:
+        runner = CampaignRunner(
+            ResultStore(tmp_path / "s"), backend="vector", jobs=1
+        )
+        with pytest.raises(ScenarioError, match="requires numpy"):
+            runner.run(dyn_spec())
+
+    def test_batch_tables_raises_without_numpy(self, no_numpy) -> None:
+        tables = CompiledTables(
+            RingTopology(4),
+            family_maker("two")(7),
+            (Chirality.AGREE, Chirality.AGREE),
+        )
+        with pytest.raises(VerificationError, match="requires numpy"):
+            tables.batch_tables()
+
+
+class TestCampaignSolverPath:
+    def test_vector_on_exact_solver_is_a_usage_error(self, tmp_path) -> None:
+        from scenario_testlib import make_tiny_scenario
+
+        runner = CampaignRunner(
+            ResultStore(tmp_path / "s"), backend="vector", jobs=1
+        )
+        with pytest.raises(ScenarioError, match="simulation"):
+            runner.run(make_tiny_scenario())
+
+    def test_unknown_backend_rejected_at_construction(self, tmp_path) -> None:
+        with pytest.raises(VerificationError, match="backend"):
+            CampaignRunner(ResultStore(tmp_path / "s"), backend="simd")
+
+
+@requires_numpy
+class TestVectorDifferential:
+    """vector == packed == object on every tally, everywhere."""
+
+    @pytest.mark.parametrize("name", _simulation_family_names())
+    def test_registered_families_first_chunk_identical(self, name: str) -> None:
+        spec = get_scenario(name)
+        chunk = spec.chunks()[0]
+        vector = simulate_chunk(spec, chunk, backend="vector")
+        assert vector == simulate_chunk(spec, chunk, backend="packed")
+        assert vector == simulate_chunk(spec, chunk, backend="object")
+
+    def test_empty_chunk(self) -> None:
+        spec = dyn_spec()
+        assert simulate_chunk(spec, [], backend="vector") == (0, 0, [], 0)
+
+    def test_batch_tables_cached_per_instance(self) -> None:
+        tables = CompiledTables(
+            RingTopology(4),
+            family_maker("two")(99),
+            (Chirality.AGREE, Chirality.DISAGREE),
+        )
+        assert tables.batch_tables() is tables.batch_tables()
+
+    def test_mixed_state_counts_rejected(self) -> None:
+        topology = RingTopology(4)
+        vectors = [(Chirality.AGREE, Chirality.AGREE)]
+        mixed = [
+            CompiledTables(topology, family_maker("two")(1), vectors[0]),
+            CompiledTables(topology, family_maker("two-m2")(1), vectors[0]),
+        ]
+        placements = simulation_placements("well", topology, 2)
+        with pytest.raises(VerificationError, match="uniform state count"):
+            batch.simulate_batch(
+                topology, mixed, vectors, placements, (7, 7), False, "perpetual"
+            )
+
+    @given(
+        family=st.sampled_from(["bernoulli", "markov"]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        bits=st.lists(
+            st.integers(min_value=0, max_value=2**16 - 1),
+            min_size=1,
+            max_size=4,
+        ),
+        scheduler=st.sampled_from(["fsync", "ssync"]),
+        prop=st.sampled_from(["perpetual", "live"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_schedules_and_tables_agree(
+        self, family: str, seed: int, bits: list[int], scheduler: str, prop: str
+    ) -> None:
+        params = (
+            {"p": 0.7}
+            if family == "bernoulli"
+            else {"p_off": 0.3, "p_on": 0.6}
+        )
+        spec = dyn_spec(
+            dynamics=family,
+            dynamics_params=params,
+            dynamics_seed=seed,
+            scheduler=scheduler,
+            prop=prop,
+            horizon=20,
+        )
+        assert simulate_chunk(spec, bits, backend="vector") == simulate_chunk(
+            spec, bits, backend="packed"
+        )
+
+
+@requires_numpy
+class TestCrossBackendResume:
+    """The backend is not workload identity: a campaign checkpointed
+    under ``packed`` resumes under ``vector`` — into the same store,
+    without re-verifying the other backend's chunks — and the final
+    report bytes never betray which backend verified which chunk."""
+
+    def test_packed_checkpoint_resumes_under_vector(
+        self, tmp_path: Path
+    ) -> None:
+        spec = dyn_spec()
+        reference = CampaignRunner(
+            ResultStore(tmp_path / "ref"), backend="packed", jobs=1
+        )
+        reference.run(spec)
+        expected = reference.store.report_path(spec).read_bytes()
+
+        store = ResultStore(tmp_path / "mixed")
+        partial = CampaignRunner(store, backend="packed", jobs=1).run(
+            spec, max_chunks=1
+        )
+        assert not partial.status.complete
+        resumed = CampaignRunner(store, backend="vector", jobs=1).run(spec)
+        assert resumed.status.complete
+        assert resumed.chunks_cached == 1  # the packed chunk held
+        assert store.report_path(spec).read_bytes() == expected
+
+    def test_vector_only_report_matches_packed_only(
+        self, tmp_path: Path
+    ) -> None:
+        spec = dyn_spec()
+        reports = {}
+        for backend in ("packed", "vector", "auto"):
+            runner = CampaignRunner(
+                ResultStore(tmp_path / backend), backend=backend, jobs=1
+            )
+            runner.run(spec)
+            reports[backend] = runner.store.report_path(spec).read_bytes()
+        assert reports["packed"] == reports["vector"] == reports["auto"]
+
+
+@requires_numpy
+class TestVectorTelemetry:
+    """The vector chunk runner tags its compile/gather/compact phases;
+    arming telemetry never changes a report byte."""
+
+    def test_phases_emitted_and_report_neutral(self, tmp_path: Path) -> None:
+        spec = dyn_spec()
+        plain = CampaignRunner(
+            ResultStore(tmp_path / "plain"), backend="vector", jobs=1
+        )
+        plain.run(spec)
+        trace_dir = tmp_path / "trace"
+        traced = CampaignRunner(
+            ResultStore(tmp_path / "traced"),
+            backend="vector",
+            jobs=1,
+            telemetry=trace_dir,
+        )
+        traced.run(spec)
+        assert (
+            traced.store.report_path(spec).read_bytes()
+            == plain.store.report_path(spec).read_bytes()
+        )
+        events = telemetry.load_trace(trace_dir)
+        names = {event["name"] for event in events}
+        assert {"phase.compile", "phase.gather", "phase.compact"} <= names
+        # The campaign context records the *resolved* backend.
+        campaign_spans = [e for e in events if e["name"] == "campaign"]
+        assert campaign_spans
+        assert all(
+            e.get("attrs", {}).get("backend") == "vector"
+            for e in campaign_spans
+        )
+        summary = telemetry.summarize(events)
+        rendered = telemetry.render_summary(summary)
+        assert "phase.gather" in rendered
+
+    def test_auto_context_records_resolved_backend(
+        self, tmp_path: Path
+    ) -> None:
+        trace_dir = tmp_path / "trace"
+        runner = CampaignRunner(
+            ResultStore(tmp_path / "s"),
+            backend="auto",
+            jobs=1,
+            telemetry=trace_dir,
+        )
+        runner.run(dyn_spec())
+        events = telemetry.load_trace(trace_dir)
+        contexts = {
+            e["attrs"]["backend"]
+            for e in events
+            if "backend" in e.get("attrs", {})
+        }
+        assert contexts == {"vector"}
