@@ -12,6 +12,10 @@
   counts and a ≥10× packed speedup, and snapshots the numbers to
   ``benchmarks/results/BENCH_sweeps.json`` so future PRs can track the
   trajectory.
+* ``test_vector_vs_packed_solver`` — the same perf-tracking contract one
+  tier up: the dense NumPy solver vs the scalar packed kernel on the
+  Theorem 4.1 sweep, ≥10× with bit-identical tallies, merged into the
+  same snapshot.
 * ``test_campaign_smallest_family`` — the campaign-runner smoke: runs the
   smallest registry scenario end to end through the persistent store and
   asserts a repeat run is a pure cache hit.
@@ -24,6 +28,8 @@ the campaign CLI name identical work.
 from __future__ import annotations
 
 import os
+
+import pytest
 
 from repro.scenarios import (
     CampaignRunner,
@@ -155,3 +161,76 @@ def test_packed_vs_object_backends(
         )
     merge_bench_sweeps(entries)
     save_artifact("enumeration_backends", "\n".join(lines))
+
+
+def test_vector_vs_packed_solver(
+    timed_best_of, merge_bench_sweeps, save_artifact
+) -> None:
+    """Vector-vs-packed *solver* comparison; extends BENCH_sweeps.json.
+
+    The tentpole claim of the dense solver: the Theorem 4.1 two-robot
+    sweep runs ≥10× faster in NumPy lockstep than per-table on the
+    packed kernel, with bit-identical tallies. A 16384-table sample by
+    default (the full 65536 under ``REPRO_FULL_SWEEP=1``) keeps the
+    scalar side of the comparison to seconds.
+    """
+    from repro.verification.batch import have_numpy
+
+    if not have_numpy():
+        pytest.skip("numpy not installed (vector backend unavailable)")
+    spec = get_scenario("thm41-two-n4")
+    full = os.environ.get("REPRO_FULL_SWEEP") == "1"
+    sample = None if full else 16384
+    name = "two_robot_solver_sampled_n4" if not full else "two_robot_solver_full_n4"
+
+    def run(backend: str):
+        return sweep_two_robot_memoryless(
+            spec.n, sample=sample, backend=backend, jobs=1
+        )
+
+    packed_result, packed_seconds = timed_best_of(lambda: run("packed"))
+    vector_result, vector_seconds = timed_best_of(lambda: run("vector"))
+    assert (
+        packed_result.total,
+        packed_result.trapped,
+        packed_result.explorers,
+        packed_result.states_explored,
+    ) == (
+        vector_result.total,
+        vector_result.trapped,
+        vector_result.explorers,
+        vector_result.states_explored,
+    )
+    speedup = packed_seconds / vector_seconds
+    entries = []
+    for backend, result, seconds in (
+        ("packed", packed_result, packed_seconds),
+        ("vector", vector_result, vector_seconds),
+    ):
+        entries.append(
+            {
+                "sweep": name,
+                "backend": backend,
+                "n": result.n,
+                "k": result.k,
+                "total": result.total,
+                "trapped": result.trapped,
+                "states_explored": result.states_explored,
+                "seconds": round(seconds, 4),
+                "states_per_sec": round(result.states_explored / seconds),
+            }
+        )
+    entries.append({"sweep": name, "speedup": round(speedup, 1)})
+    line = (
+        f"{name}: packed {packed_seconds:.3f}s, vector {vector_seconds:.3f}s "
+        f"— {speedup:.1f}x ({vector_result.trapped}/{vector_result.total} "
+        f"trapped)"
+    )
+    floor = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10"))
+    assert speedup >= floor, (
+        f"{name}: vector solver is only {speedup:.1f}x faster "
+        f"(packed {packed_seconds:.3f}s, vector {vector_seconds:.3f}s; "
+        f"floor {floor}x — set REPRO_BENCH_MIN_SPEEDUP to adjust)"
+    )
+    merge_bench_sweeps(entries)
+    save_artifact("enumeration_solver_backends", line)

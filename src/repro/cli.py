@@ -7,13 +7,15 @@ Subcommands:
 * ``run --algo NAME --n N --k K [--schedule NAME] [--rounds R]`` — run an
   algorithm against a battery schedule and print the exploration report
   plus a space–time diagram;
-* ``verify --algo NAME --n N --k K [--backend packed|object]
+* ``verify --algo NAME --n N --k K [--backend auto|vector|packed|object]
   [--scheduler fsync|ssync]`` — exact game-solver verdict (and the trap
   certificate when one exists), under either execution scheduler;
 * ``sweep --robots 1|2 --n N [--sample S | --full] [--memory 1|2]
   [--rng-seed S] [--backend B] [--scheduler S] [--jobs J]`` —
-  exhaustive/sampled algorithm-class sweep on the packed kernel (or the
-  object oracle), optionally sharded across a process pool; ``--memory
+  exhaustive/sampled algorithm-class sweep on the NumPy vector solver,
+  the packed kernel or the object oracle (``auto``, the default,
+  resolves vector → packed by NumPy availability), optionally sharded
+  across a process pool; ``--memory
   2`` samples the ``2**64`` memory-2 two-robot class deterministically;
   ``--scheduler ssync`` plays every game against the semi-synchronous
   activation adversary; ``--json FILE`` dumps the machine-readable
@@ -70,7 +72,8 @@ from repro.sim.engine import run_fsync
 from repro.verification.backends import (
     AUTO_BACKEND,
     BACKEND_CHOICES,
-    SOLVER_BACKENDS,
+    SOLVER_BACKEND_CHOICES,
+    resolve_solver_backend,
 )
 from repro.verification.game import verify_exploration
 from repro.viz.ascii_art import render_space_time
@@ -117,11 +120,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_backend_or_usage(choice: str) -> Optional[str]:
+    """Resolve a solver ``--backend`` choice, printing a usage error.
+
+    Returns the concrete backend, or ``None`` (exit 2) when the choice
+    cannot be honoured on this host — an explicit ``vector`` without
+    NumPy installed.
+    """
+    from repro.errors import VerificationError
+
+    try:
+        return resolve_solver_backend(choice)
+    except VerificationError as exc:
+        print(exc, file=sys.stderr)
+        return None
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     topology = RingTopology(args.n)
     algorithm = get_algorithm(args.algo)
+    backend = _resolve_backend_or_usage(args.backend)
+    if backend is None:
+        return 2
     verdict = verify_exploration(
-        algorithm, topology, k=args.k, backend=args.backend,
+        algorithm, topology, k=args.k, backend=backend,
         scheduler=args.scheduler,
     )
     print(verdict.summary())
@@ -155,6 +177,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep_two_robot_memoryless,
     )
 
+    backend = _resolve_backend_or_usage(args.backend)
+    if backend is None:
+        return 2
     seed = args.rng_seed if args.rng_seed is not None else args.seed
     if args.memory == 2:
         if args.robots != 2:
@@ -171,13 +196,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.n,
             sample=args.sample,
             seed=seed,
-            backend=args.backend,
+            backend=backend,
             jobs=args.jobs,
             scheduler=args.scheduler,
         )
     elif args.robots == 1:
         result = sweep_single_robot_memoryless(
-            args.n, backend=args.backend, jobs=args.jobs,
+            args.n, backend=backend, jobs=args.jobs,
             scheduler=args.scheduler,
         )
     else:
@@ -185,7 +210,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.n,
             sample=None if args.full else args.sample,
             seed=seed,
-            backend=args.backend,
+            backend=backend,
             jobs=args.jobs,
             scheduler=args.scheduler,
         )
@@ -202,7 +227,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "explorers": result.explorers,
             "states_explored": result.states_explored,
             "all_trapped": result.all_trapped,
-            "backend": args.backend,
+            "backend": backend,
             "jobs": args.jobs,
             "memory": args.memory,
             "scheduler": args.scheduler,
@@ -428,9 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trap certificate (if any) as JSON",
     )
     p_verify.add_argument(
-        "--backend", choices=list(SOLVER_BACKENDS), default=SOLVER_BACKENDS[0],
-        help="verification substrate: packed int kernel (default) or "
-        "the object-path semantics oracle",
+        "--backend", choices=list(SOLVER_BACKEND_CHOICES), default=AUTO_BACKEND,
+        help="verification substrate: NumPy vector lockstep, packed int "
+        "kernel or the object-path semantics oracle; 'auto' (default) "
+        "resolves vector → packed by NumPy availability",
     )
     p_verify.add_argument(
         "--scheduler", choices=["fsync", "ssync"], default="fsync",
@@ -464,7 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic sampling seed (defaults to --seed)",
     )
     p_sweep.add_argument(
-        "--backend", choices=list(SOLVER_BACKENDS), default=SOLVER_BACKENDS[0]
+        "--backend", choices=list(SOLVER_BACKEND_CHOICES), default=AUTO_BACKEND,
+        help="solver substrate; 'auto' (default) resolves vector → "
+        "packed by NumPy availability",
     )
     p_sweep.add_argument(
         "--scheduler", choices=["fsync", "ssync"], default="fsync",
@@ -512,9 +540,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--backend", choices=list(BACKEND_CHOICES), default=AUTO_BACKEND,
             help="execution substrate for either dispatch path; 'auto' "
             "(default) resolves to the fastest available per path "
-            "(vector needs NumPy and exists only on the simulation "
-            "path); tallies, reports and resume points are identical "
-            "across backends",
+            "(vector needs NumPy and exists on both the solver and the "
+            "simulation path); tallies, reports and resume points are "
+            "identical across backends",
         )
         c_action.add_argument(
             "--jobs", type=int, default=None, metavar="J",

@@ -7,11 +7,11 @@ exact game solver (:func:`~repro.verification.sweeps.sweep_chunk`), and
 schedule-family scenarios run on the simulation chunk runner
 (:func:`~repro.scenarios.simulate.simulate_chunk`) against their pinned
 schedule parameterization. Both paths produce the same record schema and
-both offer multiple execution backends with byte-identical tallies — the
-exact solver's packed kernel and object oracle, plus the simulation
-path's NumPy ``vector`` kernel (``auto``, the default choice, resolves
-to the fastest one available per path) — so the store, resume, dedup and
-reporting machinery below is shared — and backend-agnostic. The
+both offer the same backend family with byte-identical tallies — a NumPy
+``vector`` lockstep kernel, a packed int kernel and an object oracle on
+either path (``auto``, the default choice, resolves vector → packed by
+NumPy availability) — so the store, resume, dedup and reporting
+machinery below is shared — and backend-agnostic. The
 contract:
 
 * **Deterministic work units.** The scenario expands to a fixed pattern
@@ -361,12 +361,12 @@ class CampaignRunner:
     """Runs scenarios against a result store, resumably and supervised.
 
     ``backend`` picks the execution substrate of *both* dispatch paths:
-    the exact solver's packed kernel vs object product, and the
-    simulation runner's NumPy lockstep kernel vs compiled tables vs
-    object engines. ``"auto"`` (the default) resolves per scenario to
-    the fastest backend available on this host — ``packed`` for the
-    exact solver, ``vector`` → ``packed`` by NumPy availability for
-    simulation (the one registry: :mod:`repro.verification.backends`).
+    the exact solver's dense NumPy lockstep vs packed kernel vs object
+    product, and the simulation runner's NumPy lockstep kernel vs
+    compiled tables vs object engines. ``"auto"`` (the default) resolves
+    per scenario to the fastest backend available on this host —
+    ``vector`` → ``packed`` by NumPy availability on either path (the
+    one registry: :mod:`repro.verification.backends`).
     The backend is an execution detail, not workload identity — all
     backends tally every chunk byte-identically, so scenario hashes,
     chunk records and report bytes never depend on it, and a campaign

@@ -14,10 +14,15 @@ This subpackage decides it, through three mutually-checking layers:
   states as single ints, edge/activation sets as bitmasks, the whole
   Look–Compute logic folded into flat integer tables, shared with the
   simulation chunk runner (:mod:`repro.scenarios.simulate`);
-* :mod:`repro.verification.batch` — the vector backend: whole chunks of
-  simulated tables stepped in NumPy lockstep (structure-of-arrays rows,
-  one gather per robot per round); NumPy is optional, so this backend
-  degrades to unavailable rather than making it a hard dependency;
+* :mod:`repro.verification.batch` — the simulation vector backend:
+  whole chunks of simulated tables stepped in NumPy lockstep
+  (structure-of-arrays rows, one gather per robot per round); NumPy is
+  optional, so this backend degrades to unavailable rather than making
+  it a hard dependency;
+* :mod:`repro.verification.batch_solver` — the solver vector backend:
+  whole chunks of tables *game-solved* in NumPy lockstep (dense product
+  spaces, bit-parallel reachability and winning-SCC detection), with the
+  same optional-NumPy contract and bit-identical verdicts;
 * :mod:`repro.verification.backends` — the one registry of backend
   names (solver vs simulation families, ``auto`` resolution) that the
   CLI, the chunk runners and the campaign runner all derive from;
@@ -31,8 +36,8 @@ This subpackage decides it, through three mutually-checking layers:
   present — and, under ``scheduler="ssync"``, activates every robot
   (fairness; see the soundness/completeness argument in the module
   docstring). Emits replayable lasso certificates on wins; runs on
-  either backend (``backend="packed" | "object"``) and either scheduler
-  (``"fsync" | "ssync"``);
+  any backend (``backend="vector" | "packed" | "object"``, or ``"auto"``)
+  and either scheduler (``"fsync" | "ssync"``);
 * :mod:`repro.verification.certificates` — certificate datatypes and the
   *independent* replay validator (simulator-checked, period-exact);
 * :mod:`repro.verification.enumeration` — exhaustive sweeps over whole
@@ -46,6 +51,7 @@ from repro.verification.backends import (
     BACKEND_CHOICES,
     SIMULATION_BACKENDS,
     SOLVER_BACKENDS,
+    SOLVER_BACKEND_CHOICES,
     resolve_simulation_backend,
     resolve_solver_backend,
     vector_available,
@@ -86,6 +92,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "SIMULATION_BACKENDS",
     "SOLVER_BACKENDS",
+    "SOLVER_BACKEND_CHOICES",
     "PROPERTIES",
     "resolve_simulation_backend",
     "resolve_solver_backend",

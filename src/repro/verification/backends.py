@@ -12,7 +12,9 @@ Two backend families exist because the two dispatch paths have different
 capabilities:
 
 * **Solver backends** (:data:`SOLVER_BACKENDS`) drive the exact game
-  solver over the highly-dynamic adversary: ``packed`` (flat int
+  solver over the highly-dynamic adversary: ``vector`` (dense NumPy
+  lockstep over a whole chunk of tables,
+  :mod:`repro.verification.batch_solver`), ``packed`` (flat int
   tables) and ``object`` (the differential oracle).
 * **Simulation backends** (:data:`SIMULATION_BACKENDS`) drive the
   bounded-horizon schedule-dynamics runner: ``vector`` (NumPy
@@ -21,18 +23,17 @@ capabilities:
 
 ``auto`` (:data:`AUTO_BACKEND`) is the CLI-facing default: it resolves
 to the fastest backend *available on this host* for the dispatch path at
-hand — vector → packed → object for simulation (NumPy is an optional
-dependency), packed for the solver. Backend choice is an execution
-detail, never workload identity: all backends tally byte-identically
-and scenario hashes, chunk records and report bytes never record which
-one ran.
+hand — vector → packed → object on either path (NumPy is an optional
+dependency). Backend choice is an execution detail, never workload
+identity: all backends tally byte-identically and scenario hashes,
+chunk records and report bytes never record which one ran.
 """
 
 from __future__ import annotations
 
 from repro.errors import VerificationError
 
-SOLVER_BACKENDS = ("packed", "object")
+SOLVER_BACKENDS = ("vector", "packed", "object")
 """Backends of the exact game solver path, fastest first."""
 
 SIMULATION_BACKENDS = ("vector", "packed", "object")
@@ -43,6 +44,9 @@ AUTO_BACKEND = "auto"
 
 BACKEND_CHOICES = (AUTO_BACKEND,) + SIMULATION_BACKENDS
 """Every name a caller may pass (CLI ``--backend`` choices)."""
+
+SOLVER_BACKEND_CHOICES = (AUTO_BACKEND,) + SOLVER_BACKENDS
+"""Solver-path ``--backend`` choices (``verify``/``sweep`` CLI)."""
 
 
 def vector_available() -> bool:
@@ -73,17 +77,17 @@ def check_solver_backend(backend: str) -> str:
 def resolve_solver_backend(backend: str) -> str:
     """Resolve a backend choice for the exact solver path.
 
-    ``auto`` picks ``packed`` (always available, fastest). ``vector``
-    is simulation-only and is rejected with a message that says so
-    rather than falling back silently — the caller asked for a specific
-    substrate the solver does not have.
+    ``auto`` picks ``vector`` when NumPy is importable and ``packed``
+    otherwise — the same availability contract as the simulation path;
+    asking for ``vector`` explicitly without NumPy is an error (the
+    caller wanted that substrate, not a silent fallback).
     """
     if backend == AUTO_BACKEND:
-        return SOLVER_BACKENDS[0]
-    if backend == "vector":
+        return "vector" if vector_available() else "packed"
+    if backend == "vector" and not vector_available():
         raise VerificationError(
-            "backend 'vector' only exists on the simulation path; the "
-            f"exact solver offers {SOLVER_BACKENDS} (or 'auto')"
+            "backend 'vector' requires numpy, which is not installed; "
+            "pass backend='auto' to fall back to 'packed' automatically"
         )
     return check_solver_backend(backend)
 

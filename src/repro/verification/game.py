@@ -59,6 +59,8 @@ from repro.errors import VerificationError
 from repro.graph.topology import Topology
 from repro.robots.algorithms.base import Algorithm
 from repro.types import Chirality, EdgeId, NodeId, RobotId
+from repro.verification import batch_solver
+from repro.verification.backends import resolve_solver_backend
 from repro.verification.certificates import TrapCertificate, validate_certificate
 from repro.verification.kernel import (
     PackedKernel,
@@ -66,10 +68,11 @@ from repro.verification.kernel import (
     PackedTransition,
     check_scheduler,
 )
-from repro.verification.product import ProductSystem, SysState, check_backend
+from repro.verification.product import ProductSystem, SysState
 
 _InternalTransition = tuple[SysState, object, SysState]
-_PackedInternal = tuple[PackedState, int, PackedState]
+#: A CSR-internal transition: (state index, label, successor index).
+_CsrInternal = tuple[int, int, int]
 
 PROPERTIES = ("perpetual", "live")
 """Checkable exploration properties.
@@ -180,10 +183,17 @@ def verify_exploration(
 
     ``backend`` picks the exploration substrate: ``"packed"`` (default)
     runs entirely on the integer kernel — same verdict, same state and
-    transition counts, ~an order of magnitude faster; ``"object"`` is the
-    original engine-driven path, kept as the semantics oracle.
-    Certificates from either backend satisfy the same replay validation,
-    though the particular lasso exhibited may differ.
+    transition counts, ~an order of magnitude faster; ``"vector"``
+    additionally builds the reachable graph densely in NumPy
+    (:mod:`repro.verification.batch_solver`) and produces verdicts *and*
+    certificates bit-identical to ``"packed"`` (both solve the same
+    canonical CSR graph; instances too large to materialize densely fall
+    back to the scalar kernel transparently); ``"auto"`` resolves to
+    ``"vector"`` when NumPy is importable and ``"packed"`` otherwise;
+    ``"object"`` is the original engine-driven path, kept as the
+    semantics oracle. Certificates from the object backend satisfy the
+    same replay validation, though the particular lasso exhibited may
+    differ.
 
     ``scheduler`` picks the execution model the game is played under:
     ``"fsync"`` (default, the paper's setting) or ``"ssync"``, where the
@@ -193,7 +203,7 @@ def verify_exploration(
     per-step activation sets and replay through
     :func:`repro.sim.semi_sync.run_ssync`.
     """
-    check_backend(backend)
+    backend = resolve_solver_backend(backend)
     check_property(prop)
     check_scheduler(scheduler)
     if chirality_vectors is None:
@@ -205,10 +215,10 @@ def verify_exploration(
                 raise VerificationError(
                     f"chirality vector {vector} has length {len(vector)}, want {k}"
                 )
-    if backend == "packed":
-        return _verify_packed(
+    if backend in ("packed", "vector"):
+        return _verify_csr(
             algorithm, topology, k, vectors, max_states, validate, placements,
-            certificates, prop, scheduler,
+            certificates, prop, scheduler, backend,
         )
     total_states = 0
     total_transitions = 0
@@ -265,7 +275,7 @@ def verify_exploration(
     )
 
 
-def _verify_packed(
+def _verify_csr(
     algorithm: Algorithm,
     topology: Topology,
     k: int,
@@ -276,14 +286,18 @@ def _verify_packed(
     certificates: bool,
     prop: str,
     scheduler: str,
+    backend: str,
 ) -> ExplorationVerdict:
-    """The packed-backend body of :func:`verify_exploration`.
+    """The packed/vector body of :func:`verify_exploration`.
 
-    Exploration, SCC analysis and lasso extraction all run on packed ints
-    and bit-packed move labels; objects are materialized only for the
-    final certificate. Verdicts and state/transition counts are identical
-    to the object path by construction (same seeds, same normalized
-    moves, same decision criterion).
+    Both backends reduce the reachable graph to one *canonical CSR*
+    form — states ascending, per-state transitions in kernel move order
+    — and share the solve phase below (attractor, iterative Tarjan,
+    lasso extraction, all in pure Python over flat lists). The packed
+    path builds the CSR from ``PackedKernel.reachable``; the vector path
+    builds the identical arrays densely in NumPy
+    (:func:`repro.verification.batch_solver.reachable_csr`), so verdicts,
+    counts *and certificates* agree bit-for-bit across the two.
     """
     total_states = 0
     total_transitions = 0
@@ -293,35 +307,30 @@ def _verify_packed(
             scheduler=scheduler,
         )
         seeds = kernel.initial_states(placements)
-        occupied: dict[PackedState, int] = {}
-        graph = kernel.reachable(seeds, occupied_out=occupied)
-        total_states += len(graph)
-        total_transitions += sum(len(out) for out in graph.values())
-        # Deduplicated successor lists, shared by every target's SCC pass.
-        successors = {
-            state: tuple({succ for _mask, succ in out})
-            for state, out in graph.items()
-        }
+        if backend == "vector" and batch_solver.dense_eligible(kernel):
+            csr = _CsrGraph(*batch_solver.reachable_csr(kernel, seeds))
+        else:
+            occupied: dict[PackedState, int] = {}
+            graph = kernel.reachable(seeds, occupied_out=occupied)
+            csr = _csr_from_packed(graph, occupied, seeds)
+        total_states += len(csr.states)
+        total_transitions += len(csr.labels)
         for target in topology.nodes:
             if prop == "live":
-                allowed = _avoid_reachable_packed(
-                    graph, seeds, occupied, 1 << target
-                )
-                if not allowed:
+                allowed = _avoid_reachable_csr(csr, 1 << target)
+                if not any(allowed):
                     continue
             else:
                 allowed = None
-            win = _winning_scc_packed(
-                kernel, graph, successors, occupied, target, allowed,
-            )
+            win = _winning_scc_csr(kernel, csr, target, allowed)
             if win is None:
                 continue
             scc_states, internal = win
             if not certificates:
                 certificate = None
             else:
-                certificate = _extract_certificate_packed(
-                    kernel, vector, graph, seeds, target, scc_states, internal,
+                certificate = _extract_certificate_csr(
+                    kernel, vector, csr, target, scc_states, internal,
                     allowed,
                 )
                 if validate:
@@ -400,20 +409,77 @@ def _avoid_reachable(
     return allowed
 
 
-def _avoid_reachable_packed(
+@dataclass
+class _CsrGraph:
+    """The canonical CSR form of a reachable packed graph.
+
+    ``states`` ascending packed states; transition ``t`` of state index
+    ``i`` lives at flat position ``indptr[i] <= t < indptr[i + 1]`` with
+    label ``labels[t]`` and successor *index* ``succs[t]``, in the
+    kernel's per-state move order. ``occ`` is the occupied-node bitmask
+    per state index and ``seeds`` the seed indices in first-occurrence
+    order. Both solver backends normalize to this exact shape, which is
+    what makes their certificates bit-identical.
+    """
+
+    states: list[int]
+    indptr: list[int]
+    labels: list[int]
+    succs: list[int]
+    occ: list[int]
+    seeds: list[int]
+
+
+def _csr_from_packed(
     graph: dict[PackedState, list[PackedTransition]],
-    seeds: Sequence[PackedState],
     occupied: dict[PackedState, int],
-    target_bit: int,
-) -> set[PackedState]:
-    """Packed twin of :func:`_avoid_reachable`."""
-    allowed = {seed for seed in seeds if not occupied[seed] & target_bit}
-    stack = list(allowed)
+    seeds: Sequence[PackedState],
+) -> _CsrGraph:
+    """Canonicalize a scalar-kernel graph dict into CSR arrays."""
+    states = sorted(graph)
+    index = {state: i for i, state in enumerate(states)}
+    indptr = [0]
+    labels: list[int] = []
+    succs: list[int] = []
+    for state in states:
+        for mask, succ in graph[state]:
+            labels.append(mask)
+            succs.append(index[succ])
+        indptr.append(len(labels))
+    seed_idx: list[int] = []
+    seen: set[int] = set()
+    for seed in seeds:
+        i = index[seed]
+        if i not in seen:
+            seen.add(i)
+            seed_idx.append(i)
+    return _CsrGraph(
+        states=states,
+        indptr=indptr,
+        labels=labels,
+        succs=succs,
+        occ=[occupied[state] for state in states],
+        seeds=seed_idx,
+    )
+
+
+def _avoid_reachable_csr(csr: _CsrGraph, target_bit: int) -> list[bool]:
+    """CSR twin of :func:`_avoid_reachable`: membership flags per index."""
+    occ = csr.occ
+    indptr = csr.indptr
+    succs = csr.succs
+    allowed = [False] * len(csr.states)
+    stack = []
+    for seed in csr.seeds:
+        if not occ[seed] & target_bit and not allowed[seed]:
+            allowed[seed] = True
+            stack.append(seed)
     while stack:
         state = stack.pop()
-        for _mask, succ in graph[state]:
-            if succ not in allowed and not occupied[succ] & target_bit:
-                allowed.add(succ)
+        for t in range(indptr[state], indptr[state + 1]):
+            succ = succs[t]
+            if not allowed[succ] and not occ[succ] & target_bit:
+                allowed[succ] = True
                 stack.append(succ)
     return allowed
 
@@ -534,24 +600,21 @@ def _tarjan_sccs(
                 yield component
 
 
-def _winning_scc_packed(
+def _winning_scc_csr(
     kernel: PackedKernel,
-    graph: dict[PackedState, list[PackedTransition]],
-    successors: dict[PackedState, tuple[PackedState, ...]],
-    occupied: dict[PackedState, int],
+    csr: _CsrGraph,
     target: NodeId,
-    allowed: Optional[set[PackedState]] = None,
-) -> Optional[tuple[set[PackedState], list[_PackedInternal]]]:
-    """Packed twin of :func:`_winning_scc`.
+    allowed: Optional[list[bool]] = None,
+) -> Optional[tuple[set[int], list[_CsrInternal]]]:
+    """CSR twin of :func:`_winning_scc`, shared by packed and vector.
 
     Labels are bitmasks, so the recurrent-edge union is a running OR and
     the budget check a popcount; under SSYNC the same running OR
     accumulates the activation bits, making the fairness check one shift
-    and compare. Tarjan runs inline over the shared deduplicated
-    ``successors`` lists, filtering to the target-avoiding subgraph on
-    the fly, and each emitted SCC is checked immediately — the same
-    components in the same emission order as the generic
-    :func:`_tarjan_sccs` walk the object path uses.
+    and compare. Tarjan runs iteratively over the CSR arrays with roots
+    in ascending state order and per-state transitions in kernel move
+    order — fully deterministic, so both backends emit the same SCC
+    first and extract the same certificate.
     """
     budget = 1 if kernel.topology.is_ring else 0
     full_mask = kernel.full_mask
@@ -559,41 +622,51 @@ def _winning_scc_packed(
     act_shift = kernel.act_shift
     full_act = kernel.full_act
     target_bit = 1 << target
+    count = len(csr.states)
+    indptr = csr.indptr
+    succs = csr.succs
+    labels = csr.labels
+    occ = csr.occ
     if allowed is not None:
         avoiding = allowed
     else:
-        avoiding = {state for state in graph if not occupied[state] & target_bit}
-    if not avoiding:
+        avoiding = [not occ[i] & target_bit for i in range(count)]
+    if not any(avoiding):
         return None
 
-    index: dict[PackedState, int] = {}
-    low: dict[PackedState, int] = {}
-    on_stack: set[PackedState] = set()
-    stack: list[PackedState] = []
+    UNSEEN = -1
+    index = [UNSEEN] * count
+    low = [0] * count
+    on_stack = [False] * count
+    stack: list[int] = []
     counter = 0
-    for root in avoiding:
-        if root in index:
+    for root in range(count):
+        if not avoiding[root] or index[root] != UNSEEN:
             continue
-        work = [(root, iter(successors[root]))]
+        work = [(root, indptr[root])]
         index[root] = low[root] = counter
         counter += 1
         stack.append(root)
-        on_stack.add(root)
+        on_stack[root] = True
         while work:
-            node, child_iter = work[-1]
+            node, cursor = work[-1]
             advanced = False
-            for child in child_iter:
-                if child not in avoiding:
+            end = indptr[node + 1]
+            while cursor < end:
+                child = succs[cursor]
+                cursor += 1
+                if not avoiding[child]:
                     continue
-                if child not in index:
+                if index[child] == UNSEEN:
+                    work[-1] = (node, cursor)
                     index[child] = low[child] = counter
                     counter += 1
                     stack.append(child)
-                    on_stack.add(child)
-                    work.append((child, iter(successors[child])))
+                    on_stack[child] = True
+                    work.append((child, indptr[child]))
                     advanced = True
                     break
-                if child in on_stack and index[child] < low[node]:
+                if on_stack[child] and index[child] < low[node]:
                     low[node] = index[child]
             if advanced:
                 continue
@@ -607,18 +680,19 @@ def _winning_scc_packed(
             component = []
             while True:
                 member = stack.pop()
-                on_stack.discard(member)
+                on_stack[member] = False
                 component.append(member)
                 if member == node:
                     break
             component_set = set(component)
-            internal: list[_PackedInternal] = []
+            internal: list[_CsrInternal] = []
             union = 0
             for state in component:
-                for mask, succ in graph[state]:
+                for t in range(indptr[state], indptr[state + 1]):
+                    succ = succs[t]
                     if succ in component_set:
-                        internal.append((state, mask, succ))
-                        union |= mask
+                        internal.append((state, labels[t], succ))
+                        union |= labels[t]
             if not internal:
                 continue
             if (full_mask & ~union).bit_count() > budget:
@@ -629,33 +703,35 @@ def _winning_scc_packed(
     return None
 
 
-def _extract_certificate_packed(
+def _extract_certificate_csr(
     kernel: PackedKernel,
     chiralities: tuple[Chirality, ...],
-    graph: dict[PackedState, list[PackedTransition]],
-    seeds: Sequence[PackedState],
+    csr: _CsrGraph,
     target: NodeId,
-    scc_states: set[PackedState],
-    internal: list[_PackedInternal],
-    restrict: Optional[set[PackedState]] = None,
+    scc_states: set[int],
+    internal: list[_CsrInternal],
+    restrict: Optional[list[bool]] = None,
 ) -> TrapCertificate:
-    """Packed twin of :func:`_extract_certificate`.
+    """CSR twin of :func:`_extract_certificate`, shared by packed/vector.
 
     The lasso (BFS prefix into the SCC, greedy cover of the recurrent
-    edge union, connecting internal walks) is built entirely on ints;
-    only the final prefix/cycle masks and the seed state are decoded.
-    Under SSYNC the labels carry the activation bits above the edge bits,
-    so the very same greedy cover also guarantees every robot of the
-    SCC's activation union is activated within one cycle — the fairness
-    the criterion promised.
+    edge union, connecting internal walks) is built entirely on flat
+    indices and bit-packed labels; only the final prefix/cycle masks and
+    the seed state are decoded. Under SSYNC the labels carry the
+    activation bits above the edge bits, so the very same greedy cover
+    also guarantees every robot of the SCC's activation union is
+    activated within one cycle — the fairness the criterion promised.
     """
+    indptr = csr.indptr
+    succs = csr.succs
+    labels = csr.labels
     # --- prefix: BFS from the seeds into the SCC (within ``restrict``,
     # the target-avoiding arena, when the property demands it) -----------
-    parent: dict[PackedState, Optional[tuple[PackedState, int]]] = {}
-    queue: deque[PackedState] = deque()
-    entry: Optional[PackedState] = None
-    for seed in seeds:
-        if seed in parent or (restrict is not None and seed not in restrict):
+    parent: dict[int, Optional[tuple[int, int]]] = {}
+    queue: deque[int] = deque()
+    entry: Optional[int] = None
+    for seed in csr.seeds:
+        if seed in parent or (restrict is not None and not restrict[seed]):
             continue
         parent[seed] = None
         queue.append(seed)
@@ -664,12 +740,13 @@ def _extract_certificate_packed(
             break
     while queue and entry is None:
         state = queue.popleft()
-        for mask, succ in graph[state]:
+        for t in range(indptr[state], indptr[state + 1]):
+            succ = succs[t]
             if succ in parent:
                 continue
-            if restrict is not None and succ not in restrict:
+            if restrict is not None and not restrict[succ]:
                 continue
-            parent[succ] = (state, mask)
+            parent[succ] = (state, labels[t])
             if succ in scc_states:
                 entry = succ
                 break
@@ -691,7 +768,7 @@ def _extract_certificate_packed(
     for _state, mask, _succ in internal:
         union |= mask
     remaining = union
-    cover: list[_PackedInternal] = []
+    cover: list[_CsrInternal] = []
     while remaining:
         best = max(internal, key=lambda tr: (tr[1] & remaining).bit_count())
         gain = best[1] & remaining
@@ -702,16 +779,16 @@ def _extract_certificate_packed(
     if not cover:
         cover = [internal[0]]
 
-    adjacency: dict[PackedState, list[PackedTransition]] = {}
+    adjacency: dict[int, list[tuple[int, int]]] = {}
     for state, mask, succ in internal:
         adjacency.setdefault(state, []).append((mask, succ))
 
-    def internal_path(src: PackedState, dst: PackedState) -> list[int]:
+    def internal_path(src: int, dst: int) -> list[int]:
         """Masks of a shortest internal walk src → dst within the SCC."""
         if src == dst:
             return []
-        back: dict[PackedState, tuple[PackedState, int]] = {}
-        bfs: deque[PackedState] = deque([src])
+        back: dict[int, tuple[int, int]] = {}
+        bfs: deque[int] = deque([src])
         seen = {src}
         while bfs:
             node = bfs.popleft()
@@ -747,7 +824,7 @@ def _extract_certificate_packed(
     for mask in cycle_masks:
         realized_union |= mask
     missing_mask = kernel.full_mask & ~realized_union
-    seed_positions, _seed_states = kernel.decode(seed_state)
+    seed_positions, _seed_states = kernel.decode(csr.states[seed_state])
 
     if kernel.scheduler == "ssync":
         prefix_activations = tuple(

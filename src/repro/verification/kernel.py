@@ -49,7 +49,7 @@ which scheduler produced it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import VerificationError
 from repro.graph.topology import Topology
@@ -124,6 +124,37 @@ class PackedKernel(CompiledTables):
         result = tuple(moves)
         self._moves_cache[occupied] = result
         return result
+
+    def padded_moves(self, occupied_values: Sequence[int]) -> tuple:
+        """Padded ndarray view of the adversary move enumeration.
+
+        The vector solver's counterpart of
+        :meth:`CompiledTables.batch_tables`: row ``p`` holds
+        :meth:`moves_for_occupied` of ``occupied_values[p]`` padded to
+        the longest enumeration by repeating move 0 — the always-valid
+        all-non-adjacent-edges mask, so the padding duplicates a real
+        transition and stays harmless for reachability and label unions.
+        Returns ``(moves_pad, mcount)``: the int64 ``(len, width)`` table
+        and each row's unpadded length (the valid prefix, for CSR
+        extraction). Raises :class:`~repro.errors.VerificationError`
+        when NumPy — an optional dependency — is absent.
+        """
+        from repro.verification.batch import _require_numpy
+
+        _require_numpy()
+        import numpy as np
+
+        rows = [self.moves_for_occupied(occ) for occ in occupied_values]
+        width = max(len(row) for row in rows)
+        moves_pad = np.empty((len(rows), width), dtype=np.int64)
+        mcount = np.empty(len(rows), dtype=np.int64)
+        for p, row in enumerate(rows):
+            count = len(row)
+            moves_pad[p, :count] = row
+            if count < width:
+                moves_pad[p, count:] = row[0]
+            mcount[p] = count
+        return moves_pad, mcount
 
     # ------------------------------------------------------------------
     # Reachability

@@ -49,6 +49,7 @@ from repro.verification.kernel import PackedKernel, check_scheduler
 from repro.verification.backends import (  # noqa: E402  (re-export)
     SOLVER_BACKENDS as BACKENDS,
     check_solver_backend as check_backend,
+    resolve_solver_backend,
 )
 
 SysState = tuple[tuple[NodeId, ...], tuple[Hashable, ...]]
@@ -82,8 +83,13 @@ class ProductSystem:
     backend:
         ``"packed"`` (default) explores reachability on the int-packed
         kernel (:mod:`repro.verification.kernel`) and decodes the result;
-        ``"object"`` steps :func:`repro.sim.engine.step_fsync` (or
-        :func:`repro.sim.semi_sync.step_ssync`) per transition. Both
+        ``"vector"`` builds the same graph densely in NumPy
+        (:mod:`repro.verification.batch_solver`; requires NumPy, and
+        falls back to the scalar kernel for spaces too large to
+        materialize densely); ``"auto"`` resolves vector → packed by
+        NumPy availability; ``"object"`` steps
+        :func:`repro.sim.engine.step_fsync` (or
+        :func:`repro.sim.semi_sync.step_ssync`) per transition. All
         produce the *identical* graph — the object path is kept as the
         semantics oracle. :meth:`step` always uses the engine, whatever
         the backend.
@@ -115,7 +121,9 @@ class ProductSystem:
         if self.k < 1:
             raise VerificationError("need at least one robot")
         self.max_states = max_states
-        self.backend = check_backend(backend)
+        # Resolved eagerly so an explicit "vector" without NumPy fails
+        # loudly at construction, not deep inside reachability.
+        self.backend = resolve_solver_backend(backend)
         self.scheduler = check_scheduler(scheduler)
         self._kernel: Optional[PackedKernel] = None
         self._moves_cache: dict[frozenset[NodeId], tuple[frozenset[EdgeId], ...]] = {}
@@ -257,11 +265,27 @@ class ProductSystem:
         backend the graph is computed on the int kernel and decoded —
         identical result, no per-transition allocation.
         """
-        if self.backend == "packed":
+        if self.backend in ("packed", "vector"):
+            from repro.verification import batch_solver
+
             kernel = self.kernel()
             packed_seeds = (
                 None if seeds is None else [kernel.encode(seed) for seed in seeds]
             )
+            if self.backend == "vector" and batch_solver.dense_eligible(kernel):
+                if packed_seeds is None:
+                    packed_seeds = kernel.initial_states()
+                states, indptr, labels, succs, _occ, _seed_idx = (
+                    batch_solver.reachable_csr(kernel, packed_seeds)
+                )
+                packed_graph = {
+                    states[i]: [
+                        (labels[t], states[succs[t]])
+                        for t in range(indptr[i], indptr[i + 1])
+                    ]
+                    for i in range(len(states))
+                }
+                return kernel.decode_graph(packed_graph)
             return kernel.decode_graph(kernel.reachable(packed_seeds))
         if seeds is None:
             seeds = self.initial_states()

@@ -7,8 +7,10 @@ of table bit-patterns into contiguous chunks, verifies each chunk in a
 worker (in-process for ``jobs=1``, a ``multiprocessing`` pool otherwise)
 and merges the per-chunk tallies *in chunk order* — so the resulting
 :class:`SweepResult` (totals, explorer names and their order, state
-counts) is byte-identical for any worker count, and for either
-verification backend. ``jobs=None`` uses every available core.
+counts) is byte-identical for any worker count, and for every
+verification backend (``vector``, ``packed``, ``object`` — ``auto``
+resolves by NumPy availability). ``jobs=None`` uses every available
+core.
 
 Workers rebuild their :class:`~repro.robots.algorithms.tables
 .TableAlgorithm` from the bit pattern (a chunk pickles as a tuple of
@@ -39,8 +41,11 @@ from repro.robots.algorithms.tables import (
     table_space_size,
 )
 from repro.types import Chirality, NodeId
+from repro.verification import batch_solver
+from repro.verification.backends import resolve_solver_backend
 from repro.verification.game import check_property, verify_exploration
-from repro.verification.product import check_backend, check_scheduler
+from repro.verification.kernel import PackedKernel
+from repro.verification.product import check_scheduler
 
 
 @dataclass
@@ -229,6 +234,16 @@ def sweep_chunk(
     from repro.scenarios import faults
 
     _check_family(family)
+    backend = resolve_solver_backend(backend)
+    if backend == "vector" and not validate:
+        # Whole-chunk dense solve; None means the space is not dense-
+        # eligible and the per-table loop below takes over (it still
+        # vectorizes each table's reachability when eligible).
+        outcome = _sweep_chunk_vector(
+            family, n, bits_chunk, starts, prop, scheduler
+        )
+        if outcome is not None:
+            return outcome
     k, maker, plan, _space = _FAMILIES[family]
     # Phase accounting when telemetry is armed (one boolean otherwise).
     # Setup — placement expansion and table construction inputs — is the
@@ -266,6 +281,86 @@ def sweep_chunk(
             "simulate", time.perf_counter() - mark, tables=len(bits_chunk)
         )
     return total, trapped, explorers, states
+
+
+def _sweep_chunk_vector(
+    family: str,
+    n: int,
+    bits_chunk: Sequence[int],
+    starts: str,
+    prop: str,
+    scheduler: str,
+) -> Optional[_ChunkOutcome]:
+    """Solve a whole chunk of tables in NumPy lockstep.
+
+    The vector backend's fast path: every table of the chunk marches
+    through the chirality fallback plan together
+    (:func:`repro.verification.batch_solver.solve_tables`), tables drop
+    out of later stages the moment a stage traps them, and the tallies —
+    totals, explorer names in input order, states explored — are
+    bit-identical to the per-table loop. Returns ``None`` when the
+    product space is not dense-eligible; the caller then falls back to
+    the per-table path.
+    """
+    from repro.scenarios import faults
+
+    if not bits_chunk:
+        return None
+    k, maker, plan, _space = _FAMILIES[family]
+    topology = RingTopology(n)
+    mark = time.perf_counter()
+    algorithms = [maker(bits) for bits in bits_chunk]
+    probe = PackedKernel(
+        topology, algorithms[0], plan[0][0], scheduler=scheduler
+    )
+    if not batch_solver.dense_eligible(probe):
+        return None
+    traced = telemetry.armed()
+    placements = start_placements(starts, topology, k)
+    tables = [algorithm.packed_tables() for algorithm in algorithms]
+    timings: dict = {"compile": time.perf_counter() - mark}
+    faults.fault_point("sweep-entry")
+    midpoint = len(bits_chunk) // 2
+    trapped_flags = [False] * len(bits_chunk)
+    states = [0] * len(bits_chunk)
+    pending = list(range(len(bits_chunk)))
+    fired_mid = False
+    for vectors in plan:
+        for vector in vectors:
+            if not pending:
+                break
+            kernel = PackedKernel(
+                topology, algorithms[pending[0]], vector, scheduler=scheduler
+            )
+            seeds = kernel.initial_states(placements)
+            hit, reached = batch_solver.solve_tables(
+                kernel,
+                [tables[i] for i in pending],
+                seeds,
+                prop,
+                timings=timings,
+            )
+            still: list[int] = []
+            for index, trap, explored in zip(pending, hit, reached):
+                states[index] += explored
+                if trap:
+                    trapped_flags[index] = True
+                else:
+                    still.append(index)
+            pending = still
+            # The chunk is atomic either way, so mid-chunk means
+            # "between lockstep solves" here rather than between tables.
+            if not fired_mid and midpoint:
+                fired_mid = True
+                faults.fault_point("sweep-mid")
+    total = len(bits_chunk)
+    explorers = [
+        algorithms[i].name for i in range(total) if not trapped_flags[i]
+    ]
+    if traced:
+        for name in ("compile", "frontier", "scc"):
+            telemetry.phase(name, timings.get(name, 0.0), tables=total)
+    return total, sum(trapped_flags), explorers, sum(states)
 
 
 def _sweep_chunk(
@@ -345,7 +440,7 @@ def run_table_sweep(
     every member.
     """
     _check_family(family)
-    check_backend(backend)
+    backend = resolve_solver_backend(backend)
     check_start_policy(starts)
     check_property(prop)
     check_scheduler(scheduler)

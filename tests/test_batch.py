@@ -9,10 +9,11 @@ Three contracts:
   oracle (including the ``rounds`` work proxy, which the kernel
   reproduces via post-hoc first-failure accounting).
 * **Registry** — one source of backend names shared by the CLI, the
-  chunk runners and the campaign runner; ``auto`` resolves
-  vector → packed by NumPy availability, and asking for ``vector``
-  without NumPy (or on the exact-solver path) fails loudly. The whole
-  module must pass with NumPy absent — vector-only tests skip.
+  chunk runners and the campaign runner; on both the simulation and the
+  exact-solver path ``auto`` resolves vector → packed by NumPy
+  availability, and asking for ``vector`` without NumPy fails loudly.
+  The whole module must pass with NumPy absent — vector-only tests
+  skip.
 * **Hash-neutrality** — a campaign checkpointed under ``packed``
   resumes under ``vector`` into a byte-identical report, and a traced
   vector run emits per-phase spans without changing a report byte.
@@ -46,6 +47,7 @@ from repro.verification.backends import (
     BACKEND_CHOICES,
     SIMULATION_BACKENDS,
     SOLVER_BACKENDS,
+    SOLVER_BACKEND_CHOICES,
     check_backend_choice,
     resolve_simulation_backend,
     resolve_solver_backend,
@@ -87,9 +89,9 @@ class TestRegistry:
 
     def test_choice_sets(self) -> None:
         assert BACKEND_CHOICES == (AUTO_BACKEND,) + SIMULATION_BACKENDS
-        assert set(SOLVER_BACKENDS) < set(BACKEND_CHOICES)
+        assert SOLVER_BACKEND_CHOICES == (AUTO_BACKEND,) + SOLVER_BACKENDS
         assert "vector" in SIMULATION_BACKENDS
-        assert "vector" not in SOLVER_BACKENDS
+        assert "vector" in SOLVER_BACKENDS
 
     def test_product_aliases_are_the_registry(self) -> None:
         # The historical solver API re-exports the registry, not a copy.
@@ -107,8 +109,8 @@ class TestRegistry:
     @pytest.mark.parametrize("command", ["verify", "sweep"])
     def test_solver_cli_choices_derive_from_registry(self, command: str) -> None:
         action = _find_backend_action(_subparser(build_parser(), command))
-        assert tuple(action.choices) == SOLVER_BACKENDS
-        assert action.default == SOLVER_BACKENDS[0]
+        assert tuple(action.choices) == SOLVER_BACKEND_CHOICES
+        assert action.default == AUTO_BACKEND
 
     def test_unknown_choice_message_lists_registry(self) -> None:
         with pytest.raises(VerificationError, match="auto"):
@@ -116,11 +118,11 @@ class TestRegistry:
         with pytest.raises(VerificationError, match="backend"):
             resolve_simulation_backend("vectorized")
 
-    def test_solver_resolution(self) -> None:
-        assert resolve_solver_backend("auto") == "packed"
+    def test_solver_resolution_tracks_numpy(self) -> None:
+        resolved = resolve_solver_backend("auto")
+        assert resolved == ("vector" if HAVE_NUMPY else "packed")
+        assert resolve_solver_backend("packed") == "packed"
         assert resolve_solver_backend("object") == "object"
-        with pytest.raises(VerificationError, match="simulation"):
-            resolve_solver_backend("vector")
 
     def test_simulation_resolution_tracks_numpy(self) -> None:
         resolved = resolve_simulation_backend("auto")
@@ -175,13 +177,16 @@ class TestNumpyAbsent:
 
 
 class TestCampaignSolverPath:
-    def test_vector_on_exact_solver_is_a_usage_error(self, tmp_path) -> None:
+    def test_vector_without_numpy_is_a_usage_error(
+        self, monkeypatch, tmp_path
+    ) -> None:
         from scenario_testlib import make_tiny_scenario
 
+        monkeypatch.setattr(batch, "_np", None)
         runner = CampaignRunner(
             ResultStore(tmp_path / "s"), backend="vector", jobs=1
         )
-        with pytest.raises(ScenarioError, match="simulation"):
+        with pytest.raises(ScenarioError, match="requires numpy"):
             runner.run(make_tiny_scenario())
 
     def test_unknown_backend_rejected_at_construction(self, tmp_path) -> None:

@@ -1,0 +1,249 @@
+"""Tests for the vector *solver* backend (dense NumPy game solving).
+
+Three contracts, mirroring ``test_batch.py``'s simulation-side suite:
+
+* **Differential** — the dense lockstep solver is an execution detail:
+  on every registered highly-dynamic scenario's first chunk, and on
+  Hypothesis-drawn random tables × schedulers × properties × start
+  policies, ``sweep_chunk`` tallies byte-identically under ``vector``,
+  ``packed`` and ``object``; ``verify_exploration`` additionally emits
+  bit-identical trap certificates under ``vector`` and ``packed`` (the
+  shared canonical-CSR solve phase), all replay-validated.
+* **Registry** — ``auto`` resolves vector → packed by NumPy
+  availability on the solver path too, the CLI rejects an explicit
+  ``--backend vector`` without NumPy with a usage error (exit 2), and
+  the NumPy-absent fallback chunks are byte-identical to ``packed``.
+  The whole module must pass with NumPy absent — vector-only tests
+  skip.
+* **Portability** — a solver campaign checkpointed under ``packed``
+  resumes under ``vector`` into a byte-identical report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from scenario_testlib import make_tiny_scenario
+from repro.cli import main as cli_main
+from repro.errors import VerificationError
+from repro.graph.topology import RingTopology
+from repro.scenarios import (
+    CampaignRunner,
+    ResultStore,
+    get_scenario,
+    iter_scenarios,
+)
+from repro.verification import batch, batch_solver
+from repro.verification.backends import resolve_solver_backend
+from repro.verification.certificates import validate_certificate
+from repro.verification.game import verify_exploration
+from repro.verification.kernel import PackedKernel
+from repro.verification.sweeps import family_maker, family_space, sweep_chunk
+
+HAVE_NUMPY = batch.have_numpy()
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed (vector backend unavailable)"
+)
+
+
+def _solver_scenario_names() -> list[str]:
+    return [
+        spec.name
+        for spec in iter_scenarios()
+        if spec.dynamics == "highly-dynamic"
+    ]
+
+
+def _chunk_kwargs(spec) -> dict:
+    return dict(starts=spec.starts, prop=spec.prop, scheduler=spec.scheduler)
+
+
+@requires_numpy
+class TestSolverDifferential:
+    """vector == packed == object on every solver tally, everywhere."""
+
+    @pytest.mark.parametrize("name", _solver_scenario_names())
+    def test_registered_scenarios_first_chunk_identical(self, name: str) -> None:
+        spec = get_scenario(name)
+        chunk = spec.chunks()[0][:16]
+        kwargs = _chunk_kwargs(spec)
+        vector = sweep_chunk(
+            spec.robots.family, spec.n, chunk, backend="vector", **kwargs
+        )
+        assert vector == sweep_chunk(
+            spec.robots.family, spec.n, chunk, backend="packed", **kwargs
+        )
+        assert vector == sweep_chunk(
+            spec.robots.family, spec.n, chunk, backend="object", **kwargs
+        )
+
+    @pytest.mark.parametrize("name", _solver_scenario_names())
+    def test_certificate_replay_on_first_chunk(self, name: str) -> None:
+        # validate=True routes per-table through the CSR certificate
+        # path and replays every emitted lasso through the simulator.
+        spec = get_scenario(name)
+        chunk = spec.chunks()[0][:6]
+        kwargs = _chunk_kwargs(spec)
+        vector = sweep_chunk(
+            spec.robots.family, spec.n, chunk,
+            backend="vector", validate=True, **kwargs,
+        )
+        assert vector == sweep_chunk(
+            spec.robots.family, spec.n, chunk,
+            backend="packed", validate=True, **kwargs,
+        )
+
+    def test_empty_chunk(self) -> None:
+        assert sweep_chunk("two", 4, (), backend="vector") == (0, 0, [], 0)
+
+    @given(
+        family=st.sampled_from(["single", "two", "two-m2"]),
+        patterns=st.lists(
+            st.integers(min_value=0, max_value=2**16 - 1),
+            min_size=1,
+            max_size=4,
+        ),
+        scheduler=st.sampled_from(["fsync", "ssync"]),
+        prop=st.sampled_from(["perpetual", "live"]),
+        starts=st.sampled_from(["well", "arbitrary"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_tables_match_packed(
+        self, family, patterns, scheduler, prop, starts
+    ) -> None:
+        space = family_space(family)
+        chunk = tuple(p % space for p in patterns)
+        n = 3 if family == "single" else 4
+        kwargs = dict(starts=starts, prop=prop, scheduler=scheduler)
+        assert sweep_chunk(
+            family, n, chunk, backend="vector", **kwargs
+        ) == sweep_chunk(family, n, chunk, backend="packed", **kwargs)
+
+
+@requires_numpy
+class TestCertificateEquality:
+    """The shared CSR solve phase makes certificates bit-identical."""
+
+    @pytest.mark.parametrize(
+        "bits,scheduler,prop",
+        [
+            (7, "fsync", "perpetual"),
+            (91, "ssync", "perpetual"),
+            (123, "fsync", "live"),
+            (255, "ssync", "live"),
+        ],
+    )
+    def test_vector_matches_packed_and_object(
+        self, bits: int, scheduler: str, prop: str
+    ) -> None:
+        algorithm = family_maker("two")(bits)
+        topology = RingTopology(4)
+        kwargs = dict(k=2, scheduler=scheduler, prop=prop)
+        vec = verify_exploration(
+            algorithm, topology, backend="vector", **kwargs
+        )
+        packed = verify_exploration(
+            algorithm, topology, backend="packed", **kwargs
+        )
+        obj = verify_exploration(
+            algorithm, topology, backend="object", **kwargs
+        )
+        assert vec.explorable == packed.explorable == obj.explorable
+        assert vec.certificate == packed.certificate
+        assert (vec.states_explored, vec.transitions_explored) == (
+            packed.states_explored, packed.transitions_explored
+        )
+        if vec.certificate is not None:
+            validate_certificate(vec.certificate, algorithm)
+
+
+@requires_numpy
+class TestDenseEligibility:
+    def test_registered_solver_scenarios_are_dense_eligible(self) -> None:
+        # The speedup claim rests on the registered sweeps actually
+        # taking the lockstep path; guard it against geometry drift.
+        from repro.verification.sweeps import family_plan
+
+        for name in _solver_scenario_names():
+            spec = get_scenario(name)
+            maker = family_maker(spec.robots.family)
+            vector = family_plan(spec.robots.family)[0][0]
+            kernel = PackedKernel(
+                RingTopology(spec.n),
+                maker(0),
+                vector,
+                scheduler=spec.scheduler,
+            )
+            assert batch_solver.dense_eligible(kernel), name
+
+    def test_dense_space_is_process_cached(self) -> None:
+        maker = family_maker("two")
+        from repro.verification.sweeps import family_plan
+
+        vector = family_plan("two")[0][0]
+        a = PackedKernel(RingTopology(4), maker(3), vector)
+        b = PackedKernel(RingTopology(4), maker(77), vector)
+        assert batch_solver.dense_space(a) is batch_solver.dense_space(b)
+
+
+@requires_numpy
+class TestCampaignPortability:
+    def test_packed_checkpoint_vector_resume_byte_identical(
+        self, tmp_path: Path
+    ) -> None:
+        spec = make_tiny_scenario()
+        reference = CampaignRunner(
+            ResultStore(tmp_path / "ref"), backend="vector", jobs=1
+        )
+        reference.run(spec)
+        reference_bytes = reference.store.report_path(spec).read_bytes()
+
+        store = ResultStore(tmp_path / "mixed")
+        partial = CampaignRunner(store, backend="packed", jobs=1).run(
+            spec, max_chunks=2
+        )
+        assert not partial.status.complete
+        resumed = CampaignRunner(store, backend="vector", jobs=1).run(spec)
+        assert resumed.status.complete
+        assert resumed.chunks_cached == 2  # the packed chunks held
+        assert store.report_path(spec).read_bytes() == reference_bytes
+
+
+class TestSolverNumpyAbsent:
+    """The solver path's no-NumPy contract, forced via monkeypatch (the
+    CI no-NumPy leg exercises the real thing)."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch, "_np", None)
+
+    def test_auto_resolves_to_packed(self, no_numpy) -> None:
+        assert resolve_solver_backend("auto") == "packed"
+
+    def test_auto_chunk_equals_packed_chunk(self, no_numpy) -> None:
+        chunk = tuple(range(8))
+        assert sweep_chunk("single", 3, chunk, backend="auto") == sweep_chunk(
+            "single", 3, chunk, backend="packed"
+        )
+
+    def test_explicit_vector_raises_clearly(self, no_numpy) -> None:
+        with pytest.raises(VerificationError, match="requires numpy"):
+            sweep_chunk("single", 3, (0,), backend="vector")
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["verify", "--algo", "pef1", "--n", "3", "--k", "1",
+             "--backend", "vector"],
+            ["sweep", "--robots", "1", "--n", "3", "--backend", "vector"],
+        ],
+    )
+    def test_cli_explicit_vector_is_usage_error(
+        self, no_numpy, capsys, argv
+    ) -> None:
+        assert cli_main(argv) == 2
+        assert "requires numpy" in capsys.readouterr().err

@@ -151,7 +151,11 @@ class TestSweep:
         assert payload["total"] == 8
         assert payload["trapped"] == 8
         assert payload["all_trapped"] is True
-        assert payload["backend"] == "packed"
+        # --backend defaults to auto; the payload records the *resolved*
+        # substrate so the JSON names what actually ran.
+        from repro.verification.backends import resolve_solver_backend
+
+        assert payload["backend"] == resolve_solver_backend("auto")
 
     def test_ssync_sweep_smoke(self, capsys) -> None:
         code = main(
